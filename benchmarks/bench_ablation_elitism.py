@@ -1,0 +1,99 @@
+"""Ablation: elitism on/off (Sec. I: "an elitist GA model is used which has
+been shown to have the ability to converge to the global optimum").
+
+The non-elitist variant is ScottHGA's generational scheme with the proposed
+core's operators; the elitist variant is the core itself.  Same budget, same
+seeds — elitism should dominate on final best fitness and never regress
+across generations.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import print_table
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness import BF6
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+SEEDS = [45890, 10593, 1567, 0x2961, 0x061F, 0xB342, 0xAAAA, 0xA0A0]
+
+
+class NonElitistGA(BehavioralGA):
+    """The proposed core with elitism removed: slot 0 is a regular
+    offspring pair product instead of the copied champion."""
+
+    def run(self, initial=None):
+        import numpy as np
+        from repro.core.system import GAResult
+
+        pop = self.params.population_size
+        table = self.table
+        self.history = []
+        self.evaluations = 0
+        inds = self.rng.block(pop).astype(np.int64)
+        fits = table[inds].astype(np.int64)
+        self.evaluations += pop
+        best_idx = int(fits.argmax())
+        best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])
+        self._record(0, inds, fits)
+        for gen in range(1, self.params.n_generations + 1):
+            cum = np.cumsum(fits)
+            total = int(cum[-1])
+            new_inds = np.empty(pop, dtype=np.int64)
+            count = 0
+            while count < pop:
+                p1 = int(inds[self._select(cum, total)])
+                p2 = int(inds[self._select(cum, total)])
+                o1, o2 = self._crossover(p1, p2)
+                for off in (o1, o2):
+                    if count >= pop:
+                        break
+                    off = self._mutate(off)
+                    new_inds[count] = off
+                    count += 1
+                    self.evaluations += 1
+                    f = int(table[off])
+                    if f > best_fit:
+                        best_ind, best_fit = off, f
+            inds = new_inds
+            fits = table[inds].astype(np.int64)
+            self._record(gen, inds, fits)
+        return GAResult(best_ind, best_fit, self.history, self.evaluations,
+                        self.params, self.fitness.name, cycles=None)
+
+
+def _compare():
+    fn = BF6()
+    rows = []
+    for seed in SEEDS:
+        params = GAParameters(32, 32, 10, 1, seed)
+        elitist = BehavioralGA(params, fn, rng=CellularAutomatonPRNG(seed)).run()
+        non = NonElitistGA(params, fn, rng=CellularAutomatonPRNG(seed)).run()
+        rows.append(
+            {
+                "seed": seed,
+                "elitist_best": elitist.best_fitness,
+                "non_elitist_best": non.best_fitness,
+                "elitist_final_pop_best": elitist.history[-1].best_fitness,
+                "non_elitist_final_pop_best": non.history[-1].best_fitness,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-elitism")
+def test_elitism_ablation(benchmark):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    print_table("Elitism ablation (BF6, pop 32, 32 gens)", rows)
+
+    # Elitism guarantees the final population retains the best-so-far; the
+    # non-elitist GA can lose it (retention gap on at least some seeds).
+    retained_e = [r["elitist_final_pop_best"] for r in rows]
+    retained_n = [r["non_elitist_final_pop_best"] for r in rows]
+    assert statistics.mean(retained_e) >= statistics.mean(retained_n)
+    # And mean best-found should favour (or match) the elitist model.
+    assert statistics.mean([r["elitist_best"] for r in rows]) >= 0.99 * statistics.mean(
+        [r["non_elitist_best"] for r in rows]
+    )

@@ -1,0 +1,62 @@
+"""Ablation: cycle-accurate model vs. vectorised behavioural twin.
+
+The two implementations are bit-identical (equivalence test suite); this
+bench quantifies what the fidelity costs: wall-clock per run and the
+simulated cycles-per-evaluation figure of the FSM.
+"""
+
+import pytest
+
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.core.system import GASystem
+from repro.fitness import MBF6_2
+
+PARAMS = GAParameters(
+    n_generations=16,
+    population_size=32,
+    crossover_threshold=10,
+    mutation_threshold=1,
+    rng_seed=45890,
+)
+
+
+@pytest.mark.benchmark(group="model-throughput")
+def test_cycle_accurate_run(benchmark):
+    fn = MBF6_2()
+    fn.table()
+
+    def run():
+        return GASystem(PARAMS, fn).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\ncycle-accurate: {result.cycles} GA cycles, "
+        f"{result.cycles / result.evaluations:.1f} cycles/eval, "
+        f"hardware time {1e3 * result.runtime_seconds:.3f} ms @50MHz"
+    )
+    assert result.cycles > 0
+
+
+@pytest.mark.benchmark(group="model-throughput")
+def test_behavioral_run(benchmark):
+    fn = MBF6_2()
+    fn.table()
+    result = benchmark(lambda: BehavioralGA(PARAMS, fn).run())
+    assert result.best_fitness > 0
+
+
+@pytest.mark.benchmark(group="model-throughput")
+def test_models_agree(benchmark):
+    fn = MBF6_2()
+
+    def both():
+        hw = GASystem(PARAMS, fn).run()
+        sw = BehavioralGA(PARAMS, fn).run()
+        assert hw.best_individual == sw.best_individual
+        assert [g.as_tuple() for g in hw.history] == [
+            g.as_tuple() for g in sw.history
+        ]
+        return hw
+
+    benchmark.pedantic(both, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Ablation: intrinsic-EHW system classes (Sec. II-D).
+
+Runs the same cycle-accurate GA under the four system classes (complete,
+multichip, multiboard, PC-based) at two intrinsic-evaluation-time regimes,
+reproducing the section's two claims: the performance ordering, and the
+amortisation of communication once fitness evaluation dominates.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core.params import GAParameters
+from repro.ehw import run_class_comparison
+from repro.fitness import MBF6_2
+
+
+@pytest.mark.benchmark(group="ehw-classes")
+def test_ehw_system_class_comparison(benchmark):
+    params = GAParameters(
+        n_generations=8,
+        population_size=16,
+        crossover_threshold=10,
+        mutation_threshold=2,
+        rng_seed=45890,
+    )
+    rows = benchmark.pedantic(
+        run_class_comparison,
+        args=(MBF6_2(),),
+        kwargs={"params": params, "evaluation_cycles": (1, 500)},
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Intrinsic-EHW system classes (Sec. II-D)", rows)
+
+    fast = [r for r in rows if r["eval_cycles"] == 1]
+    slow = [r for r in rows if r["eval_cycles"] == 500]
+    # claim 1: complete < multichip < multiboard < PC
+    assert [r["total_cycles"] for r in fast] == sorted(
+        r["total_cycles"] for r in fast
+    )
+    # claim 2: long evaluations amortise the communication penalty
+    spread_fast = fast[-1]["total_cycles"] / fast[0]["total_cycles"]
+    spread_slow = slow[-1]["total_cycles"] / slow[0]["total_cycles"]
+    assert spread_slow < spread_fast
+    # evolution result independent of the communication class
+    assert len({r["best"] for r in rows}) == 1

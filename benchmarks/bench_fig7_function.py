@@ -1,0 +1,17 @@
+"""Fig. 7 — the zoomed Binary F6 test-function plot."""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot
+from repro.experiments.figures import run_fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_bf6_plot(benchmark):
+    report = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    print(ascii_plot(report["x"], report["y"], label="Fig. 7: BF6(x), x in [0, 300]"))
+    # "numerous local maxima" in the zoom window
+    assert report["n_local_maxima"] > 20
+    # the zoom band of the paper's plot: 3199.97 .. 3200.03
+    assert min(report["y"]) > 3199.9
+    assert max(report["y"]) < 3200.1

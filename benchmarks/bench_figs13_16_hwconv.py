@@ -1,0 +1,44 @@
+"""Figs. 13-16 — hardware convergence plots (cycle-accurate model).
+
+Regenerates the best/average fitness curves for the paper's four hardware
+figures and checks the headline claims: the best solution appears within a
+handful of generations, after evaluating only ~1-2% of the solution space.
+"""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot
+from repro.experiments.figures import run_hw_convergence_figures
+
+
+@pytest.mark.benchmark(group="figs13-16")
+def test_figs_13_to_16_hardware_convergence(benchmark):
+    report = benchmark.pedantic(
+        run_hw_convergence_figures, kwargs={"cycle_accurate": True},
+        rounds=1, iterations=1,
+    )
+    for fig_id, fig in report["figures"].items():
+        xs = fig["generations"] * 2
+        ys = fig["best"] + [int(a) for a in fig["average"]]
+        print(ascii_plot(
+            xs, ys,
+            label=(
+                f"{fig_id} ({fig['function']}, seed {fig['seed']}): "
+                f"best {fig['best_fitness']}, found gen {fig['found_generation']} "
+                f"(paper: within {fig['paper_found_within']}), "
+                f"{100 * fig['fraction_of_space']:.2f}% of space"
+            ),
+        ))
+
+    figs = report["figures"]
+    for fig in figs.values():
+        # best curve monotone (elitism), average approaches best
+        best = fig["best"]
+        assert all(b >= a for a, b in zip(best, best[1:]))
+        assert fig["average"][-1] <= fig["best"][-1]
+        assert fig["average"][-1] >= fig["average"][0]
+    # Coverage claims: only a small fraction of the space is evaluated
+    # before the best solution appears (paper: <1.1% for mBF6_2, <1.9%
+    # for mBF7_2, <1.3% for mShubert2D; we allow the same order).
+    assert figs["Fig. 13"]["fraction_of_space"] < 0.05
+    assert figs["Fig. 16"]["fraction_of_space"] < 0.05

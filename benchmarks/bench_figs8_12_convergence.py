@@ -1,0 +1,34 @@
+"""Figs. 8-12 — RT-simulation convergence scatter plots.
+
+Regenerates the per-generation population-fitness scatter for Table V runs
+#3, #4, #5 (BF6), #6 (F2), #10 (F3) and renders each as ASCII.
+"""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot
+from repro.experiments.figures import run_rt_convergence_figures
+
+
+@pytest.mark.benchmark(group="figs8-12")
+def test_figs_8_to_12_scatter(benchmark):
+    report = benchmark.pedantic(
+        run_rt_convergence_figures, kwargs={"cycle_accurate": False},
+        rounds=1, iterations=1,
+    )
+    for fig_id, fig in report["figures"].items():
+        xs = [g for g, _f in fig["scatter"]]
+        ys = [f for _g, f in fig["scatter"]]
+        print(ascii_plot(xs, ys, label=f"{fig_id} ({fig['function']}, run #{fig['run']})"))
+
+    figs = report["figures"]
+    # Convergence shape: the spread of fitness values narrows as the
+    # population converges ("the number of points will be decreased").
+    for fig in figs.values():
+        first_gen = [f for g, f in fig["scatter"] if g == 0]
+        last_gen = [f for g, f in fig["scatter"] if g == 32]
+        assert len(last_gen) <= len(first_gen) * 1.5
+        assert max(last_gen) >= max(first_gen)  # elitism
+    # Figs. 11-12 (simple functions) end near the optimum 3060.
+    assert figs["Fig. 11"]["best"] >= 2900
+    assert figs["Fig. 12"]["best"] >= 2900

@@ -1,0 +1,69 @@
+"""Ablation: the mini-HLS flow's area/latency trade-off (Sec. III-A).
+
+Synthesizes one behavioural description under a sweep of functional-unit
+budgets and reports the schedule length, FU/register allocation, gate
+count, and estimated Fmax — the design-space exploration an HLS user does,
+and the quantified version of the paper's "easy addition of new features /
+resynthesis in minutes" argument (contrast with the Chen et al. Smart-GA
+approach, where every parameter change is a new ASIC).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.analysis.resources import estimate_netlist
+from repro.hls import DFG, ResourceConstraints, synthesize
+
+
+def fitness_accumulator_dfg() -> DFG:
+    """A GA-core-flavoured behavioural block: scaled fitness threshold.
+
+    threshold = (sum1 + sum2 + bias) with a compare/select stage — the
+    proportionate-selection arithmetic of Sec. III-B.2 as a DFG.
+    """
+    d = DFG("fitness_acc")
+    s1, s2 = d.input("sum1"), d.input("sum2")
+    r = d.input("rand")
+    bias = d.const(16)
+    total = d.add(d.add(s1, s2), bias)
+    half = d.add(total, total)  # 2*total (overflow-wrapped, fine for demo)
+    thr = d.sub(half, r)
+    over = d.lt(total, thr)
+    d.output("threshold", d.mux(over, thr, total))
+    d.output("total", total)
+    return d
+
+
+@pytest.mark.benchmark(group="hls")
+def test_hls_area_latency_tradeoff(benchmark):
+    def sweep():
+        rows = []
+        for label, rc in [
+            ("unlimited", None),
+            ("alu=2", ResourceConstraints(alu=2)),
+            ("alu=1", ResourceConstraints(alu=1)),
+        ]:
+            result = synthesize(fitness_accumulator_dfg(), resources=rc)
+            est = estimate_netlist(result.netlist)
+            rows.append(
+                {
+                    "budget": label,
+                    "states": result.schedule.length,
+                    "latency": result.latency,
+                    "alus": result.allocation.units.get("alu", 0),
+                    "shared_regs": result.allocation.shared_registers,
+                    "gates": result.netlist.stats()["gates"],
+                    "LUTs": est.luts,
+                    "Fmax(MHz)": round(est.max_frequency_mhz, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("HLS area/latency trade-off (fitness accumulator block)", rows)
+
+    by = {r["budget"]: r for r in rows}
+    # fewer ALUs -> longer schedule, smaller datapath
+    assert by["alu=1"]["states"] >= by["unlimited"]["states"]
+    assert by["alu=1"]["alus"] == 1
+    assert by["alu=1"]["gates"] <= by["unlimited"]["gates"]

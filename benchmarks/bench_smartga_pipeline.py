@@ -1,0 +1,62 @@
+"""Ablations: the programmability trade (Smart GA) and the pipelining
+future-work estimate.
+
+Two design-choice studies DESIGN.md calls out:
+
+1. **Registers vs. constants** (Sec. II-B, Chen et al.): how much area the
+   fixed-parameter "Smart GA" saves on the parameter/decision datapath, and
+   what a parameter change costs in each world.
+2. **Sequential vs. pipelined** (Sec. III-A future work): the cycle model
+   calibrated on the real core, showing roulette's memory scan caps the
+   pipeline and tournament selection unlocks it — the quantitative story
+   behind the architecture choices in Table I.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core.params import GAParameters
+from repro.core.pipelined import PipelineTimingModel
+from repro.hls.smartga import comparison
+
+
+@pytest.mark.benchmark(group="smartga")
+def test_smartga_programmability_trade(benchmark):
+    report = benchmark.pedantic(comparison, rounds=1, iterations=1)
+    print_table("Smart GA vs. programmable core (parameter/decision datapath)",
+                report.rows())
+    print(f"fixing parameters saves {report.gate_saving_pct:.1f}% of the "
+          f"gates and {report.ff_saving} flip-flops — at the price of a new "
+          "netlist (and in silicon, a new chip) per parameter change.")
+    assert report.gate_saving_pct > 30
+    assert report.reprogram_cycles < 200
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_pipeline_estimate(benchmark):
+    p = GAParameters(
+        n_generations=64,
+        population_size=64,
+        crossover_threshold=10,
+        mutation_threshold=1,
+        rng_seed=0x061F,
+    )
+
+    def estimate():
+        model = PipelineTimingModel()
+        return [
+            {
+                "organisation": e.organisation,
+                "cycles": e.cycles,
+                "cycles/offspring": round(e.cycles_per_offspring, 1),
+                "runtime_ms@50MHz": round(e.cycles / 50e3, 2),
+            }
+            for e in model.estimate(p)
+        ]
+
+    rows = benchmark.pedantic(estimate, rounds=1, iterations=1)
+    print_table("Pipelining estimate (pop 64, 64 generations)", rows)
+    model = PipelineTimingModel()
+    print(f"speedup: roulette pipeline {model.speedup(p, 'roulette'):.2f}x, "
+          f"tournament pipeline {model.speedup(p, 'tournament'):.2f}x")
+    assert rows[0]["cycles"] > rows[2]["cycles"]

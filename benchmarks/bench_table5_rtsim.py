@@ -1,0 +1,35 @@
+"""Table V — the ten RT-level simulation runs (cycle-accurate model).
+
+Prints best fitness, optimum gap, first-hit generation and the 5%-rule
+convergence generation per run, next to the paper's reported values.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.table5 import run_table5
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_rt_simulations(benchmark):
+    report = benchmark.pedantic(
+        run_table5, kwargs={"cycle_accurate": True}, rounds=1, iterations=1
+    )
+    keys = [
+        "run", "function", "seed", "pop", "xover_thr",
+        "paper_best", "best", "optimum", "gap%",
+        "paper_conv", "found_gen", "conv_gen",
+    ]
+    print_table("Table V (RT-level cycle-accurate simulation)", report["rows"], keys)
+
+    rows = report["rows"]
+    # Reproduction targets (claims, not cell-exact values — the silicon's
+    # PRNG stream is unpublished):
+    # 1. every run converges within the 32 generations;
+    assert all(r["conv_gen"] <= 32 for r in rows)
+    # 2. the optimum is found for at least one setting of each linear
+    #    function (the paper's F2/F3 behaviour);
+    assert any(r["best"] == r["optimum"] for r in rows if r["function"] == "F2")
+    # 3. BF6 lands within a few percent of the optimum for the best run.
+    bf6_gap = min(r["gap%"] for r in rows if r["function"] == "BF6")
+    assert bf6_gap <= 3.7

@@ -1,0 +1,26 @@
+"""Table VI — post-place-and-route statistics, regenerated.
+
+Benchmarks the flatten-and-estimate pipeline and prints the four Table VI
+rows (paper vs. measured) plus the per-block breakdown.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.table6 import run_table6
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_resource_report(benchmark):
+    report = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    print_table(f"Table VI ({report['device']})", report["rows"])
+    print_table("GA datapath blocks (appendix)", report["block_breakdown"])
+    stats = report["datapath_stats"]
+    print(f"flattened datapath: {stats['gates']} gates, {stats['dff']} flops")
+
+    rows = {r["attribute"]: r for r in report["rows"]}
+    # Reproduction targets: all four attributes inside the paper's band.
+    assert abs(rows["Logic utilization (% slices)"]["measured"] - 13.0) <= 3.0
+    assert abs(rows["Clock (MHz)"]["measured"] - 50.0) <= 10.0
+    assert rows["Block memory, GA memory (%)"]["measured"] <= 1.0
+    assert 40.0 <= rows["Block memory, fitness lookup (%)"]["measured"] <= 50.0

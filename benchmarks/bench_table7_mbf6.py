@@ -1,0 +1,27 @@
+"""Table VII — mBF6_2 best fitness across the 6-seed x 4-setting grid."""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.table789 import run_fpga_table
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_mbf6_grid(benchmark):
+    report = benchmark.pedantic(
+        run_fpga_table, args=("mBF6_2",), rounds=1, iterations=1
+    )
+    keys = ["seed", "pop32/XR10", "paper_pop32/XR10", "pop32/XR12",
+            "paper_pop32/XR12", "pop64/XR10", "paper_pop64/XR10",
+            "pop64/XR12", "paper_pop64/XR12"]
+    print_table("Table VII (mBF6_2, optimum 8183)", report["rows"], keys)
+    print(f"best overall: {report['best_overall']}, gap {report['gap_pct']}%")
+
+    # Paper claims: best found within 0.59% of the global optimum 8183,
+    # with strong variation across seeds (the programmable-seed argument).
+    assert report["gap_pct"] <= 0.6
+    cells = [
+        row[c] for row in report["rows"]
+        for c in ("pop32/XR10", "pop32/XR12", "pop64/XR10", "pop64/XR12")
+    ]
+    assert max(cells) - min(cells) > 200  # seed/parameter sensitivity

@@ -1,0 +1,21 @@
+"""Table VIII — mBF7_2 best fitness across the 6-seed x 4-setting grid."""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.table789 import run_fpga_table
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_mbf7_grid(benchmark):
+    report = benchmark.pedantic(
+        run_fpga_table, args=("mBF7_2",), rounds=1, iterations=1
+    )
+    keys = ["seed", "pop32/XR10", "pop32/XR12", "pop64/XR10", "pop64/XR12",
+            "paper_pop64/XR12"]
+    print_table(f"Table VIII (mBF7_2, optimum {report['optimum']})",
+                report["rows"], keys)
+    print(f"best overall: {report['best_overall']}, gap {report['gap_pct']}%")
+
+    # Paper claim: best solution within ~3.7% of the global optimum.
+    assert report["gap_pct"] <= 3.7

@@ -1,0 +1,24 @@
+"""Table IX — mShubert2D best fitness; multiple global optima found."""
+
+import pytest
+
+from conftest import print_table
+from repro.experiments.table789 import run_fpga_table
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_shubert_grid(benchmark):
+    report = benchmark.pedantic(
+        run_fpga_table, args=("mShubert2D",), rounds=1, iterations=1
+    )
+    keys = ["seed", "pop32/XR10", "pop32/XR12", "pop64/XR10", "pop64/XR12",
+            "paper_pop64/XR10"]
+    print_table("Table IX (mShubert2D, optimum 65535)", report["rows"], keys)
+    print(f"optimum hits: {report['optimum_hits']}")
+
+    # Paper claim: the global optimum 65,535 is found (bold cells in
+    # Table IX).  The paper's function has 48 global optima and hits ~6 of
+    # 24 cells; our reconstruction has 4 optima (see MShubert2D docstring),
+    # so proportionally fewer cells hit — at least one must.
+    assert report["gap_pct"] == 0.0
+    assert len(report["optimum_hits"]) >= 1

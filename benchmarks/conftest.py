@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper.  The
+pytest-benchmark plugin times the regeneration; the printed report is the
+reproduced artefact itself (rows or an ASCII plot) with the paper's values
+alongside, mirroring EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows: list[dict], keys: list[str] | None = None) -> None:
+    """Render rows as an aligned text table to the captured stdout."""
+    if not rows:
+        print(f"\n== {title} == (no rows)")
+        return
+    keys = keys or list(rows[0].keys())
+    widths = {
+        k: max(len(str(k)), *(len(str(r.get(k, ""))) for r in rows)) for k in keys
+    }
+    print(f"\n== {title} ==")
+    print(" | ".join(str(k).ljust(widths[k]) for k in keys))
+    print("-+-".join("-" * widths[k] for k in keys))
+    for r in rows:
+        print(" | ".join(str(r.get(k, "")).ljust(widths[k]) for k in keys))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""32-bit optimization with two 16-bit GA cores (Fig. 6, Sec. III-D).
+
+Composes two core instances — their own RNGs, forced-shared parent
+selection via the scalingLogic_parSel trick, independent per-half crossover
+and mutation — into a 32-bit optimizer, and demonstrates the paper's
+probability-composition guidance.
+"""
+
+from repro import GAParameters
+from repro.core.scaling import (
+    DualCoreGA32,
+    compose_rate,
+    onemax32,
+    plateau32,
+    split_rate,
+)
+
+
+def main() -> None:
+    params = GAParameters(
+        n_generations=48,
+        population_size=32,
+        crossover_threshold=10,
+        mutation_threshold=2,
+        rng_seed=45890,
+    )
+
+    print("== 32-bit OneMax via two 16-bit cores ==")
+    result = DualCoreGA32(params, onemax32).run()
+    optimum = onemax32(0xFFFFFFFF)
+    print(f"best: {result.best_individual:08X} "
+          f"fitness {result.best_fitness}/{optimum} "
+          f"({result.best_individual.bit_count()}/32 bits set)")
+    print(f"evaluations: {result.evaluations}")
+
+    print("\n== probability composition (the Fig. 6 equations) ==")
+    p16 = params.crossover_rate
+    print(f"per-core crossover rate      : {p16:.4f} (threshold 10)")
+    print(f"composite 32-bit rate        : {compose_rate(p16, p16):.4f} "
+          "(xovProb32 = p1 + p2 - p1*p2)")
+    compensated = split_rate(p16)
+    print(f"compensated per-core rate    : {compensated:.4f} "
+          f"-> threshold {round(16 * compensated)} "
+          "(program this to keep the intended 0.625)")
+
+    print("\n== effective 3-point crossover on a structured objective ==")
+    for label, thr in (("naive thresholds (eff. rate 0.86)", 10),
+                       ("compensated thresholds (eff. rate 0.63)",
+                        round(16 * compensated))):
+        ga = DualCoreGA32(params.with_(crossover_threshold=thr), plateau32)
+        res = ga.run()
+        print(f"{label:<42}: best {res.best_fitness:>6} "
+              f"({res.best_individual:08X} vs target DEADBEEF)")
+    print("\nLower per-core rates limit the disruption of the composite")
+    print("3-point crossover, as Sec. III-D recommends.")
+
+
+if __name__ == "__main__":
+    main()

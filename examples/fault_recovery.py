@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Evolutionary fault recovery on a virtual reconfigurable fabric.
+
+The space-applications scenario of Sec. II-D / Stoica et al. [27]:
+radiation breaks a resource inside the evolved circuit; the on-board GA
+core re-evolves the configuration *around* the damage.
+
+1. evolve a 4-input majority voter on the healthy fabric;
+2. inject a stuck-at fault into one logic cell — the deployed
+   configuration degrades immediately;
+3. rerun the same GA core against the damaged fabric (a different seed —
+   the programmable-seed feature — to escape the now-poisoned basin);
+4. the recovered configuration routes around the dead cell.
+"""
+
+from repro import BehavioralGA, GAParameters
+from repro.ehw import FabricFitness, VirtualFabric
+
+
+def rows(fitness_value: int) -> str:
+    return f"{fitness_value // 4095}/16 truth-table rows"
+
+
+def main() -> None:
+    fabric = VirtualFabric()
+    fitness = FabricFitness("majority", fabric)
+    params = GAParameters(
+        n_generations=128,
+        population_size=64,
+        crossover_threshold=10,
+        mutation_threshold=4,
+        rng_seed=45890,
+    )
+
+    print("== phase 1: evolve the majority voter on healthy hardware ==")
+    healthy = BehavioralGA(params, fitness).run()
+    print(f"evolved config {healthy.best_individual:04X}: "
+          f"{rows(healthy.best_fitness)} "
+          f"(fabric optimum is 14/16 for this cell library)")
+
+    print("\n== phase 2: radiation strike — cell 0 output stuck high ==")
+    fabric.inject_fault(0, 1)
+    fitness.invalidate()
+    degraded = fitness(healthy.best_individual)
+    print(f"deployed config now scores {rows(degraded)}")
+
+    print("\n== phase 3: re-evolve in place (new RNG seed) ==")
+    recovered = BehavioralGA(
+        params.with_(rng_seed=10593), fitness
+    ).run()
+    print(f"recovered config {recovered.best_individual:04X}: "
+          f"{rows(recovered.best_fitness)} "
+          f"(13/16 is the damaged fabric's optimum)")
+
+    regained = recovered.best_fitness - degraded
+    print(f"\nrecovery regained {regained // 4095} rows; the GA found a "
+          "configuration that avoids the dead cell,")
+    print("exactly the adaptive-healing role the IP core plays in the "
+          "self-reconfigurable analog array [34,35].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scan-chain testing of the gate-level GA core (Sec. III-C.2).
+
+Plays automated test equipment against the flattened gate-level datapath:
+
+1. flatten the GA-core datapath to NAND/NOR/AND/OR/XOR gates + registers;
+2. insert the scan chain ("connecting all the registers in the design");
+3. shift a test pattern in through ``scanin``, run one functional cycle,
+   shift the response out through ``scanout`` — the classic launch-and-
+   capture pattern an ASIC tester would use on the fabricated chip.
+"""
+
+from repro.analysis.resources import estimate_netlist
+from repro.hdl import rtlib
+from repro.hdl.flatten import flatten_ga_datapath, merge
+from repro.hdl.netlist import Netlist
+from repro.hdl.scan import Stepper, insert_scan_chain, scan_dump, scan_load
+
+
+def ate_session_on_counter() -> None:
+    """Small worked example: scan-test a 8-bit counter block."""
+    dut = Netlist("counter_dut")
+    merge(dut, rtlib.build_counter(8), "cnt")
+    length = insert_scan_chain(dut)
+    print(f"DUT: 8-bit counter, scan chain length {length}")
+
+    stepper = Stepper(dut)
+    pattern = [1, 0, 1, 0, 0, 1, 0, 0]  # load 0x25 = 37
+    scan_load(stepper, pattern, **{"cnt.en": 0, "cnt.clear": 0})
+    print(f"loaded via scanin : {pattern} (counter = 37)")
+
+    # launch: one functional clock with test low
+    out = stepper.step(test=0, **{"cnt.en": 1, "cnt.clear": 0})
+    print(f"functional cycle  : q = {out['cnt.q']} (expect 37, then +1 latched)")
+
+    # capture: shift the state back out
+    response = scan_dump(stepper, **{"cnt.en": 0, "cnt.clear": 0})
+    value = sum(b << i for i, b in enumerate(response))
+    print(f"dumped via scanout: {response} (counter = {value}, expect 38)")
+    assert value == 38, "scan capture mismatch"
+    print("scan test PASSED\n")
+
+
+def full_core_chain() -> None:
+    """Insert the chain into the full flattened GA datapath."""
+    core = flatten_ga_datapath()
+    stats = core.stats()
+    length = insert_scan_chain(core)
+    report = estimate_netlist(core)
+    print("full GA-core datapath:")
+    print(f"  gates: {stats['gates']}, registers: {stats['dff']}")
+    print(f"  scan chain length: {length} (all registers threaded)")
+    print(f"  estimated: {report.luts} LUTs, Fmax {report.max_frequency_mhz:.1f} MHz")
+
+    stepper = Stepper(core)
+    held = {name: 0 for name in core.inputs if name not in ("test", "scanin")}
+    image = [(i * 7) % 2 for i in range(length)]
+    scan_load(stepper, image, **held)
+    assert stepper.peek_flops() == image
+    print(f"  shifted a {length}-bit pattern in; register image verified")
+    dumped = scan_dump(stepper, **held)
+    assert dumped == image
+    print("  shifted it back out; round-trip PASSED")
+
+
+if __name__ == "__main__":
+    ate_session_on_counter()
+    full_core_chain()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517`` (legacy
+``setup.py develop``) work.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — a full-system reproduction of the customizable FPGA GA IP core.
+
+This library reproduces Fernando, Katkoori, Keymeulen, Zebulum & Stoica,
+"Customizable FPGA IP Core Implementation of a General-Purpose Genetic
+Algorithm Engine" (IEEE TEVC 14(1), 2010; first presented at IPDPS 2008) as
+a production-quality Python system:
+
+* :mod:`repro.hdl`        — cycle-accurate simulation kernel + gate-level
+  netlists, flattening, scan chains (the VHDL/Verilog substrate);
+* :mod:`repro.rng`        — the cellular-automaton PRNG and comparison
+  generators, with quality metrics;
+* :mod:`repro.fitness`    — the paper's six test functions and the
+  lookup/combinational/multiplexed fitness evaluation modules;
+* :mod:`repro.core`       — the GA IP core itself: Table II ports,
+  Table III/IV parameters, the cycle-accurate FSM, its vectorised
+  behavioural twin, the Fig. 4 system assembly, and the Fig. 6 32-bit
+  dual-core scaling;
+* :mod:`repro.baselines`  — the prior FPGA GA engines of Table I and the
+  software GA of the speedup study;
+* :mod:`repro.analysis`   — convergence metrics, the Table VI resource
+  estimator, the Sec. IV-C timing model, figure-series extraction;
+* :mod:`repro.experiments` — one runner per paper table/figure;
+* :mod:`repro.parallel`   — the island-model multi-core extension.
+
+Quickstart::
+
+    from repro import GAParameters, GASystem
+    from repro.fitness import MBF6_2
+
+    params = GAParameters(n_generations=64, population_size=64,
+                          crossover_threshold=10, mutation_threshold=1,
+                          rng_seed=0x061F)
+    result = GASystem(params, MBF6_2()).run()
+    print(result.best_individual, result.best_fitness)
+"""
+
+from repro.core import (
+    BehavioralGA,
+    DualCoreGA32,
+    GACore,
+    GAParameters,
+    GAResult,
+    GASystem,
+    PresetMode,
+)
+from repro.fitness import by_name as fitness_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GAParameters",
+    "GASystem",
+    "GAResult",
+    "GACore",
+    "BehavioralGA",
+    "DualCoreGA32",
+    "PresetMode",
+    "fitness_by_name",
+    "__version__",
+]

@@ -1,0 +1,68 @@
+"""Analysis substrate: convergence metrics, FPGA resource estimation, the
+hardware/software timing model, and figure-series extraction.
+
+Each module maps to a piece of the paper's evaluation:
+
+* :mod:`repro.analysis.convergence` — the Table V convergence-generation
+  rule and the Figs. 13-16 "found within N generations / fraction of the
+  solution space" arithmetic;
+* :mod:`repro.analysis.resources` — the Table VI post-place-and-route
+  report (slice %, clock estimate, block-RAM utilisation) regenerated from
+  the flattened gate netlists and memory footprints;
+* :mod:`repro.analysis.timing` — the Sec. IV-C software-vs-hardware runtime
+  comparison (PowerPC-style cost model vs. measured GA-domain cycles);
+* :mod:`repro.analysis.plots` — per-figure data series plus a small ASCII
+  renderer for the benchmark harness output.
+"""
+
+from repro.analysis.convergence import (
+    convergence_generation,
+    first_hit_generation,
+    evaluations_to_best,
+    fraction_of_space,
+)
+from repro.analysis.resources import (
+    XC2VP30,
+    DeviceCapacity,
+    ResourceReport,
+    estimate_netlist,
+    ga_core_report,
+)
+from repro.analysis.timing import (
+    PAPER_SOFTWARE_RUNTIME_S,
+    PAPER_SPEEDUP,
+    PowerPCCostModel,
+    SpeedupReport,
+    hardware_runtime,
+    software_runtime,
+    speedup_experiment,
+)
+from repro.analysis.plots import (
+    ascii_plot,
+    best_avg_series,
+    function_series,
+    scatter_series,
+)
+
+__all__ = [
+    "convergence_generation",
+    "first_hit_generation",
+    "evaluations_to_best",
+    "fraction_of_space",
+    "XC2VP30",
+    "DeviceCapacity",
+    "ResourceReport",
+    "estimate_netlist",
+    "ga_core_report",
+    "PowerPCCostModel",
+    "SpeedupReport",
+    "PAPER_SOFTWARE_RUNTIME_S",
+    "PAPER_SPEEDUP",
+    "hardware_runtime",
+    "software_runtime",
+    "speedup_experiment",
+    "ascii_plot",
+    "best_avg_series",
+    "function_series",
+    "scatter_series",
+]

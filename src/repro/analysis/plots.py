@@ -1,0 +1,81 @@
+"""Data series for every figure, plus an ASCII renderer for the harness.
+
+* Fig. 7      — :func:`function_series` (the zoomed BF6 plot);
+* Figs. 8-12  — :func:`scatter_series` ("each point P(i, j) is a population
+  member in generation i with fitness j ... only one of multiple members
+  with the same fitness" is kept per generation);
+* Figs. 13-16 — :func:`best_avg_series` (best + average fitness per
+  generation, as recorded from hardware by Chipscope in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stats import GenerationStats
+from repro.fitness.base import FitnessFunction
+
+
+def scatter_series(history: list[GenerationStats]) -> list[tuple[int, int]]:
+    """(generation, fitness) scatter points, de-duplicated per generation
+    exactly as the paper plots them."""
+    points: list[tuple[int, int]] = []
+    for gen in history:
+        for fit in sorted(set(gen.fitnesses)):
+            points.append((gen.generation, fit))
+    return points
+
+
+def best_avg_series(
+    history: list[GenerationStats],
+) -> tuple[list[int], list[int], list[float]]:
+    """(generations, best, average) series for the Figs. 13-16 plots."""
+    gens = [g.generation for g in history]
+    best = [g.best_fitness for g in history]
+    avg = [g.average for g in history]
+    return gens, best, avg
+
+
+def function_series(
+    fn: FitnessFunction, lo: int = 0, hi: int = 300
+) -> tuple[np.ndarray, np.ndarray]:
+    """(x, f(x)) over a chromosome range (Fig. 7 is BF6 on [0, 300])."""
+    xs = np.arange(lo, hi + 1, dtype=np.uint32)
+    return xs, fn.evaluate_array(xs)
+
+
+def ascii_plot(
+    xs,
+    ys,
+    width: int = 72,
+    height: int = 16,
+    label: str = "",
+) -> str:
+    """Tiny ASCII scatter/line plot for benchmark harness output."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(xs) == 0:
+        return "(no data)"
+    x0, x1 = float(xs.min()), float(xs.max())
+    y0, y1 = float(ys.min()), float(ys.max())
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x0) / xspan * (width - 1))
+        row = height - 1 - int((y - y0) / yspan * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{label} [y: {y0:.0f}..{y1:.0f}, x: {x0:.0f}..{x1:.0f}]"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def render_convergence(history: list[GenerationStats], label: str = "") -> str:
+    """Render a Figs. 13-16 style best/avg plot as ASCII (best = '*',
+    average = '.')."""
+    gens, best, avg = best_avg_series(history)
+    xs = np.asarray(gens + gens, dtype=np.float64)
+    ys = np.asarray(best + [int(a) for a in avg], dtype=np.float64)
+    plot = ascii_plot(xs, ys, label=label)
+    return plot

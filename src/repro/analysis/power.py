@@ -1,0 +1,127 @@
+"""Dynamic-power estimation from gate-level switching activity.
+
+The AUDI HLS tool this paper's flow is built on was developed for "leakage
+power estimation and optimization in VLSI ASICs" (ref. [39]); this module
+supplies the matching power substrate for the reproduced netlists:
+
+* toggle counting over clocked gate-level simulation;
+* dynamic power = 0.5 * C_eff * Vdd^2 * f * activity, with per-cell
+  effective-capacitance figures for a 0.18 um-class standard-cell library
+  (the Chen et al. GA-chip node) — documented constants, order-of-magnitude
+  accuracy by construction;
+* static (leakage) power from per-cell leakage figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hdl.netlist import Netlist
+
+#: Effective switching capacitance per cell type, femtofarads (0.18 um-ish).
+CELL_CAPACITANCE_FF: dict[str, float] = {
+    "and": 6.0,
+    "or": 6.0,
+    "nand": 4.0,
+    "nor": 4.5,
+    "xor": 9.0,
+    "xnor": 9.0,
+    "not": 2.5,
+    "buf": 3.0,
+    "const0": 0.0,
+    "const1": 0.0,
+    "dff": 14.0,
+}
+
+#: Leakage per cell, nanowatts (same node).
+CELL_LEAKAGE_NW: dict[str, float] = {
+    "and": 1.2,
+    "or": 1.2,
+    "nand": 0.8,
+    "nor": 0.9,
+    "xor": 1.8,
+    "xnor": 1.8,
+    "not": 0.5,
+    "buf": 0.6,
+    "const0": 0.0,
+    "const1": 0.0,
+    "dff": 3.5,
+}
+
+
+@dataclass
+class PowerReport:
+    """Estimated power for one netlist under one stimulus."""
+
+    name: str
+    cycles: int
+    toggles: int
+    activity: float  # mean toggles per net per cycle
+    dynamic_mw: float
+    leakage_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.leakage_mw
+
+
+def _toggle_count(netlist: Netlist, vectors: Sequence[dict[str, int]]) -> tuple[int, int]:
+    """(total net toggles, cycles) over a clocked simulation."""
+    state = netlist._initial_values()
+    prev = state[:]
+    toggles = 0
+    for vec in vectors:
+        netlist._apply_inputs(state, vec)
+        netlist._propagate(state)
+        toggles += sum(1 for a, b in zip(prev, state) if a != b)
+        prev = state[:]
+        netlist._clock_flops(state, vec)
+    return toggles, len(vectors)
+
+
+def estimate_power(
+    netlist: Netlist,
+    vectors: Sequence[dict[str, int]],
+    clock_hz: float = 50e6,
+    vdd: float = 1.8,
+) -> PowerReport:
+    """Estimate dynamic + leakage power under the given stimulus.
+
+    Dynamic power uses the measured per-net toggle rate with a single mean
+    effective capacitance derived from the netlist's cell mix; leakage sums
+    the per-cell figures.  The Table VI clock (50 MHz) and a 1.8 V core
+    supply are the defaults.
+    """
+    toggles, cycles = _toggle_count(netlist, vectors)
+    if cycles == 0:
+        raise ValueError("need at least one stimulus vector")
+    stats = netlist.stats()
+    # mean effective capacitance per driven net, weighted by cell mix
+    cap_total_ff = sum(
+        CELL_CAPACITANCE_FF.get(cell, 0.0) * count
+        for cell, count in stats.items()
+        if cell in CELL_CAPACITANCE_FF
+    )
+    driven = max(1, stats["gates"] + stats["dff"])
+    mean_cap_f = (cap_total_ff / driven) * 1e-15
+    toggles_per_cycle = toggles / cycles
+    # P_dyn = 0.5 * C * Vdd^2 * f, applied per average toggling net
+    dynamic_w = 0.5 * mean_cap_f * vdd * vdd * clock_hz * toggles_per_cycle
+    leakage_w = (
+        sum(
+            CELL_LEAKAGE_NW.get(cell, 0.0) * count
+            for cell, count in stats.items()
+            if cell in CELL_LEAKAGE_NW
+        )
+        * 1e-9
+    )
+    activity = toggles_per_cycle / max(1, netlist.net_count)
+    return PowerReport(
+        name=netlist.name,
+        cycles=cycles,
+        toggles=toggles,
+        activity=activity,
+        dynamic_mw=dynamic_w * 1e3,
+        leakage_mw=leakage_w * 1e3,
+    )

@@ -1,0 +1,140 @@
+"""Hardware/software runtime comparison — Sec. IV-C.
+
+The paper measures the C GA on the Virtex-II Pro's PowerPC (with the lookup
+FEM on the fabric, reached over the bus) at **37.615 ms** for the
+pop-32 / 32-generation mBF6_2 run, against the 50 MHz hardware GA — a
+**5.16x** speedup, i.e. a hardware runtime of ~7.29 ms (~364.5k cycles at
+50 MHz, ~345 cycles per evaluation).
+
+We cannot run a PowerPC, so the software side is priced by an
+instruction-cost model over the :class:`~repro.baselines.software_ga.SoftwareGA`
+operation counters.  The constants below are calibrated (documented, not
+hidden) so the modelled software runtime lands on the paper's 37.6 ms; the
+hardware side uses *our* cycle-accurate core's measured cycle count.  Our
+FSM is leaner than the paper's synthesized controller (~62 vs. ~345 cycles
+per evaluation), so the measured speedup comes out *higher* than 5.16x; the
+report also includes a "paper-equivalent hardware" row that prices the
+hardware at the paper's implied cycles-per-evaluation, which reproduces the
+5.16x figure.  Both rows are printed by ``benchmarks/bench_speedup.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.software_ga import OpCounters, SoftwareGA
+from repro.core.params import GAParameters
+from repro.core.system import GA_CLOCK_HZ, GASystem
+from repro.fitness.base import FitnessFunction
+
+#: Paper's measured software runtime (pop 32, 32 gens, mBF6_2), seconds.
+PAPER_SOFTWARE_RUNTIME_S = 0.037615
+#: Paper's reported hardware speedup.
+PAPER_SPEEDUP = 5.16
+#: Hardware cycles per fitness evaluation implied by the paper's numbers:
+#: (37.615 ms / 5.16) * 50 MHz / (33 generations x 32 individuals).
+PAPER_HW_CYCLES_PER_EVAL = PAPER_SOFTWARE_RUNTIME_S / PAPER_SPEEDUP * GA_CLOCK_HZ / (33 * 32)
+
+
+@dataclass(frozen=True)
+class PowerPCCostModel:
+    """CPU cycles per software-GA operation class.
+
+    Calibrated against the paper's 37.615 ms measurement: the dominant term
+    is the bus round-trip per fitness request (driver call + PLB read +
+    handshake polling), which is exactly the "time- and resource-consuming
+    communication protocols" the paper's introduction motivates removing.
+    """
+
+    clock_hz: float = 100e6  # embedded PowerPC 405 at the board clock
+    rng_call: int = 60  # CA step in C: 16-cell loop with shifts/xors
+    selection_scan: int = 12  # loop body: load, add, compare, branch
+    fitness_call: int = 3100  # bus round-trip incl. driver + polling
+    memory_op: int = 10
+    arith_op: int = 6
+
+    def price(self, ops: OpCounters) -> float:
+        """Software runtime in seconds for a counted run."""
+        cycles = (
+            ops.rng_calls * self.rng_call
+            + ops.selection_scans * self.selection_scan
+            + ops.fitness_calls * self.fitness_call
+            + ops.memory_ops * self.memory_op
+            + ops.arith_ops * self.arith_op
+        )
+        return cycles / self.clock_hz
+
+
+def software_runtime(
+    ops: OpCounters, model: PowerPCCostModel | None = None
+) -> float:
+    """Seconds the counted software run takes under the cost model."""
+    return (model or PowerPCCostModel()).price(ops)
+
+
+def hardware_runtime(cycles: int, clock_hz: float = GA_CLOCK_HZ) -> float:
+    """Seconds a hardware run of ``cycles`` GA-domain cycles takes."""
+    return cycles / clock_hz
+
+
+@dataclass
+class SpeedupReport:
+    """Both speedup views for one configuration."""
+
+    software_seconds: float
+    hardware_seconds: float
+    hardware_cycles: int
+    evaluations: int
+    speedup_measured: float
+    speedup_paper_equivalent: float
+
+    def rows(self) -> list[dict[str, float | str]]:
+        return [
+            {
+                "quantity": "software runtime (modelled PowerPC)",
+                "paper": PAPER_SOFTWARE_RUNTIME_S,
+                "measured": self.software_seconds,
+            },
+            {
+                "quantity": "hardware runtime (this core @50MHz)",
+                "paper": PAPER_SOFTWARE_RUNTIME_S / PAPER_SPEEDUP,
+                "measured": self.hardware_seconds,
+            },
+            {
+                "quantity": "speedup (this core)",
+                "paper": PAPER_SPEEDUP,
+                "measured": self.speedup_measured,
+            },
+            {
+                "quantity": "speedup (paper-equivalent hw cycles/eval)",
+                "paper": PAPER_SPEEDUP,
+                "measured": self.speedup_paper_equivalent,
+            },
+        ]
+
+
+def speedup_experiment(
+    params: GAParameters,
+    fitness: FitnessFunction,
+    model: PowerPCCostModel | None = None,
+) -> SpeedupReport:
+    """Run the Sec. IV-C comparison on one configuration."""
+    model = model or PowerPCCostModel()
+    software = SoftwareGA(params, fitness)
+    software.run()
+    sw_seconds = model.price(software.ops)
+
+    hw_result = GASystem(params, fitness).run()
+    hw_seconds = hardware_runtime(hw_result.cycles)
+
+    paper_equiv_cycles = PAPER_HW_CYCLES_PER_EVAL * hw_result.evaluations
+    paper_equiv_seconds = hardware_runtime(int(paper_equiv_cycles))
+
+    return SpeedupReport(
+        software_seconds=sw_seconds,
+        hardware_seconds=hw_seconds,
+        hardware_cycles=hw_result.cycles,
+        evaluations=hw_result.evaluations,
+        speedup_measured=sw_seconds / hw_seconds,
+        speedup_paper_equivalent=sw_seconds / paper_equiv_seconds,
+    )

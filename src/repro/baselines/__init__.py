@@ -1,0 +1,48 @@
+"""Baseline GA engines: the prior FPGA implementations of Table I plus the
+software GA of the paper's speedup experiment (Sec. IV-C).
+
+Each baseline reproduces the *architectural* GA of the cited work —
+selection scheme, replacement policy, parameter rigidity, RNG style — so the
+Table I comparison can be regenerated as a live benchmark rather than a
+static citation table:
+
+* :class:`~repro.baselines.scott_hga.ScottHGA` [5] — roulette selection,
+  1-point crossover, fixed population of 16, CA RNG with fixed seed;
+* :class:`~repro.baselines.tommiska.TommiskaGA` [6] — round-robin parent
+  selection, fixed population of 32, LFSR RNG;
+* :class:`~repro.baselines.shackleford.ShacklefordGA` [7] — survival-based
+  steady-state engine;
+* :class:`~repro.baselines.yoshida.YoshidaGA` [8] — steady-state GA
+  processor with simplified tournament selection;
+* :class:`~repro.baselines.compact_ga.CompactGA` [10] — the compact GA over
+  a probability vector (no stored population);
+* :class:`~repro.baselines.software_ga.SoftwareGA` — the C-program analogue
+  used for the 5.16x hardware speedup comparison, instrumented with the
+  operation counters the timing model prices.
+"""
+
+from repro.baselines.base import BaselineResult, PopulationBaseline
+from repro.baselines.scott_hga import ScottHGA
+from repro.baselines.tommiska import TommiskaGA
+from repro.baselines.shackleford import ShacklefordGA
+from repro.baselines.yoshida import YoshidaGA
+from repro.baselines.compact_ga import CompactGA
+from repro.baselines.tang_yip import CROSSOVER_OPERATORS, TangYipGA
+from repro.baselines.software_ga import SoftwareGA
+from repro.baselines.registry import BASELINES, TABLE_I, feature_table
+
+__all__ = [
+    "BaselineResult",
+    "PopulationBaseline",
+    "ScottHGA",
+    "TommiskaGA",
+    "ShacklefordGA",
+    "YoshidaGA",
+    "CompactGA",
+    "TangYipGA",
+    "CROSSOVER_OPERATORS",
+    "SoftwareGA",
+    "BASELINES",
+    "TABLE_I",
+    "feature_table",
+]

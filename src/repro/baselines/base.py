@@ -1,0 +1,59 @@
+"""Shared infrastructure for the baseline GA engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fitness.base import FitnessFunction
+from repro.rng.base import RandomSource
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline run, comparable with
+    :class:`repro.core.system.GAResult` on the fields the benches use."""
+
+    name: str
+    best_individual: int
+    best_fitness: int
+    evaluations: int
+    best_series: list[int] = field(default_factory=list)
+
+    @property
+    def final_best(self) -> int:
+        return self.best_fitness
+
+
+class PopulationBaseline:
+    """Base class for population-based baseline engines.
+
+    Subclasses define the *fixed* architecture of the cited implementation
+    (population size, selection, replacement); the evaluation budget is the
+    only knob, so all engines can be compared at equal evaluation counts.
+    """
+
+    name = "baseline"
+    #: Fixed population size of the cited implementation (None = knob).
+    population_size: int = 16
+    #: Whether the engine preserves the best individual across steps.
+    elitist: bool = False
+
+    def __init__(self, rng: RandomSource):
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    def _rand4(self) -> int:
+        return self.rng.next_word() & 0xF
+
+    def _crossover_point(self, p1: int, p2: int) -> tuple[int, int]:
+        """Single-point crossover (all Table I entries use 1-point)."""
+        cut = self.rng.next_word() & 0xF
+        mask = (1 << cut) - 1
+        inv = ~mask & 0xFFFF
+        return (p1 & mask) | (p2 & inv), (p2 & mask) | (p1 & inv)
+
+    def _mutate_bit(self, ind: int) -> int:
+        return ind ^ (1 << (self.rng.next_word() & 0xF))
+
+    def run(self, fitness: FitnessFunction, evaluation_budget: int) -> BaselineResult:
+        raise NotImplementedError

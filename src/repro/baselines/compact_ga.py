@@ -1,0 +1,73 @@
+"""Aporntewan & Chongstitvatana's compact GA [10].
+
+Table I row: no population at all — a probability vector (one probability
+per bit, here in 1/256 fixed-point as hardware would hold it) generates two
+competing individuals per step; the vector moves 1/N toward the winner's
+bits.  "Compact GAs suffer from a severe limitation that their convergence
+to the optimal solution is guaranteed only for ... tightly coded
+nonoverlapping building blocks" — visible in the ablation bench on BF6.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, PopulationBaseline
+from repro.fitness.base import FitnessFunction
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+class CompactGA(PopulationBaseline):
+    """Compact GA over a 16-entry probability vector."""
+
+    name = "Aporntewan et al. [10]"
+    population_size = 256  # the simulated population size N (fixed, Table I)
+    elitist = False
+    FIXED_SEED = 0x1DB7
+    WIDTH = 16
+
+    def __init__(self, rng=None, simulated_population: int | None = None):
+        super().__init__(rng or CellularAutomatonPRNG(self.FIXED_SEED))
+        if simulated_population is not None:
+            self.population_size = simulated_population
+
+    def _sample(self, probs: list[int]) -> int:
+        """Draw one individual: bit i is 1 with probability probs[i]/256."""
+        word = 0
+        for i in range(self.WIDTH):
+            rand8 = self.rng.next_word() & 0xFF
+            if rand8 < probs[i]:
+                word |= 1 << i
+        return word
+
+    def run(self, fitness: FitnessFunction, evaluation_budget: int) -> BaselineResult:
+        table = fitness.table()
+        step = max(1, 256 // self.population_size)  # 1/N in 1/256 units
+        probs = [128] * self.WIDTH  # 0.5 each
+        evals = 0
+        best_ind, best_fit = 0, -1
+        series = []
+
+        while evals < evaluation_budget - 1:
+            a = self._sample(probs)
+            b = self._sample(probs)
+            fa, fb = int(table[a]), int(table[b])
+            evals += 2
+            winner, loser = (a, b) if fa >= fb else (b, a)
+            wfit = max(fa, fb)
+            for i in range(self.WIDTH):
+                wbit = (winner >> i) & 1
+                lbit = (loser >> i) & 1
+                if wbit != lbit:
+                    if wbit:
+                        probs[i] = min(256, probs[i] + step)
+                    else:
+                        probs[i] = max(0, probs[i] - step)
+            if wfit > best_fit:
+                best_ind, best_fit = winner, wfit
+            if evals % 64 == 0:
+                series.append(best_fit)
+
+        return BaselineResult(self.name, best_ind, best_fit, evals, series)
+
+    def converged(self, probs: list[int]) -> bool:
+        """Vector convergence test (all probabilities saturated)."""
+        return all(p in (0, 256) for p in probs)

@@ -1,0 +1,145 @@
+"""Table I — review of existing FPGA GA implementations — as data + code.
+
+``TABLE_I`` reproduces the feature matrix of the paper's Table I (plus the
+proposed core's row); ``BASELINES`` maps the runnable rows to their engine
+classes so the Table I benchmark can put live convergence numbers next to
+the static features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.compact_ga import CompactGA
+from repro.baselines.scott_hga import ScottHGA
+from repro.baselines.shackleford import ShacklefordGA
+from repro.baselines.tang_yip import TangYipGA
+from repro.baselines.tommiska import TommiskaGA
+from repro.baselines.yoshida import YoshidaGA
+
+
+@dataclass(frozen=True)
+class TableIRow:
+    """One row of the Table I feature matrix."""
+
+    work: str
+    elitist: str  # "Y"/"N"/"N/A"
+    pop_size: str
+    n_gens: str
+    selection: str
+    rates: str  # crossover/mutation rate programmability
+    crossover_ops: str
+    rng: str
+    presets: str
+    init_mode: str
+    platform: str
+
+
+TABLE_I: list[TableIRow] = [
+    TableIRow(
+        work="[5] Scott et al.",
+        elitist="N",
+        pop_size="Fixed (16)",
+        n_gens="Fixed",
+        selection="Roulette",
+        rates="Fixed",
+        crossover_ops="1-Point",
+        rng="CA/fixed",
+        presets="None",
+        init_mode="None",
+        platform="BORG board",
+    ),
+    TableIRow(
+        work="[6] Tommiska & Vuori",
+        elitist="N",
+        pop_size="Fixed (32)",
+        n_gens="Fixed",
+        selection="Round robin",
+        rates="Fixed",
+        crossover_ops="1-Point",
+        rng="LSHR/fixed",
+        presets="None",
+        init_mode="None",
+        platform="Altera",
+    ),
+    TableIRow(
+        work="[7] Shackleford et al.",
+        elitist="N",
+        pop_size="Fixed (64 or 128)",
+        n_gens="Fixed",
+        selection="Survival",
+        rates="Fixed",
+        crossover_ops="1-Point",
+        rng="CA/fixed",
+        presets="None",
+        init_mode="None",
+        platform="Aptix",
+    ),
+    TableIRow(
+        work="[8] Yoshida et al.",
+        elitist="N",
+        pop_size="Fixed",
+        n_gens="Fixed",
+        selection="Simplified tourney",
+        rates="—",
+        crossover_ops="1-Point",
+        rng="CA/fixed",
+        presets="None",
+        init_mode="None",
+        platform="SFL (HDL)",
+    ),
+    TableIRow(
+        work="[9] Tang & Yip",
+        elitist="—",
+        pop_size="Prog.",
+        n_gens="Prog.",
+        selection="Roulette",
+        rates="Prog.",
+        crossover_ops="1-Point, 4-Point, Uniform",
+        rng="Fixed",
+        presets="None",
+        init_mode="—",
+        platform="PCI card based system",
+    ),
+    TableIRow(
+        work="[10] Aporntewan et al.",
+        elitist="N/A",
+        pop_size="Fixed (256)",
+        n_gens="N/A",
+        selection="N/A",
+        rates="N/A",
+        crossover_ops="N/A",
+        rng="CA/fixed",
+        presets="None",
+        init_mode="None",
+        platform="Xilinx Virtex1000",
+    ),
+    TableIRow(
+        work="Proposed",
+        elitist="Y",
+        pop_size="Prog. (8-bit)",
+        n_gens="Prog. (32-bit)",
+        selection="Roulette",
+        rates="Prog. (4-bit)",
+        crossover_ops="1-point",
+        rng="CA/prog.",
+        presets="3 Diff. modes",
+        init_mode="Separate init. mode (two-way handshake)",
+        platform="Xilinx Virtex2Pro FPGA",
+    ),
+]
+
+#: Runnable baseline engines by citation key.
+BASELINES = {
+    "scott": ScottHGA,
+    "tommiska": TommiskaGA,
+    "shackleford": ShacklefordGA,
+    "yoshida": YoshidaGA,
+    "tang_yip": TangYipGA,
+    "compact": CompactGA,
+}
+
+
+def feature_table() -> list[dict[str, str]]:
+    """Table I as row dictionaries (the benchmark prints these)."""
+    return [vars(row) for row in TABLE_I]

@@ -1,0 +1,76 @@
+"""Scott, Samal & Seth's HGA [5] — the first FPGA general-purpose GA.
+
+Table I row: fixed population of 16, fixed generation count, roulette-wheel
+selection, single-point crossover, fixed crossover/mutation rates, cellular
+automaton RNG with a fixed seed, no elitism, no presets, no initialization
+mode.  (The original used 3-bit members across multiple FPGAs on a BORG
+board; member width here is 16 so all engines compete on the same
+functions.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, PopulationBaseline
+from repro.fitness.base import FitnessFunction
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+class ScottHGA(PopulationBaseline):
+    """Simple generational GA with roulette selection, fixed parameters."""
+
+    name = "Scott et al. [5]"
+    population_size = 16
+    elitist = False
+    #: Fixed operator rates of the prototype (not programmable).
+    CROSSOVER_THRESHOLD = 8  # rate 0.5
+    MUTATION_THRESHOLD = 1  # rate 0.0625
+    FIXED_SEED = 0xACE1
+
+    def __init__(self, rng=None):
+        super().__init__(rng or CellularAutomatonPRNG(self.FIXED_SEED))
+
+    def _roulette(self, cum: np.ndarray, total: int) -> int:
+        threshold = (self.rng.next_word() * total) >> 16
+        return min(int(np.searchsorted(cum, threshold, side="right")), len(cum) - 1)
+
+    def run(self, fitness: FitnessFunction, evaluation_budget: int) -> BaselineResult:
+        table = fitness.table()
+        pop = self.population_size
+        inds = self.rng.block(pop).astype(np.int64)
+        fits = table[inds].astype(np.int64)
+        evals = pop
+        best_idx = int(fits.argmax())
+        best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])
+        series = [best_fit]
+
+        while evals < evaluation_budget:
+            cum = np.cumsum(fits)
+            total = int(cum[-1])
+            new_inds = np.empty(pop, dtype=np.int64)
+            count = 0
+            while count < pop:
+                p1 = int(inds[self._roulette(cum, total)])
+                p2 = int(inds[self._roulette(cum, total)])
+                if self._rand4() < self.CROSSOVER_THRESHOLD:
+                    o1, o2 = self._crossover_point(p1, p2)
+                else:
+                    o1, o2 = p1, p2
+                for off in (o1, o2):
+                    if count >= pop:
+                        break
+                    if self._rand4() < self.MUTATION_THRESHOLD:
+                        off = self._mutate_bit(off)
+                    new_inds[count] = off
+                    count += 1
+            inds = new_inds
+            fits = table[inds].astype(np.int64)
+            evals += pop
+            gen_best = int(fits.max())
+            if gen_best > best_fit:
+                best_fit = gen_best
+                best_ind = int(inds[int(fits.argmax())])
+            series.append(best_fit)
+
+        return BaselineResult(self.name, best_ind, best_fit, evals, series)

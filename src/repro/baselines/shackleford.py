@@ -1,0 +1,66 @@
+"""Shackleford et al.'s survival-based steady-state GA [7].
+
+Table I row: fixed population (64 or 128), fixed generations, *survival*
+selection, single-point crossover, CA RNG.  The architecture is steady
+state: two randomly addressed parents produce one offspring per pipeline
+beat, and the offspring *survives* (overwriting a randomly addressed victim)
+only if its fitness beats the victim's — the survival rule that gives the
+design its name and its pipeline-friendly data flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, PopulationBaseline
+from repro.fitness.base import FitnessFunction
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+class ShacklefordGA(PopulationBaseline):
+    """Steady-state survival GA."""
+
+    name = "Shackleford et al. [7]"
+    population_size = 64
+    elitist = False  # survival preserves good members implicitly
+    CROSSOVER_THRESHOLD = 12
+    MUTATION_THRESHOLD = 2
+    FIXED_SEED = 0x6A09
+
+    def __init__(self, rng=None):
+        super().__init__(rng or CellularAutomatonPRNG(self.FIXED_SEED))
+
+    def _rand_index(self) -> int:
+        return self.rng.next_word() % self.population_size
+
+    def run(self, fitness: FitnessFunction, evaluation_budget: int) -> BaselineResult:
+        table = fitness.table()
+        pop = self.population_size
+        inds = self.rng.block(pop).astype(np.int64)
+        fits = table[inds].astype(np.int64)
+        evals = pop
+        best_idx = int(fits.argmax())
+        best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])
+        series = [best_fit]
+
+        while evals < evaluation_budget:
+            p1 = int(inds[self._rand_index()])
+            p2 = int(inds[self._rand_index()])
+            if self._rand4() < self.CROSSOVER_THRESHOLD:
+                off, _ = self._crossover_point(p1, p2)
+            else:
+                off = p1
+            if self._rand4() < self.MUTATION_THRESHOLD:
+                off = self._mutate_bit(off)
+            f = int(table[off])
+            evals += 1
+            victim = self._rand_index()
+            if f > int(fits[victim]):  # survival rule
+                inds[victim] = off
+                fits[victim] = f
+            if f > best_fit:
+                best_ind, best_fit = off, f
+            if evals % pop == 0:
+                series.append(best_fit)
+
+        return BaselineResult(self.name, best_ind, best_fit, evals, series)

@@ -1,0 +1,173 @@
+"""The software GA of the speedup experiment (Sec. IV-C).
+
+"A software implementation of a GA optimizer, similar to the GA optimization
+algorithm in the IP core, was developed in the C programming language" and
+run on the Virtex-II Pro's PowerPC with the lookup-table FEM on the fabric.
+:class:`SoftwareGA` is that program's Python analogue: algorithmically
+identical to the IP core (so it produces bit-identical results given the
+same RNG), deliberately *scalar* (the C program is a sequential loop nest,
+not a vector engine), and instrumented with operation counters —
+
+* ``rng_calls`` — PRNG invocations,
+* ``selection_scans`` — cumulative-sum loop iterations,
+* ``fitness_calls`` — bus round-trips to the FEM (the dominant cost the
+  paper highlights for EHW-style applications),
+* ``memory_ops`` — population reads/writes,
+* ``arith_ops`` — adds/compares in the GA inner loops —
+
+which :mod:`repro.analysis.timing` prices with a PowerPC-style cost model to
+regenerate the paper's ~5.16x hardware/software comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import GAParameters
+from repro.core.stats import GenerationStats
+from repro.fitness.base import FitnessFunction
+from repro.rng.base import RandomSource
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+@dataclass
+class OpCounters:
+    """Instruction-level operation counts of one software GA run."""
+
+    rng_calls: int = 0
+    selection_scans: int = 0
+    fitness_calls: int = 0
+    memory_ops: int = 0
+    arith_ops: int = 0
+
+    def total(self) -> int:
+        return (
+            self.rng_calls
+            + self.selection_scans
+            + self.fitness_calls
+            + self.memory_ops
+            + self.arith_ops
+        )
+
+
+class SoftwareGA:
+    """Scalar software GA, algorithm-identical to the IP core."""
+
+    def __init__(
+        self,
+        params: GAParameters,
+        fitness: FitnessFunction,
+        rng: RandomSource | None = None,
+    ):
+        self.params = params
+        self.fitness = fitness
+        self.rng = rng if rng is not None else CellularAutomatonPRNG(params.rng_seed)
+        self.ops = OpCounters()
+        self.history: list[GenerationStats] = []
+
+    # ------------------------------------------------------------------
+    def _draw(self) -> int:
+        self.ops.rng_calls += 1
+        return self.rng.next_word()
+
+    def _evaluate(self, table, ind: int) -> int:
+        self.ops.fitness_calls += 1
+        return int(table[ind])
+
+    def _select(self, inds: list[int], fits: list[int], total: int) -> int:
+        threshold = (self._draw() * total) >> 16
+        self.ops.arith_ops += 2
+        cum = 0
+        for j in range(len(inds)):
+            cum += fits[j]
+            self.ops.selection_scans += 1
+            self.ops.memory_ops += 1
+            if cum > threshold:
+                return inds[j]
+        return inds[-1]
+
+    def _record(self, generation: int, inds: list[int], fits: list[int]) -> None:
+        best = max(range(len(fits)), key=lambda i: fits[i])
+        self.history.append(
+            GenerationStats(
+                generation=generation,
+                best_fitness=fits[best],
+                best_individual=inds[best],
+                fitness_sum=sum(fits),
+                population_size=len(inds),
+                fitnesses=list(fits),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Execute the optimization; returns a
+        :class:`repro.core.system.GAResult` (cycles left None — the timing
+        model prices the run from the counters instead)."""
+        from repro.core.system import GAResult
+
+        p = self.params
+        table = self.fitness.table()
+        pop = p.population_size
+        self.ops = OpCounters()
+        self.history = []
+
+        inds = [self._draw() for _ in range(pop)]
+        fits = [self._evaluate(table, ind) for ind in inds]
+        self.ops.memory_ops += 2 * pop
+        best_ind, best_fit = inds[0], fits[0]
+        for ind, fit in zip(inds, fits):
+            self.ops.arith_ops += 1
+            if fit > best_fit:
+                best_ind, best_fit = ind, fit
+        self._record(0, inds, fits)
+
+        for gen in range(1, p.n_generations + 1):
+            total = sum(fits)
+            self.ops.arith_ops += pop
+            new_inds, new_fits = [best_ind], [best_fit]
+            self.ops.memory_ops += 2
+            while len(new_inds) < pop:
+                p1 = self._select(inds, fits, total)
+                p2 = self._select(inds, fits, total)
+                if (self._draw() & 0xF) < p.crossover_threshold:
+                    cut = self._draw() & 0xF
+                    mask = (1 << cut) - 1
+                    o1 = (p1 & mask) | (p2 & ~mask & 0xFFFF)
+                    o2 = (p2 & mask) | (p1 & ~mask & 0xFFFF)
+                    self.ops.arith_ops += 6
+                else:
+                    o1, o2 = p1, p2
+                if (self._draw() & 0xF) < p.mutation_threshold:
+                    o1 ^= 1 << (self._draw() & 0xF)
+                    self.ops.arith_ops += 2
+                f1 = self._evaluate(table, o1)
+                new_inds.append(o1)
+                new_fits.append(f1)
+                self.ops.memory_ops += 2
+                self.ops.arith_ops += 1
+                if f1 > best_fit:
+                    best_ind, best_fit = o1, f1
+                if len(new_inds) < pop:
+                    if (self._draw() & 0xF) < p.mutation_threshold:
+                        o2 ^= 1 << (self._draw() & 0xF)
+                        self.ops.arith_ops += 2
+                    f2 = self._evaluate(table, o2)
+                    new_inds.append(o2)
+                    new_fits.append(f2)
+                    self.ops.memory_ops += 2
+                    self.ops.arith_ops += 1
+                    if f2 > best_fit:
+                        best_ind, best_fit = o2, f2
+            inds, fits = new_inds, new_fits
+            self._record(gen, inds, fits)
+
+        return GAResult(
+            best_individual=best_ind,
+            best_fitness=best_fit,
+            history=self.history,
+            evaluations=self.ops.fitness_calls,
+            params=p,
+            fitness_name=self.fitness.name,
+            cycles=None,
+        )

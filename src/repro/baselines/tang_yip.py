@@ -1,0 +1,118 @@
+"""Tang & Yip's PCI-based hardware GA [9].
+
+The one prior implementation with programmable parameters: roulette
+selection, programmable population/generations/rates, and — uniquely —
+*multiple crossover operators* (1-point, 4-point, uniform) with
+programmable thresholds.  Its architectural limitation in Table I is the
+fixed-seed RNG and the PCI-card system organisation, not the GA itself.
+
+This engine also serves as the repo's multi-operator crossover reference:
+the ablation bench compares the three operators on the paper's test
+functions at identical budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, PopulationBaseline
+from repro.fitness.base import FitnessFunction
+from repro.rng.base import RandomSource
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+CROSSOVER_OPERATORS = ("1-point", "4-point", "uniform")
+
+
+class TangYipGA(PopulationBaseline):
+    """Generational roulette GA with selectable crossover operator."""
+
+    name = "Tang & Yip [9]"
+    elitist = False
+    FIXED_SEED = 0x517C  # Table I: "RNG/seed: Fixed"
+
+    def __init__(
+        self,
+        rng: RandomSource | None = None,
+        population_size: int = 32,
+        crossover_threshold: int = 10,
+        mutation_threshold: int = 1,
+        operator: str = "1-point",
+    ):
+        super().__init__(rng or CellularAutomatonPRNG(self.FIXED_SEED))
+        if operator not in CROSSOVER_OPERATORS:
+            raise ValueError(
+                f"operator must be one of {CROSSOVER_OPERATORS}, got {operator!r}"
+            )
+        self.population_size = population_size
+        self.crossover_threshold = crossover_threshold
+        self.mutation_threshold = mutation_threshold
+        self.operator = operator
+
+    # ------------------------------------------------------------------
+    def _crossover(self, p1: int, p2: int) -> tuple[int, int]:
+        if self.operator == "1-point":
+            return self._crossover_point(p1, p2)
+        if self.operator == "4-point":
+            # four random cut points define an alternating mask
+            cuts = sorted(self.rng.next_word() & 0xF for _ in range(4))
+            mask = 0
+            take = True
+            prev = 0
+            for cut in cuts + [16]:
+                if take:
+                    mask |= ((1 << cut) - 1) ^ ((1 << prev) - 1)
+                take = not take
+                prev = cut
+            inv = ~mask & 0xFFFF
+            return (p1 & mask) | (p2 & inv), (p2 & mask) | (p1 & inv)
+        # uniform: each bit independently from either parent
+        mask = self.rng.next_word()
+        inv = ~mask & 0xFFFF
+        return (p1 & mask) | (p2 & inv), (p2 & mask) | (p1 & inv)
+
+    def _roulette(self, cum: np.ndarray, total: int) -> int:
+        threshold = (self.rng.next_word() * total) >> 16
+        return min(int(np.searchsorted(cum, threshold, side="right")), len(cum) - 1)
+
+    # ------------------------------------------------------------------
+    def run(self, fitness: FitnessFunction, evaluation_budget: int) -> BaselineResult:
+        table = fitness.table()
+        pop = self.population_size
+        inds = self.rng.block(pop).astype(np.int64)
+        fits = table[inds].astype(np.int64)
+        evals = pop
+        best_idx = int(fits.argmax())
+        best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])
+        series = [best_fit]
+
+        while evals < evaluation_budget:
+            cum = np.cumsum(fits)
+            total = int(cum[-1])
+            new_inds = np.empty(pop, dtype=np.int64)
+            count = 0
+            while count < pop:
+                p1 = int(inds[self._roulette(cum, total)])
+                p2 = int(inds[self._roulette(cum, total)])
+                if self._rand4() < self.crossover_threshold:
+                    o1, o2 = self._crossover(p1, p2)
+                else:
+                    o1, o2 = p1, p2
+                for off in (o1, o2):
+                    if count >= pop:
+                        break
+                    if self._rand4() < self.mutation_threshold:
+                        off = self._mutate_bit(off)
+                    new_inds[count] = off
+                    count += 1
+            inds = new_inds
+            fits = table[inds].astype(np.int64)
+            evals += pop
+            gen_best = int(fits.max())
+            if gen_best > best_fit:
+                best_fit = gen_best
+                best_ind = int(inds[int(fits.argmax())])
+            series.append(best_fit)
+
+        return BaselineResult(
+            f"{self.name} ({self.operator})", best_ind, best_fit, evals, series
+        )

@@ -1,0 +1,71 @@
+"""Yoshida & Yasuoka's GA processor [8] with simplified tournament selection.
+
+Table I row: fixed population, steady-state architecture "that supports
+efficient pipelining and a simplified tournament selection".  The simplified
+tournament: draw two random members, the fitter is a parent; repeat for the
+second parent; the offspring replaces the loser of a final random pair —
+every operation is a constant-latency pipeline stage (no fitness-sum scan).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, PopulationBaseline
+from repro.fitness.base import FitnessFunction
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+class YoshidaGA(PopulationBaseline):
+    """Steady-state GA with simplified (binary) tournament selection."""
+
+    name = "Yoshida et al. [8]"
+    population_size = 32
+    elitist = False
+    CROSSOVER_THRESHOLD = 12
+    MUTATION_THRESHOLD = 2
+    FIXED_SEED = 0x3C91
+
+    def __init__(self, rng=None):
+        super().__init__(rng or CellularAutomatonPRNG(self.FIXED_SEED))
+
+    def _rand_index(self) -> int:
+        return self.rng.next_word() % self.population_size
+
+    def _tournament(self, fits: np.ndarray) -> int:
+        a, b = self._rand_index(), self._rand_index()
+        return a if fits[a] >= fits[b] else b
+
+    def run(self, fitness: FitnessFunction, evaluation_budget: int) -> BaselineResult:
+        table = fitness.table()
+        pop = self.population_size
+        inds = self.rng.block(pop).astype(np.int64)
+        fits = table[inds].astype(np.int64)
+        evals = pop
+        best_idx = int(fits.argmax())
+        best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])
+        series = [best_fit]
+
+        while evals < evaluation_budget:
+            i1 = self._tournament(fits)
+            i2 = self._tournament(fits)
+            p1, p2 = int(inds[i1]), int(inds[i2])
+            if self._rand4() < self.CROSSOVER_THRESHOLD:
+                off, _ = self._crossover_point(p1, p2)
+            else:
+                off = p1
+            if self._rand4() < self.MUTATION_THRESHOLD:
+                off = self._mutate_bit(off)
+            f = int(table[off])
+            evals += 1
+            # replace the loser of one more random pair
+            a, b = self._rand_index(), self._rand_index()
+            loser = a if fits[a] < fits[b] else b
+            inds[loser] = off
+            fits[loser] = f
+            if f > best_fit:
+                best_ind, best_fit = off, f
+            if evals % pop == 0:
+                series.append(best_fit)
+
+        return BaselineResult(self.name, best_ind, best_fit, evals, series)

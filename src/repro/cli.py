@@ -1,0 +1,192 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table5               # Table V (cycle-accurate RT sims)
+    python -m repro table7               # Table VII grid (behavioural)
+    python -m repro fig13                # one hardware convergence figure
+    python -m repro speedup              # Sec. IV-C comparison
+    python -m repro run --fitness mBF6_2 --pop 64 --gens 64 --seed 0x061F
+
+The heavy sweeps print progress to stderr; all artefact output goes to
+stdout as aligned text tables or ASCII plots, the same renderings the
+benchmark harnesses produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _print_table(title: str, rows: list[dict], keys=None) -> None:
+    if not rows:
+        print(f"== {title} == (no rows)")
+        return
+    keys = keys or list(rows[0].keys())
+    widths = {k: max(len(str(k)), *(len(str(r.get(k, ""))) for r in rows)) for k in keys}
+    print(f"== {title} ==")
+    print(" | ".join(str(k).ljust(widths[k]) for k in keys))
+    for r in rows:
+        print(" | ".join(str(r.get(k, "")).ljust(widths[k]) for k in keys))
+
+
+def cmd_table1(_args) -> None:
+    from repro.experiments.table1 import run_table1
+
+    report = run_table1()
+    keys = ["work", "elitist", "pop_size", "selection", "rng", "best_fitness@budget"]
+    _print_table(f"Table I (budget {report['budget']} evals)", report["rows"], keys)
+
+
+def cmd_table5(_args) -> None:
+    from repro.experiments.table5 import run_table5
+
+    report = run_table5(cycle_accurate=True)
+    _print_table("Table V (cycle-accurate RT simulation)", report["rows"])
+
+
+def cmd_table6(_args) -> None:
+    from repro.experiments.table6 import run_table6
+
+    report = run_table6()
+    _print_table(f"Table VI ({report['device']})", report["rows"])
+    _print_table("Per-block breakdown", report["block_breakdown"])
+
+
+def _fpga_table(function_name: str) -> None:
+    from repro.experiments.table789 import run_fpga_table
+
+    report = run_fpga_table(function_name)
+    _print_table(f"{report['id']} ({function_name}, optimum {report['optimum']})",
+                 report["rows"])
+    print(f"best overall: {report['best_overall']}, gap {report['gap_pct']}%")
+
+
+def cmd_table7(_args) -> None:
+    _fpga_table("mBF6_2")
+
+
+def cmd_table8(_args) -> None:
+    _fpga_table("mBF7_2")
+
+
+def cmd_table9(_args) -> None:
+    _fpga_table("mShubert2D")
+
+
+def cmd_fig7(_args) -> None:
+    from repro.analysis.plots import ascii_plot
+    from repro.experiments.figures import run_fig7
+
+    report = run_fig7()
+    print(ascii_plot(report["x"], report["y"], label="Fig. 7: BF6(x) on [0,300]"))
+
+
+def cmd_figs8_12(_args) -> None:
+    from repro.analysis.plots import ascii_plot
+    from repro.experiments.figures import run_rt_convergence_figures
+
+    report = run_rt_convergence_figures()
+    for fig_id, fig in report["figures"].items():
+        xs = [g for g, _ in fig["scatter"]]
+        ys = [f for _, f in fig["scatter"]]
+        print(ascii_plot(xs, ys, label=f"{fig_id} ({fig['function']})"))
+
+
+def cmd_figs13_16(_args) -> None:
+    from repro.analysis.plots import ascii_plot
+    from repro.experiments.figures import run_hw_convergence_figures
+
+    print("running 4 cycle-accurate pop-64 runs; ~20 s", file=sys.stderr)
+    report = run_hw_convergence_figures(cycle_accurate=True)
+    for fig_id, fig in report["figures"].items():
+        xs = fig["generations"] * 2
+        ys = fig["best"] + [int(a) for a in fig["average"]]
+        print(ascii_plot(xs, ys, label=(
+            f"{fig_id} ({fig['function']}, seed {fig['seed']}): best "
+            f"{fig['best_fitness']} at gen {fig['found_generation']}"
+        )))
+
+
+def cmd_speedup(_args) -> None:
+    from repro.experiments.speedup import run_speedup
+
+    print("running 6 modelled + 6 cycle-accurate runs; ~25 s", file=sys.stderr)
+    report = run_speedup()
+    _print_table("Sec. IV-C runtime comparison", report["rows"])
+
+
+def cmd_run(args) -> None:
+    from repro import BehavioralGA, GAParameters, GASystem, fitness_by_name
+    from repro.analysis.convergence import convergence_generation
+
+    params = GAParameters(
+        n_generations=args.gens,
+        population_size=args.pop,
+        crossover_threshold=args.xover,
+        mutation_threshold=args.mut,
+        rng_seed=int(args.seed, 0),
+    )
+    fn = fitness_by_name(args.fitness)
+    if args.cycle_accurate:
+        result = GASystem(params, fn).run()
+        extra = f", {result.cycles} GA cycles"
+    else:
+        result = BehavioralGA(params, fn).run()
+        extra = ""
+    print(
+        f"{fn.name}: best {result.best_fitness} at {result.best_individual}"
+        f" (optimum {int(fn.table().max())}), "
+        f"converged gen {convergence_generation(result.history)}{extra}"
+    )
+
+
+def cmd_list(_args) -> None:
+    for name in sorted(COMMANDS):
+        print(name)
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table5": cmd_table5,
+    "table6": cmd_table6,
+    "table7": cmd_table7,
+    "table8": cmd_table8,
+    "table9": cmd_table9,
+    "fig7": cmd_fig7,
+    "figs8-12": cmd_figs8_12,
+    "figs13-16": cmd_figs13_16,
+    "speedup": cmd_speedup,
+    "run": cmd_run,
+    "list": cmd_list,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the paper's tables and figures."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in COMMANDS:
+        p = sub.add_parser(name)
+        if name == "run":
+            p.add_argument("--fitness", default="mBF6_2")
+            p.add_argument("--pop", type=int, default=64)
+            p.add_argument("--gens", type=int, default=64)
+            p.add_argument("--xover", type=int, default=10)
+            p.add_argument("--mut", type=int, default=1)
+            p.add_argument("--seed", default="0x061F")
+            p.add_argument("--cycle-accurate", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""The GA IP core — the paper's primary contribution.
+
+Modules:
+
+* :mod:`repro.core.params` — the programmable GA parameters, Table III
+  index map, and Table IV preset modes;
+* :mod:`repro.core.ports` — the 25-signal port interface of Table II;
+* :mod:`repro.core.ga_core` — the cycle-accurate GA core FSM;
+* :mod:`repro.core.ga_memory` — the {candidate, fitness} population memory;
+* :mod:`repro.core.rng_module` — the RNG module serving 16-bit words;
+* :mod:`repro.core.init_module` — the parameter-initialization FSM;
+* :mod:`repro.core.system` — the full Fig. 4 system assembly and runner;
+* :mod:`repro.core.behavioral` — the numpy-vectorised algorithm twin
+  (bit-identical populations given the same RNG stream);
+* :mod:`repro.core.scaling` — the 32-bit dual-core construction of Fig. 6.
+"""
+
+from repro.core.params import (
+    GAParameters,
+    ParameterIndex,
+    PRESET_MODES,
+    PresetMode,
+)
+from repro.core.ports import GAPorts, PORT_SPEC
+from repro.core.ga_core import GACore
+from repro.core.ga_memory import GAMemory, pack_word, unpack_word
+from repro.core.rng_module import RNGModule
+from repro.core.init_module import InitializationModule
+from repro.core.system import GAResult, GASystem, GenerationStats
+from repro.core.behavioral import BehavioralGA
+from repro.core.scaling import DualCoreGA32, compose_rate
+
+__all__ = [
+    "GAParameters",
+    "ParameterIndex",
+    "PRESET_MODES",
+    "PresetMode",
+    "GAPorts",
+    "PORT_SPEC",
+    "GACore",
+    "GAMemory",
+    "pack_word",
+    "unpack_word",
+    "RNGModule",
+    "InitializationModule",
+    "GAResult",
+    "GASystem",
+    "GenerationStats",
+    "BehavioralGA",
+    "DualCoreGA32",
+    "compose_rate",
+]

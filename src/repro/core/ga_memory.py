@@ -1,0 +1,55 @@
+"""The GA memory module: population storage (Sec. III-B.7).
+
+"The GA memory module is a single-port memory module that stores both the
+individuals and their fitness values."  Each 32-bit word packs
+``{fitness[31:16], candidate[15:0]}``; the 8-bit address space (256 words)
+is split into two banks of 128 words for the current and next population —
+the generational double-buffer behind the ``currPop <-> newPop`` swap of
+Fig. 2.  The cycle-accurate core therefore supports populations up to 128
+(the largest preset); the behavioural model, free of the single-chip memory
+budget, accepts the architectural maximum of 256.
+"""
+
+from __future__ import annotations
+
+from repro.core.ports import GAPorts
+from repro.hdl.memory import SinglePortRAM
+
+#: Words per population bank (half the 8-bit address space).
+BANK_SIZE = 128
+
+
+def pack_word(candidate: int, fitness: int) -> int:
+    """Pack a population entry into one 32-bit memory word."""
+    return ((fitness & 0xFFFF) << 16) | (candidate & 0xFFFF)
+
+
+def unpack_word(word: int) -> tuple[int, int]:
+    """Unpack a memory word into (candidate, fitness)."""
+    return word & 0xFFFF, (word >> 16) & 0xFFFF
+
+
+def bank_address(bank: int, offset: int) -> int:
+    """Physical address of population slot ``offset`` in bank 0/1."""
+    if not 0 <= offset < BANK_SIZE:
+        raise ValueError(f"population offset {offset} exceeds bank size {BANK_SIZE}")
+    return (bank & 1) * BANK_SIZE + offset
+
+
+class GAMemory(SinglePortRAM):
+    """Single-port block-RAM population store wired to the GA core ports."""
+
+    def __init__(self, ports: GAPorts, name: str = "ga_memory"):
+        super().__init__(
+            name,
+            addr=ports.mem_address,
+            din=ports.mem_data_out,  # core's data-out is the memory's data-in
+            dout=ports.mem_data_in,
+            wr=ports.mem_wr,
+            depth=256,
+        )
+
+    def population(self, bank: int, size: int) -> list[tuple[int, int]]:
+        """Debug/verification view: (candidate, fitness) pairs of a bank."""
+        base = (bank & 1) * BANK_SIZE
+        return [unpack_word(self.data[base + i]) for i in range(size)]

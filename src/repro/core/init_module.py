@@ -1,0 +1,60 @@
+"""The initialization module (Fig. 4, Sec. IV-B).
+
+"The initialization module consists of a simple finite state machine to
+perform the two-way handshaking operation using the data_valid and data_ack
+signals to initialize the various GA parameters one by one."
+
+In the paper this FSM runs in the fast (200 MHz) clock domain; wire it with
+``divider=1`` while the GA module components use ``divider=4`` to model that
+(or run everything in one domain — the handshake is latency-insensitive).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import GAParameters
+from repro.core.ports import GAPorts
+from repro.hdl.component import Component
+
+
+class InitializationModule(Component):
+    """Programs a :class:`GAParameters` set through the Table III handshake."""
+
+    def __init__(self, ports: GAPorts, params: GAParameters, name: str = "init_module"):
+        super().__init__(name)
+        self.ports = ports
+        self.params = params
+        self.words = params.to_index_values()
+        self.word_index = 0
+        self.state = "LOAD"
+        self.done = False
+
+    def clock(self) -> None:
+        p = self.ports
+        if self.state == "LOAD":
+            if self.word_index >= len(self.words):
+                self.drive(p.ga_load, 0)
+                self.set_state(state="DONE", done=True)
+                return
+            self.drive(p.ga_load, 1)
+            index, value = self.words[self.word_index]
+            self.drive(p.index, int(index))
+            self.drive(p.value, value)
+            self.drive(p.data_valid, 1)
+            self.set_state(state="WAIT_ACK")
+        elif self.state == "WAIT_ACK":
+            if p.data_ack.value:
+                self.drive(p.data_valid, 0)
+                self.set_state(state="WAIT_ACK_LOW")
+        elif self.state == "WAIT_ACK_LOW":
+            if not p.data_ack.value:
+                self.set_state(state="LOAD", word_index=self.word_index + 1)
+        # DONE: hold ga_load low, nothing else to do.
+
+    def reset(self) -> None:
+        super().reset()
+        self.word_index = 0
+        self.state = "LOAD"
+        self.done = False
+        for sig in (self.ports.ga_load, self.ports.data_valid,
+                    self.ports.index, self.ports.value):
+            sig.reset()

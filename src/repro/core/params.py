@@ -1,0 +1,142 @@
+"""Programmable GA parameters, Table III indices, Table IV preset modes.
+
+The GA core's behaviour is governed by five programmable parameters loaded
+through the initialization handshake (Sec. III-B.6): number of generations
+(32-bit, loaded as two 16-bit halves), population size, crossover threshold,
+mutation threshold, and the RNG seed.  The 4-bit thresholds encode rates in
+sixteenths: threshold 10 = rate 0.625, threshold 1 = rate 0.0625 — exactly
+the values the paper quotes in Sec. IV.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.rng.cellular_automaton import PRESET_SEEDS
+
+
+class ParameterIndex(enum.IntEnum):
+    """Table III: index values of the GA core's programmable parameters."""
+
+    NUM_GENERATIONS_LO = 0  # bits [15:0]
+    NUM_GENERATIONS_HI = 1  # bits [31:16]
+    POPULATION_SIZE = 2
+    CROSSOVER_RATE = 3
+    MUTATION_RATE = 4
+    RNG_SEED = 5
+
+
+class PresetMode(enum.IntEnum):
+    """Table IV: the 2-bit preset selector values."""
+
+    USER = 0b00
+    SMALL = 0b01  # pop 32,  512 gens,  xover 12, mut 1
+    MEDIUM = 0b10  # pop 64,  1024 gens, xover 13, mut 2
+    LARGE = 0b11  # pop 128, 4096 gens, xover 14, mut 3
+
+
+@dataclass(frozen=True)
+class GAParameters:
+    """A complete setting of the five programmable parameters."""
+
+    n_generations: int
+    population_size: int
+    crossover_threshold: int
+    mutation_threshold: int
+    rng_seed: int
+
+    #: Hardware limits: 32-bit generation counter, 8-bit population size,
+    #: 4-bit thresholds, 16-bit non-zero seed.
+    MAX_GENERATIONS = (1 << 32) - 1
+    MAX_POPULATION = 256
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_generations <= self.MAX_GENERATIONS:
+            raise ValueError(f"n_generations out of range: {self.n_generations}")
+        if not 2 <= self.population_size <= self.MAX_POPULATION:
+            raise ValueError(f"population_size out of range: {self.population_size}")
+        if not 0 <= self.crossover_threshold <= 15:
+            raise ValueError(
+                f"crossover_threshold must be 4-bit: {self.crossover_threshold}"
+            )
+        if not 0 <= self.mutation_threshold <= 15:
+            raise ValueError(
+                f"mutation_threshold must be 4-bit: {self.mutation_threshold}"
+            )
+        if not 1 <= self.rng_seed <= 0xFFFF:
+            raise ValueError(f"rng_seed must be 16-bit non-zero: {self.rng_seed}")
+
+    # ------------------------------------------------------------------
+    @property
+    def crossover_rate(self) -> float:
+        """Crossover probability = threshold / 16 (4-bit random compare)."""
+        return self.crossover_threshold / 16.0
+
+    @property
+    def mutation_rate(self) -> float:
+        """Mutation probability = threshold / 16."""
+        return self.mutation_threshold / 16.0
+
+    def to_index_values(self) -> list[tuple[ParameterIndex, int]]:
+        """The (index, 16-bit value) words the initialization handshake
+        transfers, in Table III order."""
+        return [
+            (ParameterIndex.NUM_GENERATIONS_LO, self.n_generations & 0xFFFF),
+            (ParameterIndex.NUM_GENERATIONS_HI, (self.n_generations >> 16) & 0xFFFF),
+            (ParameterIndex.POPULATION_SIZE, self.population_size & 0xFFFF),
+            (ParameterIndex.CROSSOVER_RATE, self.crossover_threshold),
+            (ParameterIndex.MUTATION_RATE, self.mutation_threshold),
+            (ParameterIndex.RNG_SEED, self.rng_seed),
+        ]
+
+    @classmethod
+    def from_index_values(
+        cls, words: dict[int, int], default_seed: int | None = None
+    ) -> "GAParameters":
+        """Reassemble parameters from handshake words (inverse of
+        :meth:`to_index_values`)."""
+        seed = words.get(ParameterIndex.RNG_SEED, default_seed)
+        if seed is None:
+            raise ValueError("RNG seed neither programmed nor defaulted")
+        return cls(
+            n_generations=(
+                words.get(ParameterIndex.NUM_GENERATIONS_LO, 0)
+                | (words.get(ParameterIndex.NUM_GENERATIONS_HI, 0) << 16)
+            ),
+            population_size=words.get(ParameterIndex.POPULATION_SIZE, 0),
+            crossover_threshold=words.get(ParameterIndex.CROSSOVER_RATE, 0),
+            mutation_threshold=words.get(ParameterIndex.MUTATION_RATE, 0),
+            rng_seed=seed,
+        )
+
+    def with_(self, **changes) -> "GAParameters":
+        """Functional update helper for parameter sweeps."""
+        return replace(self, **changes)
+
+
+#: Table IV preset parameter settings.  The preset seeds are the core's
+#: three in-built RNG seeds (Sec. II-C), one per preset mode.
+PRESET_MODES: dict[PresetMode, GAParameters] = {
+    PresetMode.SMALL: GAParameters(
+        n_generations=512,
+        population_size=32,
+        crossover_threshold=12,
+        mutation_threshold=1,
+        rng_seed=PRESET_SEEDS[0],
+    ),
+    PresetMode.MEDIUM: GAParameters(
+        n_generations=1024,
+        population_size=64,
+        crossover_threshold=13,
+        mutation_threshold=2,
+        rng_seed=PRESET_SEEDS[1],
+    ),
+    PresetMode.LARGE: GAParameters(
+        n_generations=4096,
+        population_size=128,
+        crossover_threshold=14,
+        mutation_threshold=3,
+        rng_seed=PRESET_SEEDS[2],
+    ),
+}

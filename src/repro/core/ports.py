@@ -1,0 +1,104 @@
+"""The GA core's port interface — Table II of the paper, signal for signal.
+
+``PORT_SPEC`` is the literal table contents (name, direction, width);
+:class:`GAPorts` instantiates one :class:`~repro.hdl.signal.Signal` per port
+with those widths, and is the bundle every surrounding module (GA memory,
+RNG module, initialization module, application module) wires against, as in
+Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.hdl.signal import Signal
+
+#: Table II: (port, direction, width).  Direction is from the GA core's
+#: perspective: "I" = input to the core, "O" = output from the core.
+PORT_SPEC: list[tuple[str, str, int]] = [
+    ("reset", "I", 1),
+    ("sys_clock", "I", 1),
+    ("ga_load", "I", 1),
+    ("index", "I", 3),
+    ("value", "I", 16),
+    ("data_valid", "I", 1),
+    ("data_ack", "O", 1),
+    ("fit_value", "I", 16),
+    ("fit_request", "O", 1),
+    ("fit_valid", "I", 1),
+    ("candidate", "O", 16),
+    ("mem_address", "O", 8),
+    ("mem_data_out", "O", 32),
+    ("mem_wr", "O", 1),
+    ("mem_data_in", "I", 32),
+    ("start_GA", "I", 1),
+    ("GA_done", "O", 1),
+    ("test", "I", 1),
+    ("scanin", "I", 1),
+    ("scanout", "O", 1),
+    ("preset", "I", 2),
+    ("rn", "I", 16),
+    ("fitfunc_select", "I", 3),
+    ("fit_value_ext", "I", 16),
+    ("fit_valid_ext", "I", 1),
+]
+
+# NOTE: the paper's Table II lists GA_done's direction as "I", an evident
+# typo — the text says "the GA_done signal is asserted" *by the core*
+# (Sec. III-B.8), so it is an output here.
+
+
+@dataclass
+class GAPorts:
+    """One Signal per Table II port, plus the rn_taken strobe.
+
+    ``rn_taken`` is the single modelling addition: the core pulses it when
+    it consumes the RNG output register, so the RNG module advances exactly
+    once per consumed word.  This pins down the draw sequence independently
+    of FSM micro-timing, which is what makes the cycle-accurate core and the
+    vectorised behavioural model produce bit-identical populations.
+    """
+
+    reset: Signal
+    sys_clock: Signal
+    ga_load: Signal
+    index: Signal
+    value: Signal
+    data_valid: Signal
+    data_ack: Signal
+    fit_value: Signal
+    fit_request: Signal
+    fit_valid: Signal
+    candidate: Signal
+    mem_address: Signal
+    mem_data_out: Signal
+    mem_wr: Signal
+    mem_data_in: Signal
+    start_GA: Signal
+    GA_done: Signal
+    test: Signal
+    scanin: Signal
+    scanout: Signal
+    preset: Signal
+    rn: Signal
+    fitfunc_select: Signal
+    fit_value_ext: Signal
+    fit_valid_ext: Signal
+    rn_taken: Signal
+
+    @classmethod
+    def create(cls, prefix: str = "ga") -> "GAPorts":
+        """Instantiate all ports with Table II widths."""
+        signals = {
+            name: Signal(f"{prefix}.{name}", width) for name, _dir, width in PORT_SPEC
+        }
+        signals["rn_taken"] = Signal(f"{prefix}.rn_taken", 1)
+        return cls(**signals)
+
+    def signal(self, name: str) -> Signal:
+        """Look a port up by its Table II name."""
+        return getattr(self, name)
+
+    def all_signals(self) -> list[Signal]:
+        """Every signal in the bundle (used for bulk reset)."""
+        return [getattr(self, f.name) for f in fields(self)]

@@ -1,0 +1,51 @@
+"""The RNG module of Fig. 4.
+
+"The GA core reads the output register of the RNG module when it needs a
+random number" (Sec. III-B.7).  This component drives the ``rn`` port with
+the generator's output register every cycle and advances the generator once
+per ``rn_taken`` pulse from the core, so the stream of consumed words is
+exactly the generator's word sequence regardless of how many cycles the
+core's FSM spends between draws.
+
+The module is generator-agnostic ("the operation of the GA core is
+independent of the RNG implementation"): any
+:class:`~repro.rng.base.RandomSource` plugs in, with the cellular-automaton
+PRNG as the default.  The seed is loaded when the core (re)starts.
+"""
+
+from __future__ import annotations
+
+from repro.core.ports import GAPorts
+from repro.hdl.component import Component
+from repro.rng.base import RandomSource
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+class RNGModule(Component):
+    """Drives ``rn`` from a :class:`RandomSource`; advances on ``rn_taken``."""
+
+    def __init__(
+        self,
+        ports: GAPorts,
+        source: RandomSource | None = None,
+        name: str = "rng_module",
+    ):
+        super().__init__(name)
+        self.ports = ports
+        self.source = source if source is not None else CellularAutomatonPRNG(1)
+
+    def load_seed(self, seed: int) -> None:
+        """Load the programmed (or preset) initial seed."""
+        self.source.reseed(seed)
+        self.ports.rn.poke(self.source.state)
+
+    def clock(self) -> None:
+        if self.ports.rn_taken.value:
+            # The core consumed the current word last cycle; step once.
+            self.source.next_word()
+        self.drive(self.ports.rn, self.source.state)
+
+    def reset(self) -> None:
+        super().reset()
+        self.source.reseed(self.source.seed)
+        self.ports.rn.reset()

@@ -1,0 +1,39 @@
+"""Per-generation statistics shared by the cycle-accurate and behavioural
+models — the data behind the paper's convergence plots (Figs. 8-16)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GenerationStats:
+    """Snapshot of one population.
+
+    ``generation`` 0 is the initial random population; 1..N are the evolved
+    populations.  ``fitnesses`` holds every member's fitness (the scatter
+    data of Figs. 8-12); ``best``/``average`` are the two series of
+    Figs. 13-16.
+    """
+
+    generation: int
+    best_fitness: int
+    best_individual: int
+    fitness_sum: int
+    population_size: int
+    fitnesses: list[int] = field(default_factory=list)
+
+    @property
+    def average(self) -> float:
+        """Average fitness of the population."""
+        return self.fitness_sum / self.population_size
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        """(generation, best_fitness, best_individual, fitness_sum) — the
+        compact form used by equivalence tests."""
+        return (
+            self.generation,
+            self.best_fitness,
+            self.best_individual,
+            self.fitness_sum,
+        )

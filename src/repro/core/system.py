@@ -1,0 +1,214 @@
+"""Full system assembly — Fig. 4 of the paper.
+
+"The overall GA optimizer consists of three modules, namely, the GA core,
+the GA memory, and the RNG.  Additionally, the GA core communicates with a
+fitness evaluation module and the actual application using simple two-way
+handshaking operations."
+
+:class:`GASystem` wires all of that together (optionally in two clock
+domains: the GA module at the 50 MHz-equivalent divided clock, the
+initialization/application modules at the 200 MHz base clock, as the
+paper's digital clock manager arranges) and drives a complete run from
+parameter initialization to ``GA_done``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.behavioral import BehavioralGA
+from repro.core.ga_core import GACore
+from repro.core.ga_memory import GAMemory
+from repro.core.init_module import InitializationModule
+from repro.core.params import GAParameters, PRESET_MODES, PresetMode
+from repro.core.ports import GAPorts
+from repro.core.rng_module import RNGModule
+from repro.core.stats import GenerationStats
+from repro.fitness.base import FitnessFunction
+from repro.fitness.lookup import LookupFEM
+from repro.fitness.mux import ExternalFEMPort, FEMInterface, FitnessMux
+from repro.hdl.simulator import Simulator
+from repro.rng.base import RandomSource
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+#: GA-domain clock frequency achieved on the Virtex-II Pro (Table VI).
+GA_CLOCK_HZ = 50_000_000
+#: Fast-domain clock of the init/application modules (Sec. IV-B).
+FAST_CLOCK_HZ = 200_000_000
+
+
+@dataclass
+class GAResult:
+    """Outcome of one GA run (either model)."""
+
+    best_individual: int
+    best_fitness: int
+    history: list[GenerationStats]
+    evaluations: int
+    params: GAParameters
+    fitness_name: str
+    #: GA-domain clock cycles from start_GA to GA_done (None for the
+    #: behavioural model, which has no clock).
+    cycles: int | None = None
+
+    @property
+    def runtime_seconds(self) -> float | None:
+        """Wall-clock time of the hardware run at the 50 MHz GA clock."""
+        if self.cycles is None:
+            return None
+        return self.cycles / GA_CLOCK_HZ
+
+    def best_series(self) -> list[int]:
+        """Best fitness per generation (Figs. 13-16 upper curve)."""
+        return [g.best_fitness for g in self.history]
+
+    def average_series(self) -> list[float]:
+        """Average fitness per generation (Figs. 13-16 lower curve)."""
+        return [g.average for g in self.history]
+
+
+class GASystem:
+    """The complete Fig. 4 testbench: GA module + init + application.
+
+    Parameters
+    ----------
+    params:
+        Programmable parameter set (used when ``preset`` is USER).
+    fitness:
+        A single function (placed in FEM slot 0) or a dict mapping slot
+        numbers (0-7) to functions for the multi-FEM configuration.
+    preset:
+        Table IV preset selector; non-USER modes skip initialization.
+    select:
+        Initial ``fitfunc_select`` value.
+    rng_source:
+        Random source for the RNG module (default: CA PRNG).
+    dual_clock:
+        Model the paper's two clock domains (GA module at base/4).
+    external:
+        Optional mapping of slots to :class:`ExternalFEMPort` pins.
+    fem_factory:
+        Optional callable ``(name, iface, fn) -> Component`` constructing
+        each internal FEM; defaults to :class:`LookupFEM`.  Used e.g. by
+        the EHW system-class models to install latency-accurate FEMs.
+    """
+
+    def __init__(
+        self,
+        params: GAParameters | None,
+        fitness: FitnessFunction | dict[int, FitnessFunction],
+        preset: PresetMode = PresetMode.USER,
+        select: int = 0,
+        rng_source: RandomSource | None = None,
+        dual_clock: bool = False,
+        external: dict[int, ExternalFEMPort] | None = None,
+        fem_factory=None,
+    ):
+        if preset == PresetMode.USER and params is None:
+            raise ValueError("user mode requires explicit GAParameters")
+        self.params = params
+        self.preset = preset
+        self.fns = fitness if isinstance(fitness, dict) else {0: fitness}
+        self.select = select
+        self.external = external or {}
+
+        self.ports = GAPorts.create()
+        if rng_source is None:
+            seed = params.rng_seed if params is not None else PRESET_MODES[preset].rng_seed
+            rng_source = CellularAutomatonPRNG(seed)
+        self.rng_module = RNGModule(self.ports, rng_source)
+        self.core = GACore(self.ports, rng_module=self.rng_module)
+        self.memory = GAMemory(self.ports)
+
+        ga_iface = FEMInterface(
+            candidate=self.ports.candidate,
+            fit_request=self.ports.fit_request,
+            fit_value=self.ports.fit_value,
+            fit_valid=self.ports.fit_valid,
+        )
+        self.slots = {idx: FEMInterface.create(f"slot{idx}") for idx in self.fns}
+        self.mux = FitnessMux(
+            "fitness_mux",
+            ga_iface,
+            self.ports.fitfunc_select,
+            slots=self.slots,
+            external=self.external,
+        )
+        make_fem = fem_factory or (
+            lambda name, iface, fn: LookupFEM(name, iface, fn)
+        )
+        self.fems = {
+            idx: make_fem(f"fem{idx}", self.slots[idx], fn)
+            for idx, fn in self.fns.items()
+        }
+
+        self.sim = Simulator()
+        ga_divider = 4 if dual_clock else 1
+        self.ga_divider = ga_divider
+        self.sim.add(self.core, divider=ga_divider)
+        self.sim.add(self.memory, divider=ga_divider)
+        self.sim.add(self.rng_module, divider=ga_divider)
+        # The mux sits on the GA-module boundary; the FEMs and init module
+        # run in the fast domain (Sec. IV-B: 200 MHz for init/application).
+        self.sim.add(self.mux, divider=ga_divider)
+        for fem in self.fems.values():
+            self.sim.add(fem, divider=1)
+
+        self.init_module: InitializationModule | None = None
+        if preset == PresetMode.USER:
+            self.init_module = InitializationModule(self.ports, params)
+            self.sim.add(self.init_module, divider=1)
+
+        self.ports.preset.poke(int(preset))
+        self.ports.fitfunc_select.poke(select)
+
+    # ------------------------------------------------------------------
+    def initialize(self, max_ticks: int = 100_000) -> None:
+        """Run the parameter-initialization handshake to completion."""
+        if self.init_module is None:
+            return
+        self.sim.run_until(
+            lambda: self.init_module.done, max_ticks, label="initialization"
+        )
+        # Let ga_load's de-assertion land before starting.
+        self.sim.step(2)
+
+    def start(self) -> None:
+        """Pulse start_GA (the application module launching the search).
+
+        The pulse is held for two GA-domain periods so the divided-clock
+        core is guaranteed to sample it."""
+        self.ports.start_GA.poke(1)
+        self.sim.step(2 * self.ga_divider)
+        self.ports.start_GA.poke(0)
+
+    def run(self, max_ticks: int = 200_000_000) -> GAResult:
+        """Initialize, start, and simulate until ``GA_done``."""
+        self.initialize()
+        self.start()
+        self.sim.run_until(
+            lambda: self.ports.GA_done.value == 1, max_ticks, label="GA_done"
+        )
+        cfg = self.core.cfg
+        return GAResult(
+            best_individual=self.ports.candidate.value,
+            best_fitness=self.core.best_fit,
+            history=list(self.core.history),
+            evaluations=self.core.evaluations,
+            params=cfg,
+            fitness_name=self.fns[self.ports.fitfunc_select.value].name
+            if self.ports.fitfunc_select.value in self.fns
+            else "external",
+            cycles=self.core.done_cycle - self.core.start_cycle,
+        )
+
+
+def run_behavioral(
+    params: GAParameters,
+    fitness: FitnessFunction,
+    rng: RandomSource | None = None,
+    record_members: bool = True,
+) -> GAResult:
+    """Convenience wrapper: run the vectorised model with the same defaults
+    as :class:`GASystem`."""
+    return BehavioralGA(params, fitness, rng=rng, record_members=record_members).run()

@@ -1,0 +1,32 @@
+"""Evolvable-hardware substrate (Sec. II-D of the paper).
+
+The GA IP core's target domain is intrinsic EHW: reconfigurable hardware
+whose configuration is evolved in place.  This package supplies the
+missing hardware as behavioural models:
+
+* :mod:`repro.ehw.fabric` — a small virtual reconfigurable logic fabric
+  (16-bit configuration word = the GA chromosome), with resource fault
+  injection for the radiation-recovery scenario of Stoica et al. [27];
+* :mod:`repro.ehw.system_classes` — the four intrinsic-EHW system classes
+  of Lambert et al. [30] (PC-based, complete, multichip, multiboard) as
+  communication-latency models wrapped around the cycle-accurate GA core,
+  regenerating the Sec. II-D performance-ordering claims.
+"""
+
+from repro.ehw.fabric import FabricFitness, VirtualFabric, TARGET_FUNCTIONS
+from repro.ehw.system_classes import (
+    EHW_CLASSES,
+    EHWClass,
+    LatencyFEM,
+    run_class_comparison,
+)
+
+__all__ = [
+    "VirtualFabric",
+    "FabricFitness",
+    "TARGET_FUNCTIONS",
+    "EHWClass",
+    "EHW_CLASSES",
+    "LatencyFEM",
+    "run_class_comparison",
+]

@@ -1,0 +1,151 @@
+"""The four intrinsic-EHW system classes of Sec. II-D as latency models.
+
+Lambert et al.'s taxonomy places the reconfigurable hardware and the
+evolutionary algorithm on the same chip (complete), different chips
+(multichip), different boards (multiboard), or with the EA on a PC.  What
+changes between the classes is the *communication latency* of each fitness
+evaluation: configuring the fabric with the candidate and reading the
+response back crosses intra-chip wires, inter-chip wires, inter-board
+wires, or a PC link.
+
+:class:`LatencyFEM` wraps any fitness function behind the GA handshake with
+a programmable round-trip delay (in GA-clock cycles);
+:func:`run_class_comparison` runs the *same* cycle-accurate GA under each
+class and a sweep of intrinsic evaluation times, reproducing the section's
+claims: complete < multichip < multiboard < PC in runtime, with the gap
+collapsing once fitness-evaluation time dominates communication time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import GAParameters
+from repro.core.system import GASystem
+from repro.fitness.base import FitnessFunction
+from repro.fitness.mux import FEMInterface
+from repro.hdl.component import Component
+
+
+@dataclass(frozen=True)
+class EHWClass:
+    """One intrinsic-EHW system class (latencies in 50 MHz GA cycles)."""
+
+    name: str
+    #: cycles to ship a candidate configuration to the fabric
+    config_latency: int
+    #: cycles to read the measured fitness back
+    readback_latency: int
+
+    @property
+    def round_trip(self) -> int:
+        return self.config_latency + self.readback_latency
+
+
+#: The Sec. II-D taxonomy with representative wire/link latencies.
+EHW_CLASSES: list[EHWClass] = [
+    EHWClass("complete (same chip)", config_latency=1, readback_latency=1),
+    EHWClass("multichip (inter-chip)", config_latency=8, readback_latency=8),
+    EHWClass("multiboard (inter-board)", config_latency=40, readback_latency=40),
+    EHWClass("PC-based (host link)", config_latency=600, readback_latency=600),
+]
+
+
+class LatencyFEM(Component):
+    """Fitness module with a programmable communication + evaluation delay.
+
+    Models the full intrinsic-EHW evaluation path: candidate shipping
+    (``config_latency``), the intrinsic measurement itself
+    (``evaluation_cycles`` — circuit settling/measurement time), and the
+    fitness readback (``readback_latency``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        iface: FEMInterface,
+        fn: FitnessFunction,
+        ehw_class: EHWClass,
+        evaluation_cycles: int = 1,
+    ):
+        super().__init__(name)
+        self.iface = iface
+        self.table = fn.table()
+        self.ehw_class = ehw_class
+        self.evaluation_cycles = max(1, evaluation_cycles)
+        self.state = "IDLE"
+        self.wait = 0
+        self.latched = 0
+        self.evaluations = 0
+
+    def clock(self) -> None:
+        io = self.iface
+        if self.state == "IDLE":
+            if io.fit_request.value:
+                self.set_state(
+                    state="BUSY",
+                    latched=io.candidate.value,
+                    wait=self.ehw_class.round_trip + self.evaluation_cycles,
+                )
+        elif self.state == "BUSY":
+            if self.wait > 1:
+                self.set_state(wait=self.wait - 1)
+            else:
+                self.drive(io.fit_value, int(self.table[self.latched]))
+                self.drive(io.fit_valid, 1)
+                self.set_state(state="HOLD", evaluations=self.evaluations + 1)
+        elif self.state == "HOLD":
+            if not io.fit_request.value:
+                self.drive(io.fit_valid, 0)
+                self.set_state(state="IDLE")
+
+    def reset(self) -> None:
+        super().reset()
+        self.state = "IDLE"
+        self.wait = 0
+        self.evaluations = 0
+        self.iface.fit_valid.reset()
+        self.iface.fit_value.reset()
+
+
+def run_class_comparison(
+    fn: FitnessFunction,
+    params: GAParameters | None = None,
+    evaluation_cycles: tuple[int, ...] = (1, 1000),
+) -> list[dict]:
+    """Run the same GA under every EHW class and evaluation-time regime.
+
+    Returns rows with total cycles and runtime; within one
+    ``evaluation_cycles`` the classes order complete < multichip <
+    multiboard < PC, and the relative spread shrinks as evaluation time
+    grows (the Sec. II-D amortisation argument).
+    """
+    params = params or GAParameters(
+        n_generations=4,
+        population_size=8,
+        crossover_threshold=10,
+        mutation_threshold=2,
+        rng_seed=45890,
+    )
+    rows = []
+    for eval_cycles in evaluation_cycles:
+        for ehw_class in EHW_CLASSES:
+            system = GASystem(
+                params,
+                fn,
+                fem_factory=lambda name, iface, f, c=ehw_class, e=eval_cycles: (
+                    LatencyFEM(name, iface, f, c, e)
+                ),
+            )
+            result = system.run()
+            rows.append(
+                {
+                    "class": ehw_class.name,
+                    "eval_cycles": eval_cycles,
+                    "round_trip": ehw_class.round_trip,
+                    "total_cycles": result.cycles,
+                    "runtime_ms": round(1e3 * result.runtime_seconds, 3),
+                    "best": result.best_fitness,
+                }
+            )
+    return rows

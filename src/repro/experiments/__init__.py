@@ -1,0 +1,49 @@
+"""Experiment runners — one per table and figure of the paper's evaluation.
+
+Every runner returns a structured report (rows or series plus paper
+reference values) that the corresponding ``benchmarks/bench_*.py`` harness
+executes and prints, and that ``EXPERIMENTS.md`` snapshots.
+
+| Paper artefact | Runner |
+|---|---|
+| Table I        | :func:`repro.experiments.table1.run_table1` |
+| Table V        | :func:`repro.experiments.table5.run_table5` |
+| Table VI       | :func:`repro.experiments.table6.run_table6` |
+| Tables VII-IX  | :func:`repro.experiments.table789.run_fpga_table` |
+| Fig. 7         | :func:`repro.experiments.figures.run_fig7` |
+| Figs. 8-12     | :func:`repro.experiments.figures.run_rt_convergence_figures` |
+| Figs. 13-16    | :func:`repro.experiments.figures.run_hw_convergence_figures` |
+| Sec. IV-C      | :func:`repro.experiments.speedup.run_speedup` |
+"""
+
+from repro.experiments.config import (
+    FPGA_GRID,
+    FPGA_SEEDS,
+    TABLE5_RUNS,
+    Table5Run,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table789 import run_fpga_table
+from repro.experiments.figures import (
+    run_fig7,
+    run_hw_convergence_figures,
+    run_rt_convergence_figures,
+)
+from repro.experiments.speedup import run_speedup
+
+__all__ = [
+    "TABLE5_RUNS",
+    "Table5Run",
+    "FPGA_SEEDS",
+    "FPGA_GRID",
+    "run_table1",
+    "run_table5",
+    "run_table6",
+    "run_fpga_table",
+    "run_fig7",
+    "run_rt_convergence_figures",
+    "run_hw_convergence_figures",
+    "run_speedup",
+]

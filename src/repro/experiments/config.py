@@ -1,0 +1,110 @@
+"""The paper's experimental grids, verbatim.
+
+``TABLE5_RUNS`` lists the ten RT-level simulation runs of Table V (function,
+seed, population, crossover threshold) together with the paper's reported
+best fitness and convergence generation.  ``FPGA_SEEDS``/``FPGA_GRID`` are
+the 6-seed x 4-setting grids of Tables VII-IX; ``PAPER_TABLE7/8/9`` hold the
+paper's per-cell best-fitness values for side-by-side reporting.
+
+Our absolute per-cell values cannot match the paper's (the silicon's CA rule
+vector and bit-slice positions are unpublished, so the PRNG streams differ);
+the reproduction target is the claim set: optimum found (or within a few
+percent), strong seed sensitivity, fast convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import GAParameters
+
+
+@dataclass(frozen=True)
+class Table5Run:
+    """One row of Table V."""
+
+    run: int
+    function: str
+    seed: int
+    population: int
+    crossover_threshold: int
+    paper_best: int
+    paper_found_gen: int
+    paper_convergence: int
+
+    def params(self) -> GAParameters:
+        """All Table V runs use 32 generations and mutation rate 0.0625."""
+        return GAParameters(
+            n_generations=32,
+            population_size=self.population,
+            crossover_threshold=self.crossover_threshold,
+            mutation_threshold=1,
+            rng_seed=self.seed,
+        )
+
+
+#: Table V, rows 1-10 (Sec. IV-A).
+TABLE5_RUNS: list[Table5Run] = [
+    Table5Run(1, "BF6", 45890, 32, 10, 4047, 1, 8),
+    Table5Run(2, "BF6", 45890, 64, 10, 4271, 14, 30),
+    Table5Run(3, "BF6", 10593, 32, 10, 4271, 3, 16),
+    Table5Run(4, "BF6", 1567, 32, 10, 4146, 2, 26),
+    Table5Run(5, "BF6", 1567, 32, 12, 4047, 2, 10),
+    Table5Run(6, "F2", 45890, 32, 10, 3060, 15, 18),
+    Table5Run(7, "F2", 45890, 64, 10, 2096, 1, 10),
+    Table5Run(8, "F2", 10593, 64, 10, 3060, 10, 26),
+    Table5Run(9, "F2", 10593, 32, 12, 3060, 5, 12),
+    Table5Run(10, "F3", 1567, 32, 10, 3060, 16, 20),
+]
+
+#: The six RNG seeds of the FPGA experiments (Tables VII-IX), hexadecimal
+#: in the paper.
+FPGA_SEEDS: list[int] = [0x2961, 0x061F, 0xB342, 0xAAAA, 0xA0A0, 0xFFFF]
+
+#: The four (population, crossover threshold) settings per table; all runs
+#: use 64 generations and mutation threshold 1 (Sec. IV-B).
+FPGA_GRID: list[tuple[int, int]] = [(32, 10), (32, 12), (64, 10), (64, 12)]
+
+
+def fpga_params(population: int, crossover_threshold: int, seed: int) -> GAParameters:
+    """Parameters for one cell of Tables VII-IX."""
+    return GAParameters(
+        n_generations=64,
+        population_size=population,
+        crossover_threshold=crossover_threshold,
+        mutation_threshold=1,
+        rng_seed=seed,
+    )
+
+
+#: Paper Table VII: best mBF6_2 fitness; rows = FPGA_SEEDS, cols = FPGA_GRID.
+PAPER_TABLE7: dict[int, tuple[int, int, int, int]] = {
+    0x2961: (7999, 7813, 7824, 7819),
+    0x061F: (6175, 7578, 8134, 8129),
+    0xB342: (7612, 7497, 7612, 7719),
+    0xAAAA: (7534, 7534, 7578, 7864),
+    0xA0A0: (8104, 7406, 8135, 8039),
+    0xFFFF: (7291, 7623, 7847, 7669),
+}
+
+#: Paper Table VIII: best mBF7_2 fitness.
+PAPER_TABLE8: dict[int, tuple[int, int, int, int]] = {
+    0x2961: (56835, 56835, 48135, 56456),
+    0x061F: (59648, 53432, 59648, 60656),
+    0xB342: (55000, 59928, 59480, 57184),
+    0xAAAA: (55560, 52704, 55000, 61496),
+    0xA0A0: (58136, 53040, 58024, 56624),
+    0xFFFF: (60880, 61384, 56344, 60768),
+}
+
+#: Paper Table IX: best mShubert2D fitness (bold = global optimum 65535).
+PAPER_TABLE9: dict[int, tuple[int, int, int, int]] = {
+    0x2961: (56835, 56835, 48135, 56835),
+    0x061F: (56835, 55095, 65535, 58227),
+    0xB342: (56487, 56487, 54051, 63795),
+    0xAAAA: (63795, 56487, 65535, 65535),
+    0xA0A0: (56835, 63795, 65535, 53355),
+    0xFFFF: (53355, 65535, 48135, 56835),
+}
+
+PAPER_TABLES = {"mBF6_2": PAPER_TABLE7, "mBF7_2": PAPER_TABLE8, "mShubert2D": PAPER_TABLE9}

@@ -1,0 +1,110 @@
+"""Figures 7-16 — function plot and convergence plots.
+
+* Fig. 7: the zoomed BF6 function plot;
+* Figs. 8-12: RT-simulation convergence scatters (runs #3, #4, #5, #6, #10
+  of Table V);
+* Figs. 13-16: hardware-execution best/average convergence curves for the
+  three FPGA functions with the paper's seeds, plus the headline
+  "found within N generations / evaluated x% of the space" arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import (
+    evaluations_to_best,
+    first_hit_generation,
+    fraction_of_space,
+)
+from repro.analysis.plots import best_avg_series, function_series, scatter_series
+from repro.core.behavioral import BehavioralGA
+from repro.core.system import GASystem
+from repro.experiments.config import TABLE5_RUNS, fpga_params
+from repro.fitness.functions import BF6, by_name
+
+#: Table V run numbers behind Figs. 8-12, in figure order.
+RT_FIGURES: list[tuple[str, int]] = [
+    ("Fig. 8", 3),
+    ("Fig. 9", 4),
+    ("Fig. 10", 5),
+    ("Fig. 11", 6),
+    ("Fig. 12", 10),
+]
+
+#: Figs. 13-16 configurations: (figure, function, seed, pop, xover thr).
+HW_FIGURES: list[tuple[str, str, int, int, int]] = [
+    ("Fig. 13", "mBF6_2", 0x061F, 64, 10),
+    ("Fig. 14", "mBF6_2", 0xA0A0, 64, 10),
+    ("Fig. 15", "mBF7_2", 0xAAAA, 64, 12),
+    ("Fig. 16", "mShubert2D", 0xAAAA, 64, 10),
+]
+
+#: Paper claims for the HW figures: best found within N generations.
+PAPER_FOUND_WITHIN = {"Fig. 13": 10, "Fig. 14": 10, "Fig. 15": 18, "Fig. 16": 12}
+
+
+def run_fig7(lo: int = 0, hi: int = 300) -> dict:
+    """Fig. 7: the (zoomed) BF6 function plot.
+
+    The paper plots the real-valued function (the zoom spans 3199.97 to
+    3200.03, well below the integer fitness quantum), so this series is
+    computed in floating point; the 16-bit fitness the FEM serves is the
+    floor of these values.
+    """
+    import numpy as np
+
+    xs = np.arange(lo, hi + 1, dtype=np.float64)
+    ys = (xs * xs + xs) * np.cos(xs) / 4_000_000.0 + 3200.0
+    return {
+        "id": "Fig. 7",
+        "x": xs.tolist(),
+        "y": ys.tolist(),
+        "n_local_maxima": int(((ys[1:-1] > ys[:-2]) & (ys[1:-1] > ys[2:])).sum()),
+    }
+
+
+def run_rt_convergence_figures(cycle_accurate: bool = False) -> dict:
+    """Figs. 8-12: per-generation population scatter for five Table V runs."""
+    by_run = {run.run: run for run in TABLE5_RUNS}
+    figures = {}
+    for fig_id, run_no in RT_FIGURES:
+        run = by_run[run_no]
+        fn = by_name(run.function)
+        if cycle_accurate:
+            result = GASystem(run.params(), fn).run()
+        else:
+            result = BehavioralGA(run.params(), fn).run()
+        figures[fig_id] = {
+            "run": run_no,
+            "function": run.function,
+            "scatter": scatter_series(result.history),
+            "best": result.best_fitness,
+        }
+    return {"id": "Figs. 8-12", "figures": figures}
+
+
+def run_hw_convergence_figures(cycle_accurate: bool = True) -> dict:
+    """Figs. 13-16: best/average fitness per generation from the hardware
+    (cycle-accurate) model, with the solution-space-coverage arithmetic."""
+    figures = {}
+    for fig_id, fn_name, seed, pop, xt in HW_FIGURES:
+        fn = by_name(fn_name)
+        params = fpga_params(pop, xt, seed)
+        if cycle_accurate:
+            result = GASystem(params, fn).run()
+        else:
+            result = BehavioralGA(params, fn).run()
+        gens, best, avg = best_avg_series(result.history)
+        found = first_hit_generation(result.history)
+        figures[fig_id] = {
+            "function": fn_name,
+            "seed": f"{seed:04X}",
+            "generations": gens,
+            "best": best,
+            "average": avg,
+            "best_fitness": result.best_fitness,
+            "found_generation": found,
+            "paper_found_within": PAPER_FOUND_WITHIN[fig_id],
+            "evaluations_to_best": evaluations_to_best(result.history),
+            "fraction_of_space": fraction_of_space(result.history),
+        }
+    return {"id": "Figs. 13-16", "figures": figures}

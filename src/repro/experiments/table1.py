@@ -1,0 +1,64 @@
+"""Table I — baseline architectures, as features + a live shoot-out.
+
+The paper's Table I is a static feature matrix; here each runnable row also
+gets a measured column: best BF6 fitness after a fixed evaluation budget, so
+the architectural differences (selection scheme, elitism, rigidity) show up
+as numbers.  The proposed core runs with the same budget via its behavioural
+twin.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import BASELINES
+from repro.baselines.registry import feature_table
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness.base import FitnessFunction
+from repro.fitness.functions import BF6
+
+
+def run_table1(
+    fitness: FitnessFunction | None = None,
+    evaluation_budget: int = 2048,
+    seed: int = 45890,
+) -> dict:
+    """Regenerate Table I with a measured best-fitness column."""
+    fn = fitness or BF6()
+    rows = feature_table()
+    measured: dict[str, int] = {}
+
+    for key, engine_cls in BASELINES.items():
+        result = engine_cls().run(fn, evaluation_budget)
+        measured[engine_cls.name] = result.best_fitness
+
+    # The proposed core at the same budget: pop 32, gens sized to budget.
+    pop = 32
+    gens = max(1, (evaluation_budget - pop) // (pop - 1))
+    params = GAParameters(
+        n_generations=gens,
+        population_size=pop,
+        crossover_threshold=10,
+        mutation_threshold=1,
+        rng_seed=seed,
+    )
+    proposed = BehavioralGA(params, fn).run()
+    measured["Proposed"] = proposed.best_fitness
+
+    def _tag(label: str) -> str | None:
+        """Citation tag like '[5]' shared by registry rows and engines."""
+        if "[" in label and "]" in label:
+            return label[label.index("[") : label.index("]") + 1]
+        return "Proposed" if "Proposed" in label else None
+
+    measured_by_tag = {_tag(name): value for name, value in measured.items()}
+    for row in rows:
+        row["best_fitness@budget"] = measured_by_tag.get(
+            _tag(row["work"]), "n/a (not runnable)"
+        )
+    return {
+        "id": "Table I",
+        "fitness": fn.name,
+        "budget": evaluation_budget,
+        "rows": rows,
+        "measured": measured,
+    }

@@ -1,0 +1,57 @@
+"""Table V — RT-level simulation results for BF6/F2/F3.
+
+Runs the paper's ten configurations on the *cycle-accurate* model (this is
+the RT-simulation level of the paper's flow) and reports, per run: best
+fitness, the generation where the best first appeared, and the Table V
+convergence generation, next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import convergence_generation, first_hit_generation
+from repro.core.behavioral import BehavioralGA
+from repro.core.system import GASystem
+from repro.experiments.config import TABLE5_RUNS, Table5Run
+from repro.fitness.functions import by_name
+
+
+def run_one(run: Table5Run, cycle_accurate: bool = True):
+    """Execute one Table V row; returns (GAResult, report row)."""
+    fn = by_name(run.function)
+    params = run.params()
+    if cycle_accurate:
+        result = GASystem(params, fn).run()
+    else:
+        result = BehavioralGA(params, fn).run()
+    optimum = fn.table().max()
+    row = {
+        "run": run.run,
+        "function": run.function,
+        "seed": run.seed,
+        "pop": run.population,
+        "xover_thr": run.crossover_threshold,
+        "paper_best": run.paper_best,
+        "best": result.best_fitness,
+        "optimum": int(optimum),
+        "gap%": round(100 * (int(optimum) - result.best_fitness) / int(optimum), 2),
+        "paper_conv": run.paper_convergence,
+        "found_gen": first_hit_generation(result.history),
+        "conv_gen": convergence_generation(result.history),
+    }
+    return result, row
+
+
+def run_table5(cycle_accurate: bool = True) -> dict:
+    """Regenerate all ten rows of Table V."""
+    rows = []
+    results = {}
+    for run in TABLE5_RUNS:
+        result, row = run_one(run, cycle_accurate=cycle_accurate)
+        rows.append(row)
+        results[run.run] = result
+    return {
+        "id": "Table V",
+        "level": "RT (cycle-accurate)" if cycle_accurate else "behavioural",
+        "rows": rows,
+        "results": results,
+    }

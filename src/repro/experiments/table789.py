@@ -1,0 +1,57 @@
+"""Tables VII, VIII, IX — the FPGA hardware experiment grids.
+
+24 runs per table: 6 RNG seeds x {pop 32, 64} x {crossover threshold 10,
+12}, 64 generations, mutation rate 0.0625, on mBF6_2 / mBF7_2 / mShubert2D.
+The grid runs on the behavioural twin (bit-identical to the cycle-accurate
+core, verified by the equivalence suite) so the full 72-run sweep finishes
+in seconds; `benchmarks/bench_figs13_16_hwconv.py` re-runs selected cells on
+the cycle-accurate model.
+"""
+
+from __future__ import annotations
+
+from repro.core.behavioral import BehavioralGA
+from repro.experiments.config import (
+    FPGA_GRID,
+    FPGA_SEEDS,
+    PAPER_TABLES,
+    fpga_params,
+)
+from repro.fitness.functions import by_name
+
+
+def run_fpga_table(function_name: str, record_members: bool = False) -> dict:
+    """Regenerate one of Tables VII/VIII/IX for the named function."""
+    fn = by_name(function_name)
+    paper = PAPER_TABLES.get(function_name, {})
+    optimum = int(fn.table().max())
+    rows = []
+    best_overall = (0, -1, None)  # (individual, fitness, cell)
+    optima_found = []
+
+    for seed in FPGA_SEEDS:
+        row: dict = {"seed": f"{seed:04X}"}
+        for col, (pop, xt) in enumerate(FPGA_GRID):
+            params = fpga_params(pop, xt, seed)
+            result = BehavioralGA(params, fn, record_members=record_members).run()
+            cell = f"pop{pop}/XR{xt}"
+            row[cell] = result.best_fitness
+            paper_row = paper.get(seed)
+            if paper_row is not None:
+                row[f"paper_{cell}"] = paper_row[col]
+            if result.best_fitness > best_overall[1]:
+                best_overall = (result.best_individual, result.best_fitness, (seed, cell))
+            if result.best_fitness == optimum:
+                optima_found.append((f"{seed:04X}", cell, result.best_individual))
+        rows.append(row)
+
+    table_id = {"mBF6_2": "Table VII", "mBF7_2": "Table VIII", "mShubert2D": "Table IX"}
+    return {
+        "id": table_id.get(function_name, function_name),
+        "function": function_name,
+        "optimum": optimum,
+        "rows": rows,
+        "best_overall": best_overall,
+        "gap_pct": round(100 * (optimum - best_overall[1]) / optimum, 2),
+        "optimum_hits": optima_found,
+    }

@@ -1,0 +1,57 @@
+"""Fitness functions and fitness evaluation modules (FEMs).
+
+The GA core is fitness-function agnostic: it requests evaluations over the
+``candidate``/``fit_request``/``fit_value``/``fit_valid`` handshake (ports
+8-11 of Table II) and can multiplex between up to eight FEMs via the 3-bit
+``fitfunc_select`` port.  This package provides:
+
+* the six test functions of the paper's evaluation (Sec. IV) as exact
+  integer-valued :class:`~repro.fitness.base.FitnessFunction` objects
+  (BF6, F2, F3 for the RT-level experiments; mBF6_2, mBF7_2, mShubert2D for
+  the FPGA experiments);
+* lookup-table FEMs backed by block-ROM models (the paper's FPGA approach);
+* combinational shift-add FEMs, including gate-level netlists for the
+  linear functions;
+* the 8-way internal/external fitness multiplexer of the hybrid EHW system
+  (Fig. 5).
+"""
+
+from repro.fitness.base import FitnessFunction, decode_two_vars, encode_two_vars
+from repro.fitness.functions import (
+    BF6,
+    F2,
+    F3,
+    MBF6_2,
+    MBF7_2,
+    MShubert2D,
+    REGISTRY,
+    by_name,
+)
+from repro.fitness.lookup import FitnessLookupROM, LookupFEM
+from repro.fitness.combinational import (
+    CombinationalFEM,
+    build_f2_netlist,
+    build_f3_netlist,
+)
+from repro.fitness.mux import ExternalFEMPort, FitnessMux
+
+__all__ = [
+    "FitnessFunction",
+    "decode_two_vars",
+    "encode_two_vars",
+    "BF6",
+    "F2",
+    "F3",
+    "MBF6_2",
+    "MBF7_2",
+    "MShubert2D",
+    "REGISTRY",
+    "by_name",
+    "FitnessLookupROM",
+    "LookupFEM",
+    "CombinationalFEM",
+    "build_f2_netlist",
+    "build_f3_netlist",
+    "ExternalFEMPort",
+    "FitnessMux",
+]

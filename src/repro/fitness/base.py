@@ -1,0 +1,82 @@
+"""Fitness function interface shared by all FEM styles.
+
+Chromosomes are 16-bit unsigned words (the synthesized core supports
+"chromosome encodings of length up to 16-bits", Sec. III-D).  Fitness values
+are 16-bit unsigned words, matching the ``fit_value`` port width.
+
+Two-variable functions follow the paper's convention of "equal ranges
+(0 to 255)" per variable: ``x`` occupies the high byte, ``y`` the low byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def decode_two_vars(chromosome: int | np.ndarray) -> tuple:
+    """Split a 16-bit chromosome into ``(x, y)`` with x = bits[15:8]."""
+    return (chromosome >> 8) & 0xFF, chromosome & 0xFF
+
+
+def encode_two_vars(x: int, y: int) -> int:
+    """Inverse of :func:`decode_two_vars`."""
+    if not (0 <= x <= 255 and 0 <= y <= 255):
+        raise ValueError(f"variables must be bytes, got ({x}, {y})")
+    return (x << 8) | y
+
+
+class FitnessFunction:
+    """A maximization objective over 16-bit chromosomes.
+
+    Subclasses implement :meth:`evaluate_array` (vectorised over a numpy
+    array of chromosome words); everything else — scalar calls, the full
+    65,536-entry lookup table, the optimum — derives from it.
+    """
+
+    #: Human-readable identifier (used by the experiment harness).
+    name: str = "fitness"
+    #: Number of decision variables encoded in the chromosome (1 or 2).
+    n_vars: int = 1
+
+    _table: np.ndarray | None = None
+
+    def evaluate_array(self, chromosomes: np.ndarray) -> np.ndarray:
+        """Vectorised fitness of an array of 16-bit chromosome words."""
+        raise NotImplementedError
+
+    def __call__(self, chromosome: int) -> int:
+        """Scalar fitness of one chromosome."""
+        value = self.evaluate_array(np.asarray([chromosome], dtype=np.uint32))
+        return int(value[0])
+
+    # ------------------------------------------------------------------
+    def table(self) -> np.ndarray:
+        """Fitness of every chromosome (uint16, length 65,536).
+
+        This is exactly the block-ROM image of the paper's lookup-based FEM;
+        cached because several FEMs/benches share it.
+        """
+        if self._table is None:
+            chroms = np.arange(65536, dtype=np.uint32)
+            values = self.evaluate_array(chroms)
+            if values.min() < 0 or values.max() > 0xFFFF:
+                raise ValueError(
+                    f"{self.name}: fitness range [{values.min()}, {values.max()}] "
+                    "does not fit the 16-bit fit_value port"
+                )
+            self._table = values.astype(np.uint16)
+        return self._table
+
+    def optimum(self) -> tuple[int, int]:
+        """(chromosome, fitness) of the global maximum (first argmax)."""
+        table = self.table()
+        best = int(table.argmax())
+        return best, int(table[best])
+
+    def optima(self) -> list[int]:
+        """All chromosomes achieving the global maximum."""
+        table = self.table()
+        return np.flatnonzero(table == table.max()).tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

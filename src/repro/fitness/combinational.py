@@ -1,0 +1,98 @@
+"""Combinational fitness evaluation modules.
+
+The paper notes that a lookup-based FEM "resulted in better operational
+speed than a combinational implementation" (Sec. IV-B) — implying the
+authors also built combinational FEMs.  The linear test functions F2/F3 are
+realizable exactly with shifts and adds ("floating coefficients have been
+changed so that they can be realized using shift and add"); this module
+provides:
+
+* :class:`CombinationalFEM` — a handshake FEM evaluating any Python-side
+  fitness function with single-cycle (registered) latency;
+* :func:`build_f2_netlist` / :func:`build_f3_netlist` — true gate-level
+  shift-add datapaths for F2/F3, equivalence-checked against the integer
+  semantics and usable for resource estimation.
+"""
+
+from __future__ import annotations
+
+from repro.fitness.base import FitnessFunction
+from repro.fitness.mux import FEMInterface
+from repro.hdl.component import Component
+from repro.hdl.netlist import Netlist
+from repro.hdl.rtlib import const_word, not_word, ripple_adder
+
+
+class CombinationalFEM(Component):
+    """Handshake FEM computing the fitness in combinational logic.
+
+    Responds one cycle after ``fit_request`` (the registered-output Moore
+    convention), one cycle faster than :class:`~repro.fitness.lookup.LookupFEM`.
+    """
+
+    def __init__(self, name: str, iface: FEMInterface, fn: FitnessFunction):
+        super().__init__(name)
+        self.iface = iface
+        self.fn = fn
+        self.evaluations = 0
+        self.responding = False
+
+    def clock(self) -> None:
+        io = self.iface
+        if io.fit_request.value:
+            if not self.responding:
+                self.drive(io.fit_value, self.fn(io.candidate.value))
+                self.drive(io.fit_valid, 1)
+                self.set_state(responding=True, evaluations=self.evaluations + 1)
+        elif self.responding:
+            self.drive(io.fit_valid, 0)
+            self.set_state(responding=False)
+
+    def reset(self) -> None:
+        super().reset()
+        self.evaluations = 0
+        self.responding = False
+        self.iface.fit_valid.reset()
+        self.iface.fit_value.reset()
+
+
+def _shift_pad(nl: Netlist, nets: list[int], shift: int, width: int) -> list[int]:
+    """Word of ``width`` bits equal to ``nets << shift`` (zero padded)."""
+    zero = const_word(nl, 0, 1)[0]
+    word = [zero] * shift + list(nets)
+    word = word[:width]
+    while len(word) < width:
+        word.append(zero)
+    return word
+
+
+def build_f3_netlist() -> Netlist:
+    """Gate-level F3 FEM: ``fitness = (x << 3) + (y << 2)``."""
+    nl = Netlist("fem_f3")
+    cand = nl.add_input("candidate", 16)
+    x, y = cand[8:16], cand[0:8]
+    x8 = _shift_pad(nl, x, 3, 16)
+    y4 = _shift_pad(nl, y, 2, 16)
+    total, _ = ripple_adder(nl, x8, y4)
+    nl.add_output("fitness", total)
+    return nl
+
+
+def build_f2_netlist() -> Netlist:
+    """Gate-level F2 FEM: ``fitness = (x << 3) - (y << 2) + 1020``.
+
+    Subtraction is two's complement: ``a - b = a + ~b + 1`` with the +1
+    folded into the carry-in; the result always lies in [0, 3060] so the
+    16-bit wrap never engages.
+    """
+    nl = Netlist("fem_f2")
+    cand = nl.add_input("candidate", 16)
+    x, y = cand[8:16], cand[0:8]
+    x8 = _shift_pad(nl, x, 3, 16)
+    y4 = _shift_pad(nl, y, 2, 16)
+    bias = const_word(nl, 1020, 16)
+    partial, _ = ripple_adder(nl, x8, bias)
+    one = const_word(nl, 1, 1)[0]
+    total, _ = ripple_adder(nl, partial, not_word(nl, y4), cin=one)
+    nl.add_output("fitness", total)
+    return nl

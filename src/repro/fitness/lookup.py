@@ -1,0 +1,87 @@
+"""Lookup-table fitness evaluation modules (the paper's FPGA approach).
+
+"In the lookup-based fitness computation method, block ROMs within the FPGA
+device are populated with the fitness values corresponding to each solution
+encoding" (Sec. IV-B).  :class:`FitnessLookupROM` builds that ROM image from
+any :class:`~repro.fitness.base.FitnessFunction`; :class:`LookupFEM` is the
+cycle-accurate FEM component that serves the two-way handshake out of it
+with the one-cycle block-ROM read latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fitness.base import FitnessFunction
+from repro.fitness.mux import FEMInterface
+from repro.hdl.component import Component
+from repro.hdl.memory import BRAM_BITS
+
+
+class FitnessLookupROM:
+    """Block-ROM image of a fitness function (65,536 x 16-bit words)."""
+
+    def __init__(self, fn: FitnessFunction):
+        self.fn = fn
+        self.contents: np.ndarray = fn.table()
+
+    @property
+    def depth(self) -> int:
+        return len(self.contents)
+
+    @property
+    def width(self) -> int:
+        return 16
+
+    def storage_bits(self) -> int:
+        """ROM footprint in bits (1 Mb for a full 16-bit encoding)."""
+        return self.depth * self.width
+
+    def bram_count(self) -> int:
+        """18 Kb block-RAM primitives needed on the Virtex-II Pro."""
+        return -(-self.storage_bits() // BRAM_BITS)
+
+    def __getitem__(self, chromosome: int) -> int:
+        return int(self.contents[chromosome & 0xFFFF])
+
+
+class LookupFEM(Component):
+    """Lookup-based fitness evaluation module with handshake FSM.
+
+    Protocol (Sec. III-B.7): the GA core places the individual on the
+    candidate bus and asserts ``fit_request``; this module reads the
+    candidate, looks the fitness up (one ROM cycle), places it on
+    ``fit_value`` and asserts ``fit_valid``; the core latches and de-asserts
+    ``fit_request``; the module then de-asserts ``fit_valid``.
+    """
+
+    def __init__(self, name: str, iface: FEMInterface, fn: FitnessFunction):
+        super().__init__(name)
+        self.iface = iface
+        self.rom = FitnessLookupROM(fn)
+        self.state = "IDLE"
+        self.latched = 0
+        self.evaluations = 0
+
+    def clock(self) -> None:
+        io = self.iface
+        if self.state == "IDLE":
+            if io.fit_request.value:
+                # Latch the candidate; the ROM read takes the next cycle.
+                self.set_state(state="LOOKUP", latched=io.candidate.value)
+        elif self.state == "LOOKUP":
+            self.drive(io.fit_value, self.rom[self.latched])
+            self.drive(io.fit_valid, 1)
+            self.set_state(state="HOLD", evaluations=self.evaluations + 1)
+        elif self.state == "HOLD":
+            if not io.fit_request.value:
+                self.drive(io.fit_valid, 0)
+                self.set_state(state="IDLE")
+
+    def reset(self) -> None:
+        super().reset()
+        self.state = "IDLE"
+        self.latched = 0
+        self.evaluations = 0
+        self.iface.fit_valid.reset()
+        self.iface.fit_value.reset()

@@ -1,0 +1,120 @@
+"""8-way fitness-function multiplexing (Sec. III-B.5 and Fig. 5).
+
+"The GA core can handle up to eight different fitness evaluation modules,
+and the user can select the required fitness evaluation module by providing
+a 3-bit fitness selection value."  Slots may be *internal* (FEMs synthesized
+next to the core) or *external* (a FEM on another chip/board, reached
+through the ``fit_value_ext``/``fit_valid_ext`` pins of Table II) — this is
+what makes the hybrid intrinsic-EHW system of Fig. 5 possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.component import Component
+from repro.hdl.signal import Signal
+
+#: Width of the fitfunc_select port (Table II row 23).
+SELECT_WIDTH = 3
+#: Maximum number of fitness-function slots (2**SELECT_WIDTH).
+MAX_SLOTS = 1 << SELECT_WIDTH
+
+
+@dataclass
+class FEMInterface:
+    """The four-signal fitness handshake bundle (Table II rows 8-11)."""
+
+    candidate: Signal
+    fit_request: Signal
+    fit_value: Signal
+    fit_valid: Signal
+
+    @classmethod
+    def create(cls, prefix: str) -> "FEMInterface":
+        """Fresh signal bundle with conventional names/widths."""
+        return cls(
+            candidate=Signal(f"{prefix}.candidate", 16),
+            fit_request=Signal(f"{prefix}.fit_request", 1),
+            fit_value=Signal(f"{prefix}.fit_value", 16),
+            fit_valid=Signal(f"{prefix}.fit_valid", 1),
+        )
+
+
+@dataclass
+class ExternalFEMPort:
+    """Pins for a fitness module housed on another chip or board.
+
+    ``fit_value_ext`` / ``fit_valid_ext`` are Table II rows 24-25; the
+    candidate and request reach the external module through the shared
+    candidate bus and ``fit_request`` (shown bold in Fig. 5).
+    """
+
+    fit_value_ext: Signal
+    fit_valid_ext: Signal
+
+    @classmethod
+    def create(cls, prefix: str = "ext") -> "ExternalFEMPort":
+        return cls(
+            fit_value_ext=Signal(f"{prefix}.fit_value_ext", 16),
+            fit_valid_ext=Signal(f"{prefix}.fit_valid_ext", 1),
+        )
+
+
+class FitnessMux(Component):
+    """Routes the GA-side handshake to the selected FEM slot.
+
+    ``slots`` maps select values (0-7) to internal :class:`FEMInterface`
+    bundles; select values present in ``external`` route the response path
+    to the external pins instead.  Routing is registered (one cycle each
+    way), which the latency-insensitive handshake absorbs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ga_side: FEMInterface,
+        select: Signal,
+        slots: dict[int, FEMInterface] | None = None,
+        external: dict[int, ExternalFEMPort] | None = None,
+    ):
+        super().__init__(name)
+        self.ga_side = ga_side
+        self.select = select
+        self.slots = dict(slots or {})
+        self.external = dict(external or {})
+        overlap = set(self.slots) & set(self.external)
+        if overlap:
+            raise ValueError(f"slots {sorted(overlap)} are both internal and external")
+        for index in list(self.slots) + list(self.external):
+            if not 0 <= index < MAX_SLOTS:
+                raise ValueError(f"slot index {index} out of range 0..{MAX_SLOTS - 1}")
+
+    def clock(self) -> None:
+        sel = self.select.value
+        # Forward path: candidate + request to the selected internal FEM
+        # (external FEMs observe the shared candidate/request pins directly).
+        for index, iface in self.slots.items():
+            if index == sel:
+                self.drive(iface.candidate, self.ga_side.candidate.value)
+                self.drive(iface.fit_request, self.ga_side.fit_request.value)
+            else:
+                self.drive(iface.fit_request, 0)
+        # Return path: value + valid from the selected source.
+        if sel in self.slots:
+            src = self.slots[sel]
+            self.drive(self.ga_side.fit_value, src.fit_value.value)
+            self.drive(self.ga_side.fit_valid, src.fit_valid.value)
+        elif sel in self.external:
+            ext = self.external[sel]
+            self.drive(self.ga_side.fit_value, ext.fit_value_ext.value)
+            self.drive(self.ga_side.fit_valid, ext.fit_valid_ext.value)
+        else:
+            self.drive(self.ga_side.fit_valid, 0)
+
+    def reset(self) -> None:
+        super().reset()
+        self.ga_side.fit_valid.reset()
+        self.ga_side.fit_value.reset()
+        for iface in self.slots.values():
+            iface.fit_request.reset()

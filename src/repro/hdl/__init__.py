@@ -1,0 +1,64 @@
+"""Cycle-accurate hardware simulation substrate.
+
+This package is the Python stand-in for the paper's VHDL/Verilog design
+levels.  It provides two worlds and a bridge between them:
+
+* A **cycle-accurate synchronous kernel** (:mod:`repro.hdl.signal`,
+  :mod:`repro.hdl.component`, :mod:`repro.hdl.simulator`,
+  :mod:`repro.hdl.register`, :mod:`repro.hdl.memory`, :mod:`repro.hdl.fsm`)
+  used to model the GA IP core, its memories, the RNG module, and the
+  handshake protocols of Table II at clock-cycle granularity.  All component
+  outputs are registered (Moore style) and updated with two-phase
+  ``clock()``/``commit()`` semantics, which mirrors how the synthesized
+  netlist behaves between rising clock edges.
+
+* A **gate-level netlist world** (:mod:`repro.hdl.gates`,
+  :mod:`repro.hdl.netlist`, :mod:`repro.hdl.rtlib`, :mod:`repro.hdl.flatten`,
+  :mod:`repro.hdl.scan`) with the same primitive alphabet the paper's
+  flattening flow emits (``NAND``, ``NOR``, ``AND``, ``OR``, ``XOR``,
+  ``SCAN_REGISTER``), structural generators for the datapath blocks of the
+  GA core, RTL-to-gate flattening, scan-chain insertion, and netlist
+  simulation for equivalence checking.
+
+The resource estimator in :mod:`repro.analysis.resources` consumes gate-level
+netlists produced here to regenerate Table VI of the paper.
+"""
+
+from repro.hdl.signal import Signal, SignalConflictError
+from repro.hdl.component import Component
+from repro.hdl.simulator import Simulator, SimulationTimeout
+from repro.hdl.register import Register, Counter
+from repro.hdl.memory import SinglePortRAM, BlockROM
+from repro.hdl.fsm import MooreFSM
+from repro.hdl.gates import GateType, Gate
+from repro.hdl.netlist import Netlist, NetlistError
+from repro.hdl.scan import Stepper, insert_scan_chain, scan_dump, scan_load
+from repro.hdl.export import lint, read_netlist, write_netlist
+from repro.hdl.optimize import optimize
+from repro.hdl.vcd import VCDRecorder
+
+__all__ = [
+    "Signal",
+    "SignalConflictError",
+    "Component",
+    "Simulator",
+    "SimulationTimeout",
+    "Register",
+    "Counter",
+    "SinglePortRAM",
+    "BlockROM",
+    "MooreFSM",
+    "GateType",
+    "Gate",
+    "Netlist",
+    "NetlistError",
+    "Stepper",
+    "insert_scan_chain",
+    "scan_dump",
+    "scan_load",
+    "lint",
+    "read_netlist",
+    "write_netlist",
+    "optimize",
+    "VCDRecorder",
+]

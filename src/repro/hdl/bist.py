@@ -1,0 +1,147 @@
+"""Memory built-in self test: march algorithms for the GA memory.
+
+The GA memory is a 256 x 32-bit single-port block RAM; a fabricated ASIC
+(Sec. V) would test it with a march algorithm rather than scan.  This
+module implements **MATS+** and **March C-** over any
+:class:`~repro.hdl.memory.SinglePortRAM`, with a fault-injection harness
+(stuck-at cells, coupling faults) proving the algorithms detect what they
+claim to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hdl.memory import SinglePortRAM
+
+
+@dataclass
+class MarchResult:
+    """Outcome of a march test."""
+
+    algorithm: str
+    passed: bool
+    operations: int
+    first_failure: tuple[int, int, int] | None = None  # (addr, expect, got)
+
+
+class MemoryHarness:
+    """Direct read/write access to a RAM model with optional fault hooks.
+
+    ``stuck_bits`` maps (address, bit) -> forced value;
+    ``coupling`` maps aggressor address -> (victim address, bit): writing
+    the aggressor flips the victim's bit (an idempotent coupling fault).
+    """
+
+    def __init__(self, ram: SinglePortRAM):
+        self.ram = ram
+        self.stuck_bits: dict[tuple[int, int], int] = {}
+        self.coupling: dict[int, tuple[int, int]] = {}
+        self.operations = 0
+
+    # fault injection -----------------------------------------------------
+    def inject_stuck_bit(self, addr: int, bit: int, value: int) -> None:
+        self.stuck_bits[(addr, bit)] = value & 1
+
+    def inject_coupling(self, aggressor: int, victim: int, bit: int) -> None:
+        self.coupling[aggressor] = (victim, bit)
+
+    # faulty accesses -----------------------------------------------------
+    def write(self, addr: int, value: int) -> None:
+        self.operations += 1
+        self.ram.data[addr] = value & ((1 << self.ram.width) - 1)
+        self._apply_stuck(addr)
+        if addr in self.coupling:
+            victim, bit = self.coupling[addr]
+            self.ram.data[victim] ^= 1 << bit
+
+    def read(self, addr: int) -> int:
+        self.operations += 1
+        self._apply_stuck(addr)
+        return self.ram.data[addr]
+
+    def _apply_stuck(self, addr: int) -> None:
+        for (a, bit), value in self.stuck_bits.items():
+            if a == addr:
+                word = self.ram.data[addr]
+                word = (word & ~(1 << bit)) | (value << bit)
+                self.ram.data[addr] = word
+
+
+def _march(
+    harness: MemoryHarness,
+    algorithm: str,
+    elements: list[tuple[str, list[Callable[[MemoryHarness, int, int], tuple[bool, int]]]]],
+    background: int,
+    width_mask: int,
+) -> MarchResult:
+    depth = harness.ram.depth
+    for element_dir, ops in elements:
+        addresses = range(depth) if element_dir == "up" else range(depth - 1, -1, -1)
+        for addr in addresses:
+            for op in ops:
+                ok, got = op(harness, addr, width_mask)
+                if not ok:
+                    return MarchResult(
+                        algorithm, False, harness.operations,
+                        first_failure=(addr, got >> 32, got & 0xFFFFFFFF),
+                    )
+    return MarchResult(algorithm, True, harness.operations)
+
+
+def _r(expected: int):
+    def op(h: MemoryHarness, addr: int, mask: int):
+        got = h.read(addr)
+        want = expected & mask
+        return got == want, (want << 32) | got
+
+    return op
+
+
+def _w(value: int):
+    def op(h: MemoryHarness, addr: int, mask: int):
+        h.write(addr, value & mask)
+        return True, 0
+
+    return op
+
+
+def mats_plus(harness: MemoryHarness) -> MarchResult:
+    """MATS+: {up(w0); up(r0,w1); down(r1,w0)} — detects all stuck-at and
+    address-decoder faults in 5N operations."""
+    mask = (1 << harness.ram.width) - 1
+    ones = mask
+    return _march(
+        harness,
+        "MATS+",
+        [
+            ("up", [_w(0)]),
+            ("up", [_r(0), _w(ones)]),
+            ("down", [_r(ones), _w(0)]),
+        ],
+        background=0,
+        width_mask=mask,
+    )
+
+
+def march_c_minus(harness: MemoryHarness) -> MarchResult:
+    """March C-: {up(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0);
+    up(r0)} — additionally detects unlinked idempotent coupling faults in
+    10N operations."""
+    mask = (1 << harness.ram.width) - 1
+    ones = mask
+    return _march(
+        harness,
+        "March C-",
+        [
+            ("up", [_w(0)]),
+            ("up", [_r(0), _w(ones)]),
+            ("up", [_r(ones), _w(0)]),
+            ("down", [_r(0), _w(ones)]),
+            ("down", [_r(ones), _w(0)]),
+            ("up", [_r(0)]),
+        ],
+        background=0,
+        width_mask=mask,
+    )

@@ -1,0 +1,71 @@
+"""Base class for synchronous hardware components.
+
+Every module of the reproduced system (GA core, GA memory, RNG module,
+initialization module, application/FEM module) derives from
+:class:`Component`.  A component owns internal state attributes and drives
+output :class:`~repro.hdl.signal.Signal` objects.  The simulator calls
+:meth:`Component.clock` on every due rising edge; the component reads input
+signal values (all pre-edge) and calls :meth:`drive` / :meth:`set_state` to
+queue its reaction, which the simulator later commits.  This models a Moore
+machine: outputs change one cycle after the inputs that caused them, exactly
+like the registered outputs of the synthesized IP core.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hdl.signal import Signal
+
+
+class Component:
+    """A clocked hardware component with two-phase update semantics."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._drives: list[tuple[Signal, int]] = []
+        self._next_state: dict[str, Any] = {}
+        self.cycles: int = 0
+
+    # ------------------------------------------------------------------
+    # Phase 1 (observe): subclasses implement clock();
+    # helpers below queue effects without mutating visible state.
+    # ------------------------------------------------------------------
+    def clock(self) -> None:
+        """React to a rising clock edge.  Subclasses read input signals and
+        queue effects with :meth:`drive` and :meth:`set_state`."""
+        raise NotImplementedError
+
+    def drive(self, signal: Signal, value: int) -> None:
+        """Queue ``signal <= value`` for commit at the end of this cycle."""
+        signal.queue(value, driver=self.name)
+        self._drives.append((signal, value))
+
+    def set_state(self, **updates: Any) -> None:
+        """Queue attribute updates (the component's internal registers)."""
+        self._next_state.update(updates)
+
+    # ------------------------------------------------------------------
+    # Phase 2 (commit): applied by the simulator after all due components
+    # have clocked.
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Apply queued signal drives and internal state updates."""
+        for signal, _ in self._drives:
+            signal.apply()
+        self._drives.clear()
+        if self._next_state:
+            for key, val in self._next_state.items():
+                setattr(self, key, val)
+            self._next_state.clear()
+        self.cycles += 1
+
+    def reset(self) -> None:
+        """Return to the power-on state.  Subclasses must restore their
+        internal registers and call ``super().reset()``."""
+        self._drives.clear()
+        self._next_state.clear()
+        self.cycles = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

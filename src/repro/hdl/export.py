@@ -1,0 +1,174 @@
+"""Gate-level netlist export/import — the soft-IP deliverable.
+
+"The core is soft in nature i.e., a gate-level netlist is provided which can
+be readily integrated with the user's system."  This module writes a
+:class:`~repro.hdl.netlist.Netlist` as a structural Verilog-style text file
+over the paper's cell alphabet (NAND/NOR/AND/OR/XOR/... + SCAN_REGISTER)
+and parses it back, with a round-trip guarantee (property-tested).
+
+The emitted dialect is deliberately plain — one cell instance per line,
+named ports — so it diffs cleanly and resembles what the paper's flattening
+scripts produce from SIS output.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.hdl.gates import DFF, Gate, GateType
+from repro.hdl.netlist import Netlist, NetlistError
+
+_CELL_NAMES = {
+    GateType.AND: "AND2",
+    GateType.OR: "OR2",
+    GateType.NAND: "NAND2",
+    GateType.NOR: "NOR2",
+    GateType.XOR: "XOR2",
+    GateType.XNOR: "XNOR2",
+    GateType.NOT: "INV",
+    GateType.BUF: "BUF",
+    GateType.CONST0: "TIE0",
+    GateType.CONST1: "TIE1",
+}
+_CELLS_BY_NAME = {v: k for k, v in _CELL_NAMES.items()}
+
+#: Sequential cell name; becomes SCAN_REGISTER when a chain is present.
+_DFF_CELL = "DFF"
+_SCAN_CELL = "SCAN_REGISTER"
+
+
+def write_netlist(netlist: Netlist) -> str:
+    """Serialize a netlist to the structural text format."""
+    lines = [f"module {netlist.name};"]
+    for port, nets in netlist.inputs.items():
+        lines.append(f"  input [{len(nets)-1}:0] {port} = {_netvec(nets)};")
+    for port, nets in netlist.outputs.items():
+        lines.append(f"  output [{len(nets)-1}:0] {port} = {_netvec(nets)};")
+    lines.append(f"  nets {netlist.net_count};")
+    for i, gate in enumerate(netlist.gates):
+        cell = _CELL_NAMES[gate.type]
+        ins = " ".join(f"n{n}" for n in gate.inputs)
+        lines.append(f"  {cell} g{i} (n{gate.output}{' ' if ins else ''}{ins});")
+    for i, dff in enumerate(netlist.dffs):
+        cell = _SCAN_CELL if dff.scan_index >= 0 else _DFF_CELL
+        extra = f" scan={dff.scan_index}" if dff.scan_index >= 0 else ""
+        lines.append(
+            f"  {cell} r{i} (q=n{dff.q} d=n{dff.d} init={dff.init}{extra});"
+        )
+    if netlist.scan_ports is not None:
+        t, si, so = netlist.scan_ports
+        lines.append(f"  scan_chain test=n{t} scanin=n{si} scanout=n{so};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _netvec(nets: Iterable[int]) -> str:
+    return "{" + ",".join(f"n{n}" for n in nets) + "}"
+
+
+_PORT_RE = re.compile(
+    r"^\s*(input|output) \[\d+:0\] (\S+) = \{([^}]*)\};\s*$"
+)
+_GATE_RE = re.compile(r"^\s*(\w+) g\d+ \(n(\d+)((?: n\d+)*)\);\s*$")
+_DFF_RE = re.compile(
+    r"^\s*(DFF|SCAN_REGISTER) r\d+ \(q=n(\d+) d=n(\d+) init=(\d)(?: scan=(\d+))?\);\s*$"
+)
+_SCAN_RE = re.compile(r"^\s*scan_chain test=n(\d+) scanin=n(\d+) scanout=n(\d+);\s*$")
+
+
+def read_netlist(text: str) -> Netlist:
+    """Parse the structural text format back into a Netlist."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines or not lines[0].startswith("module "):
+        raise NetlistError("missing module header")
+    nl = Netlist(lines[0].split()[1].rstrip(";"))
+
+    net_count = None
+    for line in lines[1:]:
+        if line.strip() == "endmodule":
+            break
+        match = _PORT_RE.match(line)
+        if match:
+            direction, port, vec = match.groups()
+            nets = [int(tok.strip()[1:]) for tok in vec.split(",") if tok.strip()]
+            if direction == "input":
+                nl.inputs[port] = nets
+            else:
+                nl.outputs[port] = nets
+            continue
+        if line.strip().startswith("nets "):
+            net_count = int(line.strip().split()[1].rstrip(";"))
+            nl.net_count = net_count
+            continue
+        match = _GATE_RE.match(line)
+        if match:
+            cell, out, ins = match.groups()
+            if cell not in _CELLS_BY_NAME:
+                raise NetlistError(f"unknown cell {cell!r}")
+            inputs = tuple(int(tok[1:]) for tok in ins.split())
+            nl.gates.append(Gate(_CELLS_BY_NAME[cell], inputs, int(out)))
+            nl._driven.add(int(out))
+            continue
+        match = _DFF_RE.match(line)
+        if match:
+            _cell, q, d, init, scan = match.groups()
+            nl.dffs.append(
+                DFF(
+                    d=int(d),
+                    q=int(q),
+                    init=int(init),
+                    scan_index=int(scan) if scan is not None else -1,
+                )
+            )
+            nl._driven.add(int(q))
+            continue
+        match = _SCAN_RE.match(line)
+        if match:
+            nl.scan_ports = tuple(int(g) for g in match.groups())  # type: ignore[assignment]
+            continue
+        raise NetlistError(f"unparseable line: {line!r}")
+    if net_count is None:
+        raise NetlistError("missing nets declaration")
+    for nets in nl.inputs.values():
+        nl._driven.update(nets)
+    return nl
+
+
+# ----------------------------------------------------------------------
+# lint: integration checks a soft-IP consumer runs before synthesis
+# ----------------------------------------------------------------------
+def lint(netlist: Netlist) -> list[str]:
+    """Structural checks: multiple drivers, floating nets, dangling
+    outputs, combinational cycles.  Returns a list of human-readable
+    problems (empty = clean)."""
+    problems: list[str] = []
+    drivers: dict[int, int] = {}
+    for gate in netlist.gates:
+        drivers[gate.output] = drivers.get(gate.output, 0) + 1
+    for dff in netlist.dffs:
+        drivers[dff.q] = drivers.get(dff.q, 0) + 1
+    for nets in netlist.inputs.values():
+        for n in nets:
+            drivers[n] = drivers.get(n, 0) + 1
+
+    for net, count in drivers.items():
+        if count > 1:
+            problems.append(f"net n{net} has {count} drivers")
+
+    used: set[int] = set()
+    for gate in netlist.gates:
+        used.update(gate.inputs)
+    for dff in netlist.dffs:
+        used.add(dff.d)
+    for nets in netlist.outputs.values():
+        used.update(nets)
+    for net in used:
+        if net not in drivers:
+            problems.append(f"net n{net} is read but never driven")
+
+    try:
+        netlist.topo_order()
+    except NetlistError as exc:
+        problems.append(str(exc))
+    return problems

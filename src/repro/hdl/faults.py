@@ -1,0 +1,228 @@
+"""Stuck-at fault simulation and scan-based test generation.
+
+The scan chain of Sec. III-C.2 exists to make the flattened core testable:
+with every register controllable/observable through the chain, testing the
+chip reduces to testing the *combinational* logic between flops.  This
+module provides that manufacturing-test substrate:
+
+* the single stuck-at-0/1 fault model over all driven nets;
+* serial fault simulation under the scan-test model (flop outputs are
+  pseudo-inputs, flop inputs are pseudo-outputs);
+* random-pattern test generation with plateau detection — the standard way
+  scan vectors for a datapath like this are produced;
+* coverage reporting for the full flattened GA core (exercised by the
+  example and the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.hdl.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault on one net."""
+
+    net: int
+    stuck_at: int  # 0 or 1
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"n{self.net}/SA{self.stuck_at}"
+
+
+@dataclass
+class TestVector:
+    """One scan-test pattern: values for primary inputs and flop states."""
+
+    #: Keep pytest from trying to collect this as a test class.
+    __test__ = False
+
+    inputs: dict[str, int]
+    flops: list[int]
+
+
+def enumerate_faults(netlist: Netlist) -> list[Fault]:
+    """All single stuck-at faults on driven nets (gate outputs, flop
+    outputs, primary inputs).
+
+    Trivially untestable faults are excluded: a tie cell's output stuck at
+    its own constant value is undetectable by construction (constant-rich
+    structures like the thermometer decoders still contain *logically*
+    redundant faults beyond this filter — reported as undetected).
+    """
+    from repro.hdl.gates import GateType
+
+    const_value: dict[int, int] = {}
+    for gate in netlist.gates:
+        if gate.type == GateType.CONST0:
+            const_value[gate.output] = 0
+        elif gate.type == GateType.CONST1:
+            const_value[gate.output] = 1
+
+    nets: set[int] = set()
+    for gate in netlist.gates:
+        nets.add(gate.output)
+        nets.update(gate.inputs)
+    for dff in netlist.dffs:
+        nets.add(dff.q)
+        nets.add(dff.d)
+    for port_nets in netlist.inputs.values():
+        nets.update(port_nets)
+    return [
+        Fault(net, sa)
+        for net in sorted(nets)
+        for sa in (0, 1)
+        if const_value.get(net) != sa
+    ]
+
+
+def _observe(netlist: Netlist, vector: TestVector, fault: Fault | None) -> tuple:
+    """Combinational response under the scan-test model.
+
+    Returns (primary output values..., flop D values...) with the optional
+    fault injected.  Flop Q nets take the scanned-in state.
+    """
+    values = [0] * netlist.net_count
+    netlist._apply_inputs(values, vector.inputs)
+    for dff, state in zip(netlist.dffs, vector.flops):
+        values[dff.q] = state
+    if fault is not None:
+        values[fault.net] = fault.stuck_at
+    for gate in netlist.topo_order():
+        out = gate.evaluate(values)
+        if fault is not None and gate.output == fault.net:
+            out = fault.stuck_at
+        values[gate.output] = out
+    pos = tuple(
+        tuple(values[n] for n in nets) for nets in netlist.outputs.values()
+    )
+    pseudo = tuple(values[dff.d] for dff in netlist.dffs)
+    return pos + (pseudo,)
+
+
+def sample_faults(netlist: Netlist, n: int, seed: int = 1) -> list[Fault]:
+    """A uniform random sample of the fault universe.
+
+    Fault *sampling* is the standard industry technique for estimating
+    coverage on designs too large for full serial fault simulation: the
+    sampled coverage is an unbiased estimate of the true coverage.
+    """
+    universe = enumerate_faults(netlist)
+    if n >= len(universe):
+        return universe
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(universe), size=n, replace=False)
+    return [universe[i] for i in sorted(picks)]
+
+
+def detects(netlist: Netlist, vector: TestVector, fault: Fault) -> bool:
+    """True when the vector's observed response differs from the fault-free
+    machine's — the fault is detected."""
+    return _observe(netlist, vector, None) != _observe(netlist, vector, fault)
+
+
+@dataclass
+class CoverageReport:
+    """Outcome of fault simulation over a vector set."""
+
+    total_faults: int
+    detected: int
+    vectors_used: int
+    undetected: list[Fault]
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total_faults if self.total_faults else 1.0
+
+
+def fault_simulate(
+    netlist: Netlist,
+    vectors: Iterable[TestVector],
+    faults: list[Fault] | None = None,
+) -> CoverageReport:
+    """Serial fault simulation with fault dropping."""
+    faults = faults if faults is not None else enumerate_faults(netlist)
+    remaining = set(faults)
+    used = 0
+    for vector in vectors:
+        used += 1
+        good = _observe(netlist, vector, None)
+        dropped = [
+            f for f in remaining if _observe(netlist, vector, f) != good
+        ]
+        remaining.difference_update(dropped)
+        if not remaining:
+            break
+    return CoverageReport(
+        total_faults=len(faults),
+        detected=len(faults) - len(remaining),
+        vectors_used=used,
+        undetected=sorted(remaining, key=lambda f: (f.net, f.stuck_at)),
+    )
+
+
+def random_vectors(
+    netlist: Netlist, count: int, seed: int = 1
+) -> list[TestVector]:
+    """Random scan patterns (what an LFSR-based BIST would feed)."""
+    rng = np.random.default_rng(seed)
+    vectors = []
+    for _ in range(count):
+        inputs = {
+            port: int(rng.integers(0, 1 << len(nets)))
+            for port, nets in netlist.inputs.items()
+        }
+        flops = [int(b) for b in rng.integers(0, 2, size=len(netlist.dffs))]
+        vectors.append(TestVector(inputs=inputs, flops=flops))
+    return vectors
+
+
+def generate_tests(
+    netlist: Netlist,
+    target_coverage: float = 0.95,
+    batch: int = 32,
+    max_vectors: int = 2048,
+    seed: int = 1,
+    faults: list[Fault] | None = None,
+) -> tuple[list[TestVector], CoverageReport]:
+    """Random-pattern ATPG: grow the vector set until the coverage target
+    or the budget is reached.  Returns (kept vectors, final report).
+
+    Only vectors that detect at least one new fault are kept (test
+    compaction), mirroring production scan-vector generation.  Pass a
+    ``faults`` subset (e.g. from :func:`sample_faults`) to run in
+    fault-sampling mode on large designs.
+    """
+    faults = faults if faults is not None else enumerate_faults(netlist)
+    remaining = set(faults)
+    kept: list[TestVector] = []
+    produced = 0
+    batch_seed = seed
+    while remaining and produced < max_vectors:
+        coverage = 1 - len(remaining) / len(faults)
+        if coverage >= target_coverage:
+            break
+        for vector in random_vectors(netlist, batch, seed=batch_seed):
+            produced += 1
+            good = _observe(netlist, vector, None)
+            dropped = [
+                f for f in remaining if _observe(netlist, vector, f) != good
+            ]
+            if dropped:
+                remaining.difference_update(dropped)
+                kept.append(vector)
+            if not remaining or produced >= max_vectors:
+                break
+        batch_seed += 1
+    report = CoverageReport(
+        total_faults=len(faults),
+        detected=len(faults) - len(remaining),
+        vectors_used=len(kept),
+        undetected=sorted(remaining, key=lambda f: (f.net, f.stuck_at)),
+    )
+    return kept, report

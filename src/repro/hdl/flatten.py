@@ -1,0 +1,148 @@
+"""RTL-to-gate flattening: merging structural blocks into one netlist.
+
+The paper's flow flattens the RT-level design into a single gate-level
+Verilog netlist (Fig. 1).  Here :func:`merge` splices one block netlist into
+a parent, remapping nets; :func:`flatten_ga_datapath` assembles the complete
+GA-core datapath (the muxes/adders/comparators/crossover/mutation/RNG blocks
+plus all architectural registers) into one flat netlist.  That flat netlist
+is what the scan-chain inserter and the Table VI resource estimator consume.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.gates import DFF, Gate
+from repro.hdl.netlist import Netlist, NetlistError
+from repro.hdl import rtlib
+
+
+def merge(
+    parent: Netlist,
+    block: Netlist,
+    prefix: str,
+    connections: dict[str, list[int]] | None = None,
+    expose_outputs: bool = True,
+) -> dict[str, list[int]]:
+    """Splice ``block`` into ``parent``.
+
+    ``connections`` maps block input-port names to existing parent nets;
+    unconnected block inputs become new parent inputs named
+    ``{prefix}.{port}``.  Returns a mapping of the block's output ports to
+    their new parent nets; when ``expose_outputs`` these also become parent
+    output ports.
+    """
+    connections = connections or {}
+    remap: dict[int, int] = {}
+
+    def map_net(old: int) -> int:
+        if old not in remap:
+            name = block.net_names.get(old, "")
+            remap[old] = parent.net(f"{prefix}.{name}" if name else "")
+        return remap[old]
+
+    for port, nets in block.inputs.items():
+        if port in connections:
+            if len(connections[port]) != len(nets):
+                raise NetlistError(
+                    f"merge {block.name!r}: port {port!r} width mismatch "
+                    f"({len(connections[port])} vs {len(nets)})"
+                )
+            for old, new in zip(nets, connections[port]):
+                remap[old] = new
+        else:
+            new_nets = parent.add_input(f"{prefix}.{port}", len(nets))
+            for old, new in zip(nets, new_nets):
+                remap[old] = new
+
+    for gate in block.gates:
+        out = map_net(gate.output)
+        ins = tuple(map_net(i) for i in gate.inputs)
+        parent.gates.append(Gate(gate.type, ins, out))
+        parent._driven.add(out)
+    for dff in block.dffs:
+        parent.dffs.append(
+            DFF(
+                d=map_net(dff.d),
+                q=map_net(dff.q),
+                init=dff.init,
+                name=f"{prefix}.{dff.name}" if dff.name else "",
+            )
+        )
+        parent._driven.add(remap[dff.q])
+
+    parent._order = None
+    out_ports: dict[str, list[int]] = {}
+    for port, nets in block.outputs.items():
+        mapped = [map_net(n) for n in nets]
+        out_ports[port] = mapped
+        if expose_outputs:
+            parent.add_output(f"{prefix}.{port}", mapped)
+    return out_ports
+
+
+#: Architectural register inventory of the GA core (width, count, purpose).
+#: These are the registers the AUDI-synthesized controller/datapath carries
+#: beyond the library blocks; they are flattened as plain DFF groups.
+GA_CORE_REGISTERS: list[tuple[str, int, int]] = [
+    ("num_generations", 32, 1),  # Table III indices 0-1
+    ("population_size", 16, 1),  # Table III index 2
+    ("crossover_threshold", 4, 1),  # Table III index 3
+    ("mutation_threshold", 4, 1),  # Table III index 4
+    ("rng_seed", 16, 1),  # Table III index 5
+    ("generation_index", 32, 1),
+    ("population_index", 8, 2),  # current / new population fill counters
+    ("mem_address", 8, 1),
+    ("parent", 16, 2),
+    ("offspring", 16, 2),
+    ("candidate_out", 16, 1),
+    ("best_individual", 16, 1),
+    ("best_fitness", 16, 1),
+    ("gen_best_individual", 16, 1),
+    ("gen_best_fitness", 16, 1),
+    ("fitness_sum", 32, 2),  # current population / accumulating new population
+    ("cumulative_sum", 32, 1),
+    ("selection_threshold", 32, 1),
+    ("fit_value_latch", 16, 1),
+    ("fsm_state", 6, 1),
+    ("handshake_flags", 4, 1),
+]
+
+
+def flatten_ga_datapath(rule_vector: int = 0x6C04) -> Netlist:
+    """Build the flattened gate-level GA-core datapath.
+
+    Instantiates every rtlib block the GA optimisation cycle uses (Fig. 2)
+    plus the architectural registers above, producing the single flat
+    netlist the resource estimator and scan-chain tooling operate on.
+    """
+    top = Netlist("ga_core_flat")
+    blocks: list[tuple[str, Netlist]] = [
+        # fitness-sum and cumulative-sum accumulators (32-bit, Sec. III-B.2)
+        ("acc_sum", rtlib.build_adder(32)),
+        ("acc_cum", rtlib.build_adder(32)),
+        # selection threshold comparator (cumulative > threshold)
+        ("cmp_sel", rtlib.build_comparator(32)),
+        # best-fitness comparator (elitism, Sec. III-B.1)
+        ("cmp_best", rtlib.build_comparator(16)),
+        # crossover / mutation rate comparators (4-bit random vs threshold)
+        ("cmp_xover", rtlib.build_comparator(4)),
+        ("cmp_mut", rtlib.build_comparator(4)),
+        # genetic operators (Fig. 3, Sec. III-B.3/4)
+        ("xover", rtlib.build_crossover_unit(16)),
+        ("mut1", rtlib.build_mutation_unit(16)),
+        ("mut2", rtlib.build_mutation_unit(16)),
+        # cellular-automaton RNG (Sec. II-C)
+        ("rng", rtlib.build_ca_rng(16, rule_vector)),
+        # loop counters
+        ("cnt_gen", rtlib.build_counter(32)),
+        ("cnt_pop", rtlib.build_counter(8)),
+        ("cnt_addr", rtlib.build_counter(8)),
+    ]
+    for prefix, block in blocks:
+        merge(top, block, prefix)
+
+    # Architectural registers: simple DFF banks with load muxes.
+    for name, width, count in GA_CORE_REGISTERS:
+        for k in range(count):
+            reg = rtlib.build_parameter_register(width)
+            merge(top, reg, f"{name}{k}" if count > 1 else name)
+    return top

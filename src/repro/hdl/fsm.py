@@ -1,0 +1,62 @@
+"""A small declarative Moore FSM helper.
+
+The paper's initialization module and application module are "simple finite
+state machines" performing two-way handshakes (Sec. IV-B).  Those modules are
+written against this helper; the GA core itself is a larger hand-written FSM
+in :mod:`repro.core.ga_core` because its datapath actions do not fit a
+table-driven style.
+
+A state is a name plus an action callback; the action returns the next state
+name (or ``None`` to stay).  Output drives requested inside the action are
+queued through the owning component, keeping two-phase semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.hdl.component import Component
+
+
+class MooreFSM(Component):
+    """Table-driven Moore machine.
+
+    Parameters
+    ----------
+    name:
+        Component name.
+    states:
+        Mapping from state name to action; each action is called with the
+        FSM instance on the state's clock edges and returns the next state
+        name or ``None`` to remain.
+    initial:
+        Reset state name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Mapping[str, Callable[["MooreFSM"], str | None]],
+        initial: str,
+    ):
+        super().__init__(name)
+        unknown = {s for s in states if not isinstance(s, str)}
+        if unknown:
+            raise ValueError(f"FSM {name!r}: non-string states {unknown}")
+        if initial not in states:
+            raise ValueError(f"FSM {name!r}: initial state {initial!r} not defined")
+        self.states = dict(states)
+        self.initial = initial
+        self.state = initial
+
+    def clock(self) -> None:
+        action = self.states[self.state]
+        nxt = action(self)
+        if nxt is not None:
+            if nxt not in self.states:
+                raise ValueError(f"FSM {self.name!r}: transition to unknown state {nxt!r}")
+            self.set_state(state=nxt)
+
+    def reset(self) -> None:
+        super().reset()
+        self.state = self.initial

@@ -1,0 +1,93 @@
+"""Gate-level primitives.
+
+The paper's flattening flow emits netlists over "simple Boolean gates such as
+NAND, NOR, AND, OR, XOR, and SCAN_REGISTER" (Sec. III-A).  This module
+defines exactly that alphabet (plus NOT/BUF/XNOR and constants, which any
+real cell library also provides) together with the flip-flop record used by
+:class:`repro.hdl.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class GateType(enum.Enum):
+    """Combinational cell types available to the flattened netlists."""
+
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+
+#: Evaluation functions, input-count agnostic where the cell is associative.
+_EVAL = {
+    GateType.AND: lambda ins: int(all(ins)),
+    GateType.OR: lambda ins: int(any(ins)),
+    GateType.NAND: lambda ins: int(not all(ins)),
+    GateType.NOR: lambda ins: int(not any(ins)),
+    GateType.XOR: lambda ins: sum(ins) & 1,
+    GateType.XNOR: lambda ins: (sum(ins) + 1) & 1,
+    GateType.NOT: lambda ins: 1 - ins[0],
+    GateType.BUF: lambda ins: ins[0],
+    GateType.CONST0: lambda ins: 0,
+    GateType.CONST1: lambda ins: 1,
+}
+
+#: Maximum fan-in accepted per cell type (two-input cells, mirroring the
+#: simple std-cell library of the paper's ASIC flow).
+_MAX_FANIN = {
+    GateType.AND: 2,
+    GateType.OR: 2,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational cell instance: ``out = type(*inputs)``."""
+
+    type: GateType
+    inputs: tuple[int, ...]
+    output: int
+
+    def __post_init__(self) -> None:
+        limit = _MAX_FANIN[self.type]
+        if len(self.inputs) != limit:
+            raise ValueError(
+                f"{self.type.value} gate takes {limit} inputs, got {len(self.inputs)}"
+            )
+
+    def evaluate(self, values: list[int]) -> int:
+        """Compute the output value given a net-value table."""
+        return _EVAL[self.type]([values[i] for i in self.inputs])
+
+
+@dataclass
+class DFF:
+    """A D flip-flop (SCAN_REGISTER once a scan chain has been inserted).
+
+    ``scan_index`` orders the flop inside the scan chain; -1 means the
+    netlist has no chain or the flop is excluded from it.
+    """
+
+    d: int
+    q: int
+    init: int = 0
+    name: str = ""
+    scan_index: int = field(default=-1)

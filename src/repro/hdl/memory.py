@@ -1,0 +1,134 @@
+"""Block-RAM/ROM models matching the Virtex-II Pro primitives the paper uses.
+
+The GA memory of the paper is a single-port RAM storing ``{candidate,
+fitness}`` pairs (32 bits per word, 8-bit address).  Reads are synchronous:
+the GA core "places the memory address on the address bus and reads the
+memory contents in the next clock cycle" (Sec. III-B.7), which is exactly the
+behaviour of a block-RAM primitive and of :class:`SinglePortRAM` below.
+
+:class:`BlockROM` models the lookup-table fitness modules: block ROMs
+"populated with the fitness values corresponding to each solution encoding"
+(Sec. IV-B).
+
+Both report their storage footprint in bits so the resource estimator can
+reproduce the block-memory utilisation rows of Table VI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hdl.component import Component
+from repro.hdl.signal import Signal
+
+#: Capacity of one Virtex-II Pro block-RAM primitive in bits (18 Kb).
+BRAM_BITS = 18 * 1024
+
+
+class SinglePortRAM(Component):
+    """Single-port synchronous RAM.
+
+    Ports (all :class:`~repro.hdl.signal.Signal`):
+
+    * ``addr``   - read/write address;
+    * ``din``    - write data (sampled when ``wr`` is high);
+    * ``dout``   - registered read data (valid the cycle after ``addr``);
+    * ``wr``     - write enable.
+
+    Write-first behaviour: a write updates the array and ``dout`` reflects
+    the freshly written word on the next cycle, matching the WRITE_FIRST
+    block-RAM mode.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        addr: Signal,
+        din: Signal,
+        dout: Signal,
+        wr: Signal,
+        depth: int | None = None,
+    ):
+        super().__init__(name)
+        self.addr = addr
+        self.din = din
+        self.dout = dout
+        self.wr = wr
+        self.depth = depth if depth is not None else (1 << addr.width)
+        if self.depth > (1 << addr.width):
+            raise ValueError(f"RAM {name!r}: depth {self.depth} exceeds address space")
+        self.data = [0] * self.depth
+
+    @property
+    def width(self) -> int:
+        """Word width in bits."""
+        return self.din.width
+
+    def storage_bits(self) -> int:
+        """Total storage footprint in bits (for resource accounting)."""
+        return self.depth * self.width
+
+    def bram_count(self) -> int:
+        """Number of 18 Kb block-RAM primitives needed."""
+        return -(-self.storage_bits() // BRAM_BITS)
+
+    def clock(self) -> None:
+        addr = self.addr.value % self.depth
+        if self.wr.value:
+            word = self.din.value
+            # The array write is staged and applied in commit so that other
+            # components clocking this same cycle still see the old contents.
+            self._pending_write = (addr, word)
+            self.drive(self.dout, word)
+        else:
+            self._pending_write = None
+            self.drive(self.dout, self.data[addr])
+
+    def commit(self) -> None:
+        pending = getattr(self, "_pending_write", None)
+        if pending is not None:
+            addr, word = pending
+            self.data[addr] = word
+            self._pending_write = None
+        super().commit()
+
+    def reset(self) -> None:
+        super().reset()
+        self.data = [0] * self.depth
+        self._pending_write = None
+        self.dout.reset()
+
+
+class BlockROM(Component):
+    """Synchronous read-only memory initialised with a contents table."""
+
+    def __init__(self, name: str, addr: Signal, dout: Signal, contents: Sequence[int]):
+        super().__init__(name)
+        if len(contents) > (1 << addr.width):
+            raise ValueError(f"ROM {name!r}: contents exceed address space")
+        self.addr = addr
+        self.dout = dout
+        self.data = list(contents)
+
+    @property
+    def depth(self) -> int:
+        return len(self.data)
+
+    @property
+    def width(self) -> int:
+        return self.dout.width
+
+    def storage_bits(self) -> int:
+        """Total storage footprint in bits (for resource accounting)."""
+        return self.depth * self.width
+
+    def bram_count(self) -> int:
+        """Number of 18 Kb block-RAM primitives needed."""
+        return -(-self.storage_bits() // BRAM_BITS)
+
+    def clock(self) -> None:
+        self.drive(self.dout, self.data[self.addr.value % max(1, self.depth)])
+
+    def reset(self) -> None:
+        super().reset()
+        self.dout.reset()

@@ -1,0 +1,203 @@
+"""Structural gate-level netlists: construction, simulation, statistics.
+
+A :class:`Netlist` is a flat graph of two-input gates and D flip-flops over
+integer net ids, with named multi-bit input/output ports.  It supports:
+
+* builder-style construction (used by :mod:`repro.hdl.rtlib` generators);
+* clocked simulation (``step``) with synchronous flops, used to check
+  gate-level/RT-level equivalence the way the paper checked its flattened
+  Verilog against the RT-level VHDL with NC-Verilog;
+* scan-chain aware simulation (see :mod:`repro.hdl.scan`);
+* gate/flop statistics consumed by the FPGA resource estimator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.hdl.gates import DFF, Gate, GateType
+
+
+class NetlistError(RuntimeError):
+    """Structural problem in a netlist (multiple drivers, comb. loop, ...)."""
+
+
+class Netlist:
+    """A flat structural netlist over Boolean nets."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.net_count = 0
+        self.net_names: dict[int, str] = {}
+        self.inputs: dict[str, list[int]] = {}
+        self.outputs: dict[str, list[int]] = {}
+        self.gates: list[Gate] = []
+        self.dffs: list[DFF] = []
+        self._driven: set[int] = set()
+        self._order: list[Gate] | None = None
+        self.scan_ports: tuple[int, int, int] | None = None  # (test, scanin, scanout)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def net(self, name: str = "") -> int:
+        """Allocate a fresh net id."""
+        nid = self.net_count
+        self.net_count += 1
+        if name:
+            self.net_names[nid] = name
+        return nid
+
+    def add_input(self, name: str, width: int = 1) -> list[int]:
+        """Declare a primary input bus; returns its nets, LSB first."""
+        if name in self.inputs or name in self.outputs:
+            raise NetlistError(f"duplicate port {name!r}")
+        nets = [self.net(f"{name}[{i}]") for i in range(width)]
+        self.inputs[name] = nets
+        self._driven.update(nets)
+        return nets
+
+    def add_output(self, name: str, nets: Sequence[int]) -> None:
+        """Declare a primary output bus over existing nets, LSB first."""
+        if name in self.inputs or name in self.outputs:
+            raise NetlistError(f"duplicate port {name!r}")
+        self.outputs[name] = list(nets)
+
+    def add_gate(self, gtype: GateType, *inputs: int, name: str = "") -> int:
+        """Instantiate a gate; returns the freshly allocated output net."""
+        out = self.net(name)
+        self._check_undriven_ok(inputs)
+        gate = Gate(gtype, tuple(inputs), out)
+        self.gates.append(gate)
+        self._driven.add(out)
+        self._order = None
+        return out
+
+    def add_dff(self, d: int, init: int = 0, name: str = "") -> int:
+        """Instantiate a flop fed by net ``d``; returns the q net."""
+        q = self.net(name or f"dff{len(self.dffs)}.q")
+        self.dffs.append(DFF(d=d, q=q, init=init, name=name))
+        self._driven.add(q)
+        self._order = None
+        return q
+
+    def _check_undriven_ok(self, inputs: Sequence[int]) -> None:
+        for nid in inputs:
+            if nid >= self.net_count:
+                raise NetlistError(f"net {nid} does not exist")
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def topo_order(self) -> list[Gate]:
+        """Topological order of the combinational gates.
+
+        Raises :class:`NetlistError` on combinational cycles.
+        """
+        if self._order is not None:
+            return self._order
+        gate_outputs = self._gate_outputs
+        consumers: dict[int, list[Gate]] = {}
+        indegree: dict[int, int] = {}
+        for gate in self.gates:
+            deps = 0
+            for nid in gate.inputs:
+                if nid in gate_outputs:
+                    deps += 1
+                    consumers.setdefault(nid, []).append(gate)
+            indegree[gate.output] = deps
+        ready = [g for g in self.gates if indegree[g.output] == 0]
+        order: list[Gate] = []
+        while ready:
+            gate = ready.pop()
+            order.append(gate)
+            for consumer in consumers.get(gate.output, []):
+                indegree[consumer.output] -= 1
+                if indegree[consumer.output] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.gates):
+            raise NetlistError(f"netlist {self.name!r} has a combinational cycle")
+        self._order = order
+        return order
+
+    @property
+    def _gate_outputs(self) -> set[int]:
+        return {g.output for g in self.gates}
+
+    def stats(self) -> dict[str, int]:
+        """Cell-count statistics for resource estimation."""
+        counts = Counter(g.type.value for g in self.gates)
+        counts["dff"] = len(self.dffs)
+        counts["nets"] = self.net_count
+        counts["gates"] = len(self.gates)
+        return dict(counts)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def _initial_values(self) -> list[int]:
+        values = [0] * self.net_count
+        for dff in self.dffs:
+            values[dff.q] = dff.init
+        return values
+
+    def evaluate(
+        self, input_values: dict[str, int], state: list[int] | None = None
+    ) -> dict[str, int]:
+        """Pure combinational evaluation given input-bus values and an
+        optional flop-state snapshot; returns output-bus values."""
+        values = state[:] if state is not None else self._initial_values()
+        self._apply_inputs(values, input_values)
+        self._propagate(values)
+        return self._read_outputs(values)
+
+    def _apply_inputs(self, values: list[int], input_values: dict[str, int]) -> None:
+        for name, nets in self.inputs.items():
+            word = input_values.get(name, 0)
+            for i, nid in enumerate(nets):
+                values[nid] = (word >> i) & 1
+
+    def _propagate(self, values: list[int]) -> None:
+        for gate in self.topo_order():
+            values[gate.output] = gate.evaluate(values)
+
+    def _read_outputs(self, values: list[int]) -> dict[str, int]:
+        result = {}
+        for name, nets in self.outputs.items():
+            word = 0
+            for i, nid in enumerate(nets):
+                word |= values[nid] << i
+            result[name] = word
+        return result
+
+    def simulate(self, vectors: Sequence[dict[str, int]]) -> list[dict[str, int]]:
+        """Clocked simulation: apply one input vector per cycle, clocking the
+        flops between vectors; returns per-cycle output values (post-edge
+        combinational settle, i.e. what a tester samples before the next
+        edge)."""
+        state = self._initial_values()
+        results = []
+        for vec in vectors:
+            self._apply_inputs(state, vec)
+            self._propagate(state)
+            results.append(self._read_outputs(state))
+            self._clock_flops(state, vec)
+        return results
+
+    def _clock_flops(self, values: list[int], input_values: dict[str, int]) -> None:
+        if self.scan_ports is not None:
+            test_net, scanin_net, _ = self.scan_ports
+            if values[test_net]:
+                # Scan shift: chain order, scanin feeds flop 0.
+                chain = sorted(
+                    (f for f in self.dffs if f.scan_index >= 0),
+                    key=lambda f: f.scan_index,
+                )
+                shifted = [values[scanin_net]] + [values[f.q] for f in chain[:-1]]
+                for flop, val in zip(chain, shifted):
+                    values[flop.q] = val
+                return
+        nextq = [(dff.q, values[dff.d]) for dff in self.dffs]
+        for q, val in nextq:
+            values[q] = val

@@ -1,0 +1,60 @@
+"""Clocked storage elements for the cycle-accurate kernel.
+
+These are behavioural models; the gate-level equivalents (``DFF`` /
+``SCAN_REGISTER``) live in :mod:`repro.hdl.gates`.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.component import Component
+from repro.hdl.signal import Signal
+
+
+class Register(Component):
+    """A D register with enable: ``q <= d when en else q``."""
+
+    def __init__(self, name: str, d: Signal, q: Signal, en: Signal | None = None):
+        super().__init__(name)
+        if d.width != q.width:
+            raise ValueError(f"register {name!r}: d width {d.width} != q width {q.width}")
+        self.d = d
+        self.q = q
+        self.en = en
+
+    def clock(self) -> None:
+        if self.en is None or self.en.value:
+            self.drive(self.q, self.d.value)
+
+    def reset(self) -> None:
+        super().reset()
+        self.q.reset()
+
+
+class Counter(Component):
+    """An up-counter with synchronous clear and enable.
+
+    Drives ``q`` with the current count; wraps at the signal width, like the
+    32-bit cycle counter used for the paper's hardware runtime measurement.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        q: Signal,
+        en: Signal | None = None,
+        clear: Signal | None = None,
+    ):
+        super().__init__(name)
+        self.q = q
+        self.en = en
+        self.clear = clear
+
+    def clock(self) -> None:
+        if self.clear is not None and self.clear.value:
+            self.drive(self.q, 0)
+        elif self.en is None or self.en.value:
+            self.drive(self.q, self.q.value + 1)
+
+    def reset(self) -> None:
+        super().reset()
+        self.q.reset()

@@ -1,0 +1,254 @@
+"""Structural RTL component library.
+
+These generators build gate-level implementations of the "simple components
+such as adders, multiplexers, etc." that the AUDI HLS flow instantiates in
+the GA core's datapath (Sec. III-A).  Each word-level helper appends gates to
+an existing :class:`~repro.hdl.netlist.Netlist` and returns the output nets
+(LSB first); each ``build_*`` function returns a complete netlist block with
+named ports, ready for flattening, scan insertion, equivalence checking, and
+resource estimation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hdl.gates import DFF, GateType
+from repro.hdl.netlist import Netlist
+
+Nets = list[int]
+
+
+# ----------------------------------------------------------------------
+# word-level helpers
+# ----------------------------------------------------------------------
+def const_word(nl: Netlist, value: int, width: int) -> Nets:
+    """Nets tied to the bits of ``value``."""
+    return [
+        nl.add_gate(GateType.CONST1 if (value >> i) & 1 else GateType.CONST0)
+        for i in range(width)
+    ]
+
+
+def not_word(nl: Netlist, a: Sequence[int]) -> Nets:
+    """Bitwise complement."""
+    return [nl.add_gate(GateType.NOT, bit) for bit in a]
+
+
+def _bitwise(nl: Netlist, gtype: GateType, a: Sequence[int], b: Sequence[int]) -> Nets:
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+    return [nl.add_gate(gtype, x, y) for x, y in zip(a, b)]
+
+
+def and_word(nl: Netlist, a: Sequence[int], b: Sequence[int]) -> Nets:
+    """Bitwise AND."""
+    return _bitwise(nl, GateType.AND, a, b)
+
+
+def or_word(nl: Netlist, a: Sequence[int], b: Sequence[int]) -> Nets:
+    """Bitwise OR."""
+    return _bitwise(nl, GateType.OR, a, b)
+
+
+def xor_word(nl: Netlist, a: Sequence[int], b: Sequence[int]) -> Nets:
+    """Bitwise XOR."""
+    return _bitwise(nl, GateType.XOR, a, b)
+
+
+def mux2_word(nl: Netlist, sel: int, a: Sequence[int], b: Sequence[int]) -> Nets:
+    """2:1 word multiplexer: out = b when sel else a."""
+    nsel = nl.add_gate(GateType.NOT, sel)
+    out = []
+    for x, y in zip(a, b):
+        lo = nl.add_gate(GateType.AND, x, nsel)
+        hi = nl.add_gate(GateType.AND, y, sel)
+        out.append(nl.add_gate(GateType.OR, lo, hi))
+    return out
+
+
+def full_adder(nl: Netlist, a: int, b: int, cin: int) -> tuple[int, int]:
+    """One-bit full adder; returns (sum, carry-out)."""
+    axb = nl.add_gate(GateType.XOR, a, b)
+    s = nl.add_gate(GateType.XOR, axb, cin)
+    c1 = nl.add_gate(GateType.AND, a, b)
+    c2 = nl.add_gate(GateType.AND, axb, cin)
+    cout = nl.add_gate(GateType.OR, c1, c2)
+    return s, cout
+
+
+def ripple_adder(
+    nl: Netlist, a: Sequence[int], b: Sequence[int], cin: int | None = None
+) -> tuple[Nets, int]:
+    """Ripple-carry adder; returns (sum nets, carry-out net)."""
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+    carry = cin if cin is not None else nl.add_gate(GateType.CONST0)
+    total = []
+    for x, y in zip(a, b):
+        s, carry = full_adder(nl, x, y, carry)
+        total.append(s)
+    return total, carry
+
+
+def less_than(nl: Netlist, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned ``a < b``: the borrow out of ``a + ~b + 1``."""
+    one = nl.add_gate(GateType.CONST1)
+    _, carry = ripple_adder(nl, a, not_word(nl, b), cin=one)
+    return nl.add_gate(GateType.NOT, carry)
+
+
+def equals(nl: Netlist, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned equality via an XNOR reduction tree."""
+    bits = _bitwise(nl, GateType.XNOR, a, b)
+    while len(bits) > 1:
+        nxt = []
+        for i in range(0, len(bits) - 1, 2):
+            nxt.append(nl.add_gate(GateType.AND, bits[i], bits[i + 1]))
+        if len(bits) % 2:
+            nxt.append(bits[-1])
+        bits = nxt
+    return bits[0]
+
+
+def thermometer_mask(nl: Netlist, n: Sequence[int], width: int = 16) -> Nets:
+    """Crossover bit mask: bit ``i`` is 1 iff ``i < n`` (Sec. III-B.3).
+
+    ``n`` is the 4-bit random cut point; the mask selects the low part of the
+    first parent.
+    """
+    return [less_than(nl, const_word(nl, i, len(n)), list(n)) for i in range(width)]
+
+
+def onehot_decoder(nl: Netlist, n: Sequence[int], width: int = 16) -> Nets:
+    """Mutation bit mask: one-hot decode of the mutation point."""
+    return [equals(nl, const_word(nl, i, len(n)), list(n)) for i in range(width)]
+
+
+def ca_next_word(nl: Netlist, state: Sequence[int], rule_vector: int) -> Nets:
+    """Next state of the null-boundary hybrid rule-90/150 cellular automaton.
+
+    Cell ``i`` follows rule 150 (neighbours XOR self) when bit ``i`` of
+    ``rule_vector`` is set, rule 90 (neighbours only) otherwise.
+    """
+    width = len(state)
+    zero = nl.add_gate(GateType.CONST0)
+    nxt = []
+    for i in range(width):
+        left = state[i + 1] if i + 1 < width else zero
+        right = state[i - 1] if i - 1 >= 0 else zero
+        cell = nl.add_gate(GateType.XOR, left, right)
+        if (rule_vector >> i) & 1:
+            cell = nl.add_gate(GateType.XOR, cell, state[i])
+        nxt.append(cell)
+    return nxt
+
+
+# ----------------------------------------------------------------------
+# complete blocks
+# ----------------------------------------------------------------------
+def build_adder(width: int = 16) -> Netlist:
+    """Adder block: ``sum = a + b`` with carry-out (fitness accumulator)."""
+    nl = Netlist(f"adder{width}")
+    a = nl.add_input("a", width)
+    b = nl.add_input("b", width)
+    total, cout = ripple_adder(nl, a, b)
+    nl.add_output("sum", total)
+    nl.add_output("cout", [cout])
+    return nl
+
+
+def build_comparator(width: int = 16) -> Netlist:
+    """Comparator block: ``lt = a < b``, ``eq = a == b`` (threshold tests)."""
+    nl = Netlist(f"cmp{width}")
+    a = nl.add_input("a", width)
+    b = nl.add_input("b", width)
+    nl.add_output("lt", [less_than(nl, a, b)])
+    nl.add_output("eq", [equals(nl, a, b)])
+    return nl
+
+
+def build_crossover_unit(width: int = 16, cut_bits: int = 4) -> Netlist:
+    """Single-point crossover datapath of Fig. 3.
+
+    ``off1 = (p1 & mask) | (p2 & ~mask)`` and symmetrically for ``off2``,
+    where ``mask`` has ones from position 0 to ``cut - 1``.
+    """
+    nl = Netlist(f"xover{width}")
+    p1 = nl.add_input("p1", width)
+    p2 = nl.add_input("p2", width)
+    cut = nl.add_input("cut", cut_bits)
+    mask = thermometer_mask(nl, cut, width)
+    nmask = not_word(nl, mask)
+    off1 = or_word(nl, and_word(nl, p1, mask), and_word(nl, p2, nmask))
+    off2 = or_word(nl, and_word(nl, p2, mask), and_word(nl, p1, nmask))
+    nl.add_output("off1", off1)
+    nl.add_output("off2", off2)
+    return nl
+
+
+def build_mutation_unit(width: int = 16, point_bits: int = 4) -> Netlist:
+    """Single-bit mutation datapath: XOR with a gated one-hot mask."""
+    nl = Netlist(f"mut{width}")
+    ind = nl.add_input("ind", width)
+    point = nl.add_input("point", point_bits)
+    en = nl.add_input("en", 1)[0]
+    onehot = onehot_decoder(nl, point, width)
+    gated = [nl.add_gate(GateType.AND, bit, en) for bit in onehot]
+    nl.add_output("out", xor_word(nl, ind, gated))
+    return nl
+
+
+def build_ca_rng(width: int = 16, rule_vector: int = 0x6C04) -> Netlist:
+    """Sequential cellular-automaton RNG block.
+
+    Ports: ``seed``/``load`` (synchronous seed load), ``en`` (advance), and
+    the current random word ``rn``.  The default rule vector is the verified
+    maximal-length 16-cell hybrid 90/150 vector used across this repo.
+    """
+    nl = Netlist(f"ca_rng{width}")
+    seed = nl.add_input("seed", width)
+    load = nl.add_input("load", 1)[0]
+    en = nl.add_input("en", 1)[0]
+    # Flops with a temporary d; rewired below once next-state logic exists.
+    qs = [nl.net(f"state[{i}]") for i in range(width)]
+    nxt = ca_next_word(nl, qs, rule_vector)
+    held = mux2_word(nl, en, qs, nxt)
+    dvals = mux2_word(nl, load, held, seed)
+    for i in range(width):
+        nl.dffs.append(DFF(d=dvals[i], q=qs[i], init=0, name=f"ca[{i}]"))
+        nl._driven.add(qs[i])
+    nl.add_output("rn", qs)
+    return nl
+
+
+def build_parameter_register(width: int = 16) -> Netlist:
+    """A loadable parameter register (one per Table III index)."""
+    nl = Netlist(f"param_reg{width}")
+    d = nl.add_input("d", width)
+    load = nl.add_input("load", 1)[0]
+    qs = [nl.net(f"q[{i}]") for i in range(width)]
+    dvals = mux2_word(nl, load, qs, d)
+    for i in range(width):
+        nl.dffs.append(DFF(d=dvals[i], q=qs[i], init=0, name=f"param[{i}]"))
+        nl._driven.add(qs[i])
+    nl.add_output("q", qs)
+    return nl
+
+
+def build_counter(width: int = 8) -> Netlist:
+    """Loadable up-counter (generation index, population index, address)."""
+    nl = Netlist(f"counter{width}")
+    en = nl.add_input("en", 1)[0]
+    clear = nl.add_input("clear", 1)[0]
+    qs = [nl.net(f"q[{i}]") for i in range(width)]
+    one = const_word(nl, 1, width)
+    inc, _ = ripple_adder(nl, qs, one)
+    held = mux2_word(nl, en, qs, inc)
+    zero = const_word(nl, 0, width)
+    dvals = mux2_word(nl, clear, held, zero)
+    for i in range(width):
+        nl.dffs.append(DFF(d=dvals[i], q=qs[i], init=0, name=f"cnt[{i}]"))
+        nl._driven.add(qs[i])
+    nl.add_output("q", qs)
+    return nl

@@ -1,0 +1,90 @@
+"""Scan-chain insertion and test access (Sec. III-C.2 of the paper).
+
+"The proposed GA core has a scan chain connecting all the registers in the
+design.  A scan chain test can be run on the core by asserting the test
+signal and feeding the user test pattern in the scanin port."
+
+:func:`insert_scan_chain` converts every DFF of a netlist into a
+SCAN_REGISTER threaded into one chain with ``test``/``scanin``/``scanout``
+ports.  :class:`Stepper` provides stateful clocked simulation, and
+:func:`scan_load` / :func:`scan_dump` shift full register states in and out
+exactly as an ATE would.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.netlist import Netlist, NetlistError
+
+
+class Stepper:
+    """Stateful clocked simulator over a netlist (one instance per run)."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.state = netlist._initial_values()
+
+    def step(self, **inputs: int) -> dict[str, int]:
+        """Apply inputs, settle combinational logic, sample outputs, clock."""
+        nl = self.netlist
+        nl._apply_inputs(self.state, inputs)
+        nl._propagate(self.state)
+        outputs = nl._read_outputs(self.state)
+        nl._clock_flops(self.state, inputs)
+        return outputs
+
+    def peek_flops(self) -> list[int]:
+        """Current flop values in scan-chain order (oracle access, used by
+        tests to validate what scan_dump shifts out)."""
+        chain = sorted(
+            (f for f in self.netlist.dffs if f.scan_index >= 0),
+            key=lambda f: f.scan_index,
+        )
+        return [self.state[f.q] for f in chain]
+
+
+def insert_scan_chain(netlist: Netlist) -> int:
+    """Thread all flops of ``netlist`` into a scan chain.
+
+    Adds 1-bit ``test`` and ``scanin`` inputs and a ``scanout`` output (ports
+    18-20 of Table II).  Returns the chain length.  The chain order is the
+    flop declaration order: ``scanin -> dff0 -> dff1 -> ... -> scanout``.
+    """
+    if netlist.scan_ports is not None:
+        raise NetlistError(f"netlist {netlist.name!r} already has a scan chain")
+    if not netlist.dffs:
+        raise NetlistError(f"netlist {netlist.name!r} has no registers to chain")
+    test = netlist.add_input("test", 1)[0]
+    scanin = netlist.add_input("scanin", 1)[0]
+    for index, dff in enumerate(netlist.dffs):
+        dff.scan_index = index
+    scanout = netlist.dffs[-1].q
+    netlist.add_output("scanout", [scanout])
+    netlist.scan_ports = (test, scanin, scanout)
+    return len(netlist.dffs)
+
+
+def scan_load(stepper: Stepper, bits: list[int], **held_inputs: int) -> None:
+    """Shift a full register image into the chain (bit for the *last* flop
+    first, so after ``len(bits)`` cycles flop ``i`` holds ``bits[i]``)."""
+    nl = stepper.netlist
+    if nl.scan_ports is None:
+        raise NetlistError("no scan chain inserted")
+    if len(bits) != len(nl.dffs):
+        raise NetlistError(f"expected {len(nl.dffs)} bits, got {len(bits)}")
+    for bit in reversed(bits):
+        stepper.step(test=1, scanin=bit, **held_inputs)
+
+
+def scan_dump(stepper: Stepper, **held_inputs: int) -> list[int]:
+    """Shift the full register state out of the chain (destructive: zeros
+    are shifted in behind).  Returns ``bits[i]`` = value of flop ``i``."""
+    nl = stepper.netlist
+    if nl.scan_ports is None:
+        raise NetlistError("no scan chain inserted")
+    n = len(nl.dffs)
+    out: list[int] = []
+    for _ in range(n):
+        result = stepper.step(test=1, scanin=0, **held_inputs)
+        out.append(result["scanout"])
+    out.reverse()
+    return out

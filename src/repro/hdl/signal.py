@@ -1,0 +1,102 @@
+"""Signals: the wires connecting hardware components.
+
+A :class:`Signal` models a named bundle of wires with a fixed bit width.  Its
+value is always a masked non-negative integer.  Components never write a
+signal directly during simulation; they queue a drive via
+:meth:`repro.hdl.component.Component.drive`, and the simulator applies all
+drives after every due component has observed the *old* values.  That gives
+the standard two-phase synchronous semantics: everything a component reads in
+``clock()`` is the state at the previous rising edge.
+
+Testbenches may poke values directly with :meth:`Signal.poke`, which models
+an external pin being driven between clock edges.
+"""
+
+from __future__ import annotations
+
+
+class SignalConflictError(RuntimeError):
+    """Raised when two components drive different values onto one signal in
+    the same cycle (a bus contention bug in the model)."""
+
+
+class Signal:
+    """A fixed-width wire bundle.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in traces and error messages.
+    width:
+        Number of wires; values are masked to ``width`` bits.
+    init:
+        Reset value (also the value after :meth:`reset`).
+    """
+
+    __slots__ = ("name", "width", "mask", "init", "_value", "_pending", "_driver")
+
+    def __init__(self, name: str = "", width: int = 1, init: int = 0):
+        if width < 1:
+            raise ValueError(f"signal {name!r}: width must be >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.init = init & self.mask
+        self._value = self.init
+        self._pending: int | None = None
+        self._driver: str | None = None
+
+    @property
+    def value(self) -> int:
+        """Current (pre-edge) value of the signal."""
+        return self._value
+
+    def poke(self, value: int) -> None:
+        """Immediately set the value (testbench/external-pin use only)."""
+        self._value = value & self.mask
+
+    def queue(self, value: int, driver: str = "?") -> None:
+        """Queue a drive to be applied at the end of the current cycle.
+
+        Raises :class:`SignalConflictError` when a different value has
+        already been queued this cycle by another driver.
+        """
+        value &= self.mask
+        if self._pending is not None and self._pending != value:
+            raise SignalConflictError(
+                f"signal {self.name!r}: {driver} drives {value:#x} but "
+                f"{self._driver} already drove {self._pending:#x} this cycle"
+            )
+        self._pending = value
+        self._driver = driver
+
+    def apply(self) -> None:
+        """Commit the queued drive, if any (called by the simulator)."""
+        if self._pending is not None:
+            self._value = self._pending
+            self._pending = None
+            self._driver = None
+
+    def reset(self) -> None:
+        """Return to the reset value and drop any queued drive."""
+        self._value = self.init
+        self._pending = None
+        self._driver = None
+
+    def bit(self, index: int) -> int:
+        """Value of a single bit (0 or 1)."""
+        return (self._value >> index) & 1
+
+    def bits(self, hi: int, lo: int) -> int:
+        """Value of the inclusive bit slice ``[hi:lo]`` (VHDL downto order)."""
+        if hi < lo:
+            raise ValueError(f"bad slice [{hi}:{lo}]")
+        return (self._value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, width={self.width}, value={self._value:#x})"
+
+
+def bus(name: str, width: int, init: int = 0) -> Signal:
+    """Convenience constructor reading a little closer to netlist syntax."""
+    return Signal(name=name, width=width, init=init)

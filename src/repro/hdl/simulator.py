@@ -1,0 +1,116 @@
+"""Synchronous multi-domain simulation kernel.
+
+The kernel advances a global *tick* counter.  Each registered component has a
+clock divider: a component with divider ``d`` and phase ``p`` sees a rising
+edge on every tick where ``tick % d == p``.  This models the paper's setup of
+a 50 MHz GA clock domain next to 200 MHz initialization/application modules
+(divider 4 vs. divider 1), both derived from one on-board oscillator through
+a digital clock manager.
+
+On each tick the kernel:
+
+1. calls ``clock()`` on every due component (all observe pre-edge values);
+2. calls ``commit()`` on every due component (signal drives + state land);
+3. invokes trace probes.
+
+``run_until`` is the workhorse for protocol-driven tests ("step until
+``GA_done`` is asserted").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.hdl.component import Component
+from repro.hdl.signal import Signal
+
+
+class SimulationTimeout(RuntimeError):
+    """Raised when ``run_until`` exhausts its cycle budget."""
+
+
+class Simulator:
+    """Owner of the global clock and the component schedule."""
+
+    def __init__(self) -> None:
+        self._schedule: list[tuple[Component, int, int]] = []
+        self._probes: list[Callable[[int], None]] = []
+        self.time: int = 0
+
+    # ------------------------------------------------------------------
+    def add(self, component: Component, divider: int = 1, phase: int = 0) -> Component:
+        """Register a component in a clock domain.
+
+        ``divider=1`` is the fast (base) domain; ``divider=4`` models the
+        50 MHz GA domain when the base tick is 200 MHz.
+        """
+        if divider < 1:
+            raise ValueError("divider must be >= 1")
+        if not 0 <= phase < divider:
+            raise ValueError("phase must satisfy 0 <= phase < divider")
+        self._schedule.append((component, divider, phase))
+        return component
+
+    def add_all(self, components: Iterable[Component], divider: int = 1) -> None:
+        """Register several components in the same domain."""
+        for comp in components:
+            self.add(comp, divider=divider)
+
+    def probe(self, fn: Callable[[int], None]) -> None:
+        """Register a per-tick observer called after commit with the tick
+        number; used by testbenches to record signal traces."""
+        self._probes.append(fn)
+
+    # ------------------------------------------------------------------
+    def step(self, ticks: int = 1) -> None:
+        """Advance the simulation by ``ticks`` base clock ticks."""
+        for _ in range(ticks):
+            t = self.time
+            due = [c for (c, d, p) in self._schedule if t % d == p]
+            for comp in due:
+                comp.clock()
+            for comp in due:
+                comp.commit()
+            self.time = t + 1
+            for probe in self._probes:
+                probe(self.time)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_ticks: int = 10_000_000,
+        label: str = "condition",
+    ) -> int:
+        """Step until ``predicate()`` holds; return ticks consumed.
+
+        Raises :class:`SimulationTimeout` after ``max_ticks`` ticks so a
+        protocol deadlock in a model under test fails loudly instead of
+        spinning forever.
+        """
+        start = self.time
+        while not predicate():
+            if self.time - start >= max_ticks:
+                raise SimulationTimeout(
+                    f"{label} not reached within {max_ticks} ticks"
+                )
+            self.step()
+        return self.time - start
+
+    def wait_high(self, signal: Signal, max_ticks: int = 10_000_000) -> int:
+        """Step until ``signal`` is nonzero."""
+        return self.run_until(
+            lambda: signal.value != 0, max_ticks, label=f"{signal.name} high"
+        )
+
+    def wait_low(self, signal: Signal, max_ticks: int = 10_000_000) -> int:
+        """Step until ``signal`` is zero."""
+        return self.run_until(
+            lambda: signal.value == 0, max_ticks, label=f"{signal.name} low"
+        )
+
+    def reset(self) -> None:
+        """Reset time and every registered component (signals are reset by
+        their owning components or testbench)."""
+        self.time = 0
+        for comp, _, _ in self._schedule:
+            comp.reset()

@@ -1,0 +1,44 @@
+"""A miniature high-level synthesis flow — the AUDI methodology (Sec. III-A).
+
+"High-level synthesis (HLS) is the process of automatically synthesizing an
+RT-level description of a system from its behavioral description.  This
+process consists of extracting the dataflow graph (DFG) of the system from
+its behavioral description, scheduling all the operations in the DFG,
+allocating functional unit resources ..., binding each operation ..., and
+generating control signals to enable correct operation of the synthesized
+datapath."
+
+This package implements exactly that pipeline over the repo's gate-level
+substrate:
+
+* :mod:`repro.hls.dfg`      — dataflow-graph construction (a small builder
+  API standing in for the behavioral-VHDL front end);
+* :mod:`repro.hls.schedule` — ASAP/ALAP and resource-constrained list
+  scheduling with mobility;
+* :mod:`repro.hls.allocate` — functional-unit allocation and binding, plus
+  register-lifetime analysis;
+* :mod:`repro.hls.generate` — datapath + one-hot controller emission as a
+  flat sequential gate netlist (verified against direct DFG evaluation).
+
+The output netlists feed the same downstream tooling as the hand-built GA
+datapath: scan insertion, resource estimation, fault simulation, export.
+"""
+
+from repro.hls.dfg import DFG, Op, OpType
+from repro.hls.schedule import ResourceConstraints, Schedule, asap, alap, list_schedule
+from repro.hls.allocate import Allocation, allocate
+from repro.hls.generate import synthesize
+
+__all__ = [
+    "DFG",
+    "Op",
+    "OpType",
+    "ResourceConstraints",
+    "Schedule",
+    "asap",
+    "alap",
+    "list_schedule",
+    "Allocation",
+    "allocate",
+    "synthesize",
+]

@@ -1,0 +1,88 @@
+"""Functional-unit allocation, binding, and register-lifetime analysis
+(the third stage of the Sec. III-A flow).
+
+Allocation counts how many units of each FU class the schedule needs (the
+peak per-step usage); binding assigns each op to a concrete unit slot;
+lifetime analysis determines which values must be registered across control
+steps and reports the register count a left-edge allocator would share them
+into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.dfg import DFG, FU_CLASS, OpType
+from repro.hls.schedule import Schedule
+
+
+@dataclass
+class Allocation:
+    """FU binding + register-lifetime summary for one schedule."""
+
+    schedule: Schedule
+    #: FU class -> number of allocated units.
+    units: dict[str, int]
+    #: op index -> (FU class, unit slot).
+    binding: dict[int, tuple[str, int]]
+    #: value (op index) -> (birth step, last-use step).
+    lifetimes: dict[int, tuple[int, int]]
+    #: registers needed if values share registers by left-edge allocation.
+    shared_registers: int
+
+    def ops_on_unit(self, fu_class: str, slot: int) -> list[int]:
+        return [
+            i for i, (cls, s) in self.binding.items() if cls == fu_class and s == slot
+        ]
+
+
+def allocate(schedule: Schedule) -> Allocation:
+    """Bind ops to FU slots and analyse register lifetimes."""
+    dfg = schedule.dfg
+
+    # --- FU allocation + binding (per-step round robin) ----------------
+    units: dict[str, int] = {}
+    binding: dict[int, tuple[str, int]] = {}
+    for step in range(schedule.length):
+        used: dict[str, int] = {}
+        for op in sorted(schedule.ops_in_step(step), key=lambda o: o.index):
+            fu_class = FU_CLASS[op.type]
+            slot = used.get(fu_class, 0)
+            used[fu_class] = slot + 1
+            binding[op.index] = (fu_class, slot)
+            units[fu_class] = max(units.get(fu_class, 0), slot + 1)
+
+    # --- register lifetimes ---------------------------------------------
+    # A computational value is born at its step and must live until its
+    # last consuming step (outputs hold it to the end of the schedule).
+    lifetimes: dict[int, tuple[int, int]] = {}
+    for op in dfg.computational_ops:
+        birth = schedule.steps[op.index]
+        last = birth
+        for consumer in dfg.consumers(op.index):
+            if consumer.type == OpType.OUTPUT:
+                last = schedule.length - 1
+            else:
+                last = max(last, schedule.steps[consumer.index])
+        lifetimes[op.index] = (birth, last)
+
+    # --- left-edge register sharing --------------------------------------
+    # Sort by birth; assign each value to the first register whose current
+    # occupant's lifetime has ended.
+    registers: list[int] = []  # per register: step after which it frees
+    for index in sorted(lifetimes, key=lambda i: lifetimes[i][0]):
+        birth, last = lifetimes[index]
+        for r, free_after in enumerate(registers):
+            if free_after < birth:
+                registers[r] = last
+                break
+        else:
+            registers.append(last)
+
+    return Allocation(
+        schedule=schedule,
+        units=units,
+        binding=binding,
+        lifetimes=lifetimes,
+        shared_registers=len(registers),
+    )

@@ -1,0 +1,198 @@
+"""Dataflow graphs: the behavioral front end of the mini-HLS flow.
+
+A :class:`DFG` is a DAG of word-level operations over a 16-bit datapath
+(comparisons produce 1-bit values).  The builder API plays the role of the
+paper's behavioral-VHDL parsing: each call records an operation and returns
+a value handle usable as a later operand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+WORD = 16
+
+
+class OpType(enum.Enum):
+    """Operation alphabet of the datapath (maps 1:1 onto rtlib blocks)."""
+
+    INPUT = "input"
+    CONST = "const"
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    LT = "lt"  # unsigned less-than, 1-bit result
+    EQ = "eq"  # equality, 1-bit result
+    MUX = "mux"  # operands: (sel, a, b) -> sel ? b : a
+    OUTPUT = "output"
+
+
+#: Result width per op type (None = word width).
+_RESULT_BITS = {OpType.LT: 1, OpType.EQ: 1}
+
+#: Operand counts.
+_ARITY = {
+    OpType.INPUT: 0,
+    OpType.CONST: 0,
+    OpType.ADD: 2,
+    OpType.SUB: 2,
+    OpType.AND: 2,
+    OpType.OR: 2,
+    OpType.XOR: 2,
+    OpType.NOT: 1,
+    OpType.LT: 2,
+    OpType.EQ: 2,
+    OpType.MUX: 3,
+    OpType.OUTPUT: 1,
+}
+
+#: Functional-unit class shared by op types (ADD/SUB share the adder).
+FU_CLASS = {
+    OpType.ADD: "alu",
+    OpType.SUB: "alu",
+    OpType.LT: "cmp",
+    OpType.EQ: "cmp",
+    OpType.AND: "logic",
+    OpType.OR: "logic",
+    OpType.XOR: "logic",
+    OpType.NOT: "logic",
+    OpType.MUX: "mux",
+}
+
+
+@dataclass
+class Op:
+    """One DFG node."""
+
+    index: int
+    type: OpType
+    operands: tuple[int, ...]
+    name: str = ""
+    value: int = 0  # for CONST
+    width: int = WORD
+
+    @property
+    def is_source(self) -> bool:
+        return self.type in (OpType.INPUT, OpType.CONST)
+
+
+class DFG:
+    """A dataflow graph under construction (and its reference evaluator)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ops: list[Op] = []
+        self.input_names: list[str] = []
+        self.output_names: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _add(self, op_type: OpType, operands: tuple[int, ...], **kw) -> int:
+        if len(operands) != _ARITY[op_type]:
+            raise ValueError(
+                f"{op_type.value} takes {_ARITY[op_type]} operands, got {len(operands)}"
+            )
+        for operand in operands:
+            if not 0 <= operand < len(self.ops):
+                raise ValueError(f"operand {operand} not yet defined")
+        width = _RESULT_BITS.get(op_type, WORD)
+        op = Op(len(self.ops), op_type, operands, width=width, **kw)
+        self.ops.append(op)
+        return op.index
+
+    def input(self, name: str) -> int:
+        """Declare a primary input word."""
+        if name in self.input_names:
+            raise ValueError(f"duplicate input {name!r}")
+        self.input_names.append(name)
+        return self._add(OpType.INPUT, (), name=name)
+
+    def const(self, value: int) -> int:
+        """A compile-time constant word."""
+        return self._add(OpType.CONST, (), value=value & 0xFFFF)
+
+    def add(self, a: int, b: int) -> int:
+        return self._add(OpType.ADD, (a, b))
+
+    def sub(self, a: int, b: int) -> int:
+        return self._add(OpType.SUB, (a, b))
+
+    def and_(self, a: int, b: int) -> int:
+        return self._add(OpType.AND, (a, b))
+
+    def or_(self, a: int, b: int) -> int:
+        return self._add(OpType.OR, (a, b))
+
+    def xor(self, a: int, b: int) -> int:
+        return self._add(OpType.XOR, (a, b))
+
+    def not_(self, a: int) -> int:
+        return self._add(OpType.NOT, (a,))
+
+    def lt(self, a: int, b: int) -> int:
+        return self._add(OpType.LT, (a, b))
+
+    def eq(self, a: int, b: int) -> int:
+        return self._add(OpType.EQ, (a, b))
+
+    def mux(self, sel: int, a: int, b: int) -> int:
+        """``sel ? b : a`` — sel must be a 1-bit value."""
+        return self._add(OpType.MUX, (sel, a, b))
+
+    def output(self, name: str, value: int) -> int:
+        """Declare a primary output fed by ``value``."""
+        if name in self.output_names:
+            raise ValueError(f"duplicate output {name!r}")
+        self.output_names.append(name)
+        return self._add(OpType.OUTPUT, (value,), name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def computational_ops(self) -> list[Op]:
+        """Ops that occupy a schedule slot (everything but sources/sinks)."""
+        return [
+            op
+            for op in self.ops
+            if op.type not in (OpType.INPUT, OpType.CONST, OpType.OUTPUT)
+        ]
+
+    def consumers(self, index: int) -> list[Op]:
+        return [op for op in self.ops if index in op.operands]
+
+    def evaluate(self, inputs: dict[str, int]) -> dict[str, int]:
+        """Reference (un-scheduled) evaluation — the golden model the
+        synthesized netlist is checked against."""
+        values: dict[int, int] = {}
+        mask = (1 << WORD) - 1
+        for op in self.ops:
+            if op.type == OpType.INPUT:
+                values[op.index] = inputs.get(op.name, 0) & mask
+            elif op.type == OpType.CONST:
+                values[op.index] = op.value
+            elif op.type == OpType.ADD:
+                values[op.index] = (values[op.operands[0]] + values[op.operands[1]]) & mask
+            elif op.type == OpType.SUB:
+                values[op.index] = (values[op.operands[0]] - values[op.operands[1]]) & mask
+            elif op.type == OpType.AND:
+                values[op.index] = values[op.operands[0]] & values[op.operands[1]]
+            elif op.type == OpType.OR:
+                values[op.index] = values[op.operands[0]] | values[op.operands[1]]
+            elif op.type == OpType.XOR:
+                values[op.index] = values[op.operands[0]] ^ values[op.operands[1]]
+            elif op.type == OpType.NOT:
+                values[op.index] = ~values[op.operands[0]] & mask
+            elif op.type == OpType.LT:
+                values[op.index] = int(values[op.operands[0]] < values[op.operands[1]])
+            elif op.type == OpType.EQ:
+                values[op.index] = int(values[op.operands[0]] == values[op.operands[1]])
+            elif op.type == OpType.MUX:
+                sel, a, b = (values[i] for i in op.operands)
+                values[op.index] = b if (sel & 1) else a
+            elif op.type == OpType.OUTPUT:
+                values[op.index] = values[op.operands[0]]
+        return {
+            op.name: values[op.index] for op in self.ops if op.type == OpType.OUTPUT
+        }

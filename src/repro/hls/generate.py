@@ -1,0 +1,224 @@
+"""Datapath + controller generation: the back end of the mini-HLS flow.
+
+Produces a flat sequential gate netlist that executes the scheduled DFG:
+
+* a **one-hot ring controller** with one state per control step plus a
+  commit state (the style AUDI's FSM generator emits);
+* a **result register** per computational value, enabled in its producing
+  state;
+* **shared functional units** for the expensive classes (adder/subtractor
+  ALU, comparator) with state-gated AND-OR operand multiplexers — the
+  "simple components such as adders, multiplexers" the paper's datapath is
+  built from; cheap bitwise/mux ops are inlined (their sharing muxes would
+  cost more than the operators);
+* **output registers** loaded in the commit state, so results are stable
+  for a full schedule period.
+
+The synthesized netlist is verified against :meth:`repro.hls.dfg.DFG.evaluate`
+(hypothesis property tests) and feeds the same scan/fault/resource/export
+tooling as the hand-built GA datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.gates import DFF, GateType
+from repro.hdl.netlist import Netlist
+from repro.hdl.rtlib import (
+    const_word,
+    mux2_word,
+    not_word,
+    ripple_adder,
+    xor_word,
+    and_word,
+    or_word,
+    less_than,
+    equals,
+)
+from repro.hls.allocate import Allocation, allocate
+from repro.hls.dfg import DFG, FU_CLASS, OpType, WORD
+from repro.hls.schedule import ResourceConstraints, Schedule, asap, list_schedule
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized design plus its HLS reports."""
+
+    netlist: Netlist
+    schedule: Schedule
+    allocation: Allocation
+
+    @property
+    def latency(self) -> int:
+        """Clock cycles from start until outputs are committed."""
+        return self.schedule.length + 1
+
+
+def synthesize(
+    dfg: DFG,
+    resources: ResourceConstraints | None = None,
+    schedule: Schedule | None = None,
+) -> SynthesisResult:
+    """Run schedule -> allocate -> generate for a DFG."""
+    if schedule is None:
+        schedule = (
+            list_schedule(dfg, resources) if resources is not None else asap(dfg)
+        )
+    allocation = allocate(schedule)
+    netlist = _generate(dfg, schedule, allocation)
+    return SynthesisResult(netlist=netlist, schedule=schedule, allocation=allocation)
+
+
+# ----------------------------------------------------------------------
+def _generate(dfg: DFG, schedule: Schedule, allocation: Allocation) -> Netlist:
+    nl = Netlist(f"hls_{dfg.name}")
+    n_states = schedule.length + 1  # + commit state
+
+    # --- primary inputs and constants -----------------------------------
+    sources: dict[int, list[int]] = {}
+    for op in dfg.ops:
+        if op.type == OpType.INPUT:
+            sources[op.index] = nl.add_input(op.name, WORD)
+        elif op.type == OpType.CONST:
+            sources[op.index] = const_word(nl, op.value, WORD)
+
+    # --- one-hot ring controller -----------------------------------------
+    states = [nl.net(f"state[{s}]") for s in range(n_states)]
+    for s in range(n_states):
+        prev = states[(s - 1) % n_states]
+        nl.dffs.append(DFF(d=prev, q=states[s], init=1 if s == 0 else 0,
+                           name=f"fsm[{s}]"))
+        nl._driven.add(states[s])
+
+    # --- result registers (allocated lazily, after FU outputs exist) ------
+    # register nets first so consumers can reference them
+    reg_nets: dict[int, list[int]] = {}
+    for op in dfg.computational_ops:
+        reg_nets[op.index] = [
+            nl.net(f"v{op.index}[{b}]") for b in range(op.width)
+        ]
+
+    def value_nets(index: int, width: int = WORD) -> list[int]:
+        """Operand nets, zero-padded/truncated to the requested width."""
+        op = dfg.ops[index]
+        nets = sources[index] if op.is_source else reg_nets[index]
+        if len(nets) < width:
+            zero = const_word(nl, 0, 1)[0]
+            nets = list(nets) + [zero] * (width - len(nets))
+        return nets[:width]
+
+    # --- shared FUs: ALU (add/sub) and comparator -------------------------
+    fu_result: dict[int, list[int]] = {}  # op index -> FU output nets
+
+    def state_or(indices: list[int]) -> int:
+        """OR of the given state nets (CONST0 when empty)."""
+        if not indices:
+            return nl.add_gate(GateType.CONST0)
+        acc = states[indices[0]]
+        for s in indices[1:]:
+            acc = nl.add_gate(GateType.OR, acc, states[s])
+        return acc
+
+    def operand_mux(entries: list[tuple[int, list[int]]], width: int) -> list[int]:
+        """State-gated AND-OR mux: entries are (step, source nets)."""
+        out = []
+        for b in range(width):
+            terms = [
+                nl.add_gate(GateType.AND, states[step], nets[b])
+                for step, nets in entries
+            ]
+            acc = terms[0]
+            for t in terms[1:]:
+                acc = nl.add_gate(GateType.OR, acc, t)
+            out.append(acc)
+        return out
+
+    shared: dict[tuple[str, int], list[int]] = {}
+    for (fu_class, slot) in sorted(set(allocation.binding.values())):
+        if fu_class not in ("alu", "cmp"):
+            continue
+        op_indices = allocation.ops_on_unit(fu_class, slot)
+        entries_a = [
+            (schedule.steps[i], value_nets(dfg.ops[i].operands[0])) for i in op_indices
+        ]
+        entries_b = [
+            (schedule.steps[i], value_nets(dfg.ops[i].operands[1])) for i in op_indices
+        ]
+        in_a = operand_mux(entries_a, WORD) if len(entries_a) > 1 else entries_a[0][1]
+        in_b = operand_mux(entries_b, WORD) if len(entries_b) > 1 else entries_b[0][1]
+        if fu_class == "alu":
+            sub_steps = [
+                schedule.steps[i] for i in op_indices if dfg.ops[i].type == OpType.SUB
+            ]
+            sub_sel = state_or(sub_steps)
+            b_eff = [
+                nl.add_gate(GateType.XOR, bit, sub_sel) for bit in in_b
+            ]
+            total, _ = ripple_adder(nl, in_a, b_eff, cin=sub_sel)
+            for i in op_indices:
+                fu_result[i] = total
+        else:  # cmp
+            lt = less_than(nl, in_a, in_b)
+            eq = equals(nl, in_a, in_b)
+            eq_steps = [
+                schedule.steps[i] for i in op_indices if dfg.ops[i].type == OpType.EQ
+            ]
+            eq_sel = state_or(eq_steps)
+            picked = mux2_word(nl, eq_sel, [lt], [eq])
+            for i in op_indices:
+                fu_result[i] = picked
+
+    # --- inlined cheap ops -------------------------------------------------
+    for op in dfg.computational_ops:
+        if op.index in fu_result:
+            continue
+        if op.type == OpType.AND:
+            fu_result[op.index] = and_word(
+                nl, value_nets(op.operands[0]), value_nets(op.operands[1])
+            )
+        elif op.type == OpType.OR:
+            fu_result[op.index] = or_word(
+                nl, value_nets(op.operands[0]), value_nets(op.operands[1])
+            )
+        elif op.type == OpType.XOR:
+            fu_result[op.index] = xor_word(
+                nl, value_nets(op.operands[0]), value_nets(op.operands[1])
+            )
+        elif op.type == OpType.NOT:
+            fu_result[op.index] = not_word(nl, value_nets(op.operands[0]))
+        elif op.type == OpType.MUX:
+            sel = value_nets(op.operands[0], 1)[0]
+            fu_result[op.index] = mux2_word(
+                nl, sel, value_nets(op.operands[1]), value_nets(op.operands[2])
+            )
+        else:
+            raise AssertionError(f"unbound op {op.type}")
+
+    # --- result registers with state enables ------------------------------
+    for op in dfg.computational_ops:
+        enable = states[schedule.steps[op.index]]
+        result = fu_result[op.index][: op.width]
+        for b, qnet in enumerate(reg_nets[op.index]):
+            held = mux2_word(nl, enable, [qnet], [result[b]])[0]
+            nl.dffs.append(DFF(d=held, q=qnet, init=0, name=f"v{op.index}[{b}]"))
+            nl._driven.add(qnet)
+
+    # --- output registers committed in the final state ---------------------
+    commit = states[n_states - 1]
+    for op in dfg.ops:
+        if op.type != OpType.OUTPUT:
+            continue
+        src = value_nets(op.operands[0], WORD)
+        out_nets = []
+        for b in range(WORD):
+            qnet = nl.net(f"{op.name}[{b}]")
+            held = mux2_word(nl, commit, [qnet], [src[b]])[0]
+            nl.dffs.append(DFF(d=held, q=qnet, init=0, name=f"{op.name}[{b}]"))
+            nl._driven.add(qnet)
+            out_nets.append(qnet)
+        nl.add_output(op.name, out_nets)
+
+    # expose the controller state for observability/debug
+    nl.add_output("fsm_state", states)
+    return nl

@@ -1,0 +1,140 @@
+"""Operation scheduling: ASAP, ALAP, and resource-constrained list
+scheduling (the second stage of the Sec. III-A flow).
+
+All operations take one control step; sources (inputs/constants) are
+available at step 0 and outputs simply observe their producer's register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.dfg import DFG, FU_CLASS, Op, OpType
+
+
+@dataclass
+class Schedule:
+    """Control-step assignment for every computational op."""
+
+    dfg: DFG
+    steps: dict[int, int]  # op index -> control step (0-based)
+
+    @property
+    def length(self) -> int:
+        """Total control steps (the synthesized FSM's state count)."""
+        return 1 + max(self.steps.values()) if self.steps else 1
+
+    def ops_in_step(self, step: int) -> list[Op]:
+        return [self.dfg.ops[i] for i, s in self.steps.items() if s == step]
+
+    def validate(self) -> None:
+        """Data dependencies must be respected: an op runs strictly after
+        every computational producer."""
+        for index, step in self.steps.items():
+            for operand in self.dfg.ops[index].operands:
+                producer = self.dfg.ops[operand]
+                if producer.is_source:
+                    continue
+                if self.steps[producer.index] >= step:
+                    raise ValueError(
+                        f"op {index} at step {step} depends on op "
+                        f"{producer.index} at step {self.steps[producer.index]}"
+                    )
+
+
+@dataclass(frozen=True)
+class ResourceConstraints:
+    """Available functional units per class (None = unlimited)."""
+
+    alu: int | None = None
+    cmp: int | None = None
+    logic: int | None = None
+    mux: int | None = None
+
+    def limit(self, fu_class: str) -> int | None:
+        return getattr(self, fu_class)
+
+
+def _ready_order(dfg: DFG) -> list[Op]:
+    return dfg.computational_ops
+
+
+def asap(dfg: DFG) -> Schedule:
+    """As-soon-as-possible schedule (unlimited resources)."""
+    steps: dict[int, int] = {}
+    for op in _ready_order(dfg):
+        earliest = 0
+        for operand in op.operands:
+            producer = dfg.ops[operand]
+            if not producer.is_source:
+                earliest = max(earliest, steps[producer.index] + 1)
+        steps[op.index] = earliest
+    return Schedule(dfg, steps)
+
+
+def alap(dfg: DFG, length: int | None = None) -> Schedule:
+    """As-late-as-possible schedule for a given length (default: ASAP
+    length — the critical path)."""
+    base = asap(dfg)
+    length = length if length is not None else base.length
+    steps: dict[int, int] = {}
+    for op in reversed(_ready_order(dfg)):
+        latest = length - 1
+        for consumer in dfg.consumers(op.index):
+            if consumer.type == OpType.OUTPUT:
+                continue
+            latest = min(latest, steps[consumer.index] - 1)
+        if latest < 0:
+            raise ValueError(f"schedule length {length} infeasible")
+        steps[op.index] = latest
+    schedule = Schedule(dfg, steps)
+    schedule.validate()
+    return schedule
+
+
+def mobility(dfg: DFG) -> dict[int, int]:
+    """ALAP - ASAP slack per op (list scheduling's priority key)."""
+    early = asap(dfg).steps
+    late = alap(dfg).steps
+    return {i: late[i] - early[i] for i in early}
+
+
+def list_schedule(dfg: DFG, resources: ResourceConstraints) -> Schedule:
+    """Classic mobility-priority list scheduling under FU limits."""
+    slack = mobility(dfg)
+    remaining = {op.index for op in dfg.computational_ops}
+    steps: dict[int, int] = {}
+    step = 0
+    guard = 4 * len(remaining) + 8
+    while remaining:
+        if step > guard:
+            raise RuntimeError("list scheduling failed to converge")
+        used: dict[str, int] = {}
+        ready = sorted(
+            (
+                i
+                for i in remaining
+                if all(
+                    dfg.ops[o].is_source or steps.get(o, step) < step
+                    for o in dfg.ops[i].operands
+                    if not dfg.ops[o].is_source
+                )
+                and all(
+                    dfg.ops[o].is_source or o in steps
+                    for o in dfg.ops[i].operands
+                )
+            ),
+            key=lambda i: (slack[i], i),
+        )
+        for index in ready:
+            fu_class = FU_CLASS[dfg.ops[index].type]
+            limit = resources.limit(fu_class)
+            if limit is not None and used.get(fu_class, 0) >= limit:
+                continue
+            used[fu_class] = used.get(fu_class, 0) + 1
+            steps[index] = step
+            remaining.discard(index)
+        step += 1
+    schedule = Schedule(dfg, steps)
+    schedule.validate()
+    return schedule

@@ -1,0 +1,150 @@
+"""The "Smart GA" fixed-parameter generator — the Chen et al. contrast.
+
+Sec. II-B describes Chen et al.'s flow: a software tool "synthesizes a
+custom GA netlist using these fixed GA parameter values", and the paper's
+critique: "once an ASIC is obtained from a custom netlist, the GA
+parameters cannot be changed ... the user then has to resynthesize the
+entire GA netlist ... and re-design the entire ASIC."
+
+This module makes both sides of that trade measurable:
+
+* :func:`programmable_datapath` — the GA parameter/decision datapath with
+  the five Table III values held in *registers* (the proposed core's way);
+* :func:`fixed_datapath` — the same datapath with the values tied off as
+  *constants* and run through constant propagation + dead-logic removal
+  (the Smart-GA way), quantifying the area it saves;
+* :func:`comparison` — area/FF/LUT deltas plus the cost of *changing* a
+  parameter in each world: a ~tens-of-cycles initialization handshake vs. a
+  full resynthesis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.resources import estimate_netlist
+from repro.core.params import GAParameters
+from repro.hdl import rtlib
+from repro.hdl.flatten import merge
+from repro.hdl.netlist import Netlist
+from repro.hdl.optimize import optimize
+from repro.hdl.rtlib import const_word
+
+
+def _parameter_decision_datapath(
+    name: str, params: GAParameters | None
+) -> Netlist:
+    """The parameter-consuming slice of the GA core, wired end to end.
+
+    Inputs: the 4-bit random fields and the loop counters' current values.
+    Outputs: do_crossover / do_mutation decisions, generation/population
+    comparisons, and the RNG seed bus.  When ``params`` is given, the five
+    parameter values are constants; otherwise they come from loadable
+    registers (with d/load ports exposed, as the init handshake drives).
+    """
+    nl = Netlist(name)
+
+    def param_source(pname: str, width: int, value: int | None) -> list[int]:
+        if value is not None:
+            return const_word(nl, value, width)
+        reg = rtlib.build_parameter_register(width)
+        return merge(nl, reg, pname, expose_outputs=False)["q"]
+
+    p = params
+    xover_thr = param_source("crossover_threshold", 4,
+                             p.crossover_threshold if p else None)
+    mut_thr = param_source("mutation_threshold", 4,
+                           p.mutation_threshold if p else None)
+    n_gens = param_source("num_generations", 32, p.n_generations if p else None)
+    pop_size = param_source("population_size", 8,
+                            p.population_size & 0xFF if p else None)
+    seed = param_source("rng_seed", 16, p.rng_seed if p else None)
+
+    rand_x = nl.add_input("rand_xover", 4)
+    rand_m = nl.add_input("rand_mut", 4)
+    gen_count = nl.add_input("generation_index", 32)
+    pop_count = nl.add_input("population_index", 8)
+
+    nl.add_output("do_crossover", [rtlib.less_than(nl, rand_x, xover_thr)])
+    nl.add_output("do_mutation", [rtlib.less_than(nl, rand_m, mut_thr)])
+    nl.add_output("generations_done", [rtlib.equals(nl, gen_count, n_gens)])
+    nl.add_output("population_full", [rtlib.equals(nl, pop_count, pop_size)])
+    nl.add_output("seed", seed)
+    return nl
+
+
+def programmable_datapath() -> Netlist:
+    """The proposed core's registered-parameter decision datapath."""
+    return _parameter_decision_datapath("ga_params_programmable", None)
+
+
+def fixed_datapath(params: GAParameters) -> Netlist:
+    """The Smart-GA constant-parameter datapath, optimized."""
+    raw = _parameter_decision_datapath("ga_params_fixed", params)
+    return optimize(raw)
+
+
+@dataclass
+class SmartGAComparison:
+    """Both sides of the programmability trade."""
+
+    programmable_stats: dict
+    fixed_stats: dict
+    gate_saving_pct: float
+    ff_saving: int
+    reprogram_cycles: int
+    resynthesis_seconds: float
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "approach": "proposed core (registers)",
+                "gates": self.programmable_stats["gates"],
+                "FFs": self.programmable_stats["dff"],
+                "change a parameter": f"{self.reprogram_cycles} GA cycles "
+                f"({self.reprogram_cycles / 50e3:.3f} ms @50MHz)",
+            },
+            {
+                "approach": "Smart GA (constants)",
+                "gates": self.fixed_stats["gates"],
+                "FFs": self.fixed_stats["dff"],
+                "change a parameter": f"full resynthesis "
+                f"({1e3 * self.resynthesis_seconds:.1f} ms here; a new ASIC "
+                "in silicon)",
+            },
+        ]
+
+
+def measure_reprogram_cycles(params: GAParameters) -> int:
+    """GA cycles the initialization handshake takes against the real core."""
+    from repro.core.ga_core import GACore
+    from repro.core.init_module import InitializationModule
+    from repro.core.ports import GAPorts
+    from repro.hdl.simulator import Simulator
+
+    ports = GAPorts.create()
+    core = GACore(ports)
+    init = InitializationModule(ports, params)
+    sim = Simulator()
+    sim.add(core)
+    sim.add(init)
+    return sim.run_until(lambda: init.done, 10_000)
+
+
+def comparison(params: GAParameters | None = None) -> SmartGAComparison:
+    """Run the full programmable-vs-fixed comparison."""
+    params = params or GAParameters(64, 64, 10, 1, 0x061F)
+    prog = programmable_datapath()
+    t0 = time.perf_counter()
+    fixed = fixed_datapath(params)
+    resynth = time.perf_counter() - t0
+    prog_stats, fixed_stats = prog.stats(), fixed.stats()
+    return SmartGAComparison(
+        programmable_stats=prog_stats,
+        fixed_stats=fixed_stats,
+        gate_saving_pct=100 * (1 - fixed_stats["gates"] / prog_stats["gates"]),
+        ff_saving=prog_stats["dff"] - fixed_stats["dff"],
+        reprogram_cycles=measure_reprogram_cycles(params),
+        resynthesis_seconds=resynth,
+    )

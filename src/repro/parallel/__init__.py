@@ -1,0 +1,13 @@
+"""Parallel GA extensions (the Sec. II-B acceleration direction).
+
+The related-work section cites pipelined/parallel hardware GA architectures
+[11]-[13]; the natural multi-core analogue of "several GA cores on one
+fabric" is the island model: independent GA engines with periodic best-
+individual migration.  :mod:`repro.parallel.islands` implements it over
+``multiprocessing`` (no external dependencies), with a deterministic
+single-process mode for tests.
+"""
+
+from repro.parallel.islands import IslandGA, IslandResult
+
+__all__ = ["IslandGA", "IslandResult"]

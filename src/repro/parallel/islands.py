@@ -1,0 +1,176 @@
+"""Island-model parallel GA over multiple engine instances.
+
+Models a fabric carrying several GA IP cores (the multi-core direction of
+Sec. II-B / the hybrid system of Fig. 5): ``n_islands`` behavioural engines
+evolve independent populations in epochs of ``migration_interval``
+generations; at each epoch boundary every island's champion migrates to its
+ring neighbour, replacing the neighbour's worst member.  Populations are
+carried across epochs (no restarts).
+
+Two execution modes:
+
+* ``processes=1`` — sequential in-process, fully deterministic;
+* ``processes>1`` — epochs fan out over a ``multiprocessing`` pool; results
+  are identical to the sequential mode because each island owns an
+  independently seeded RNG and migration happens at synchronised epoch
+  barriers (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness.base import FitnessFunction
+from repro.fitness.functions import by_name
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+@dataclass
+class IslandResult:
+    """Outcome of an island-model run."""
+
+    best_individual: int
+    best_fitness: int
+    island_bests: list[int]
+    migrations: int
+    evaluations: int
+    best_per_epoch: list[int]
+
+
+def _epoch_worker(args: tuple) -> tuple[int, list[int], int, int, int, int]:
+    """Run one island for one epoch.  Module-level so it pickles.
+
+    args: (fitness_name, island_index, params_dict, epoch_gens, rng_state,
+    rng_seed, population_or_None)
+    returns: (island, final_population, best_ind, best_fit, rng_state,
+    evaluations)
+    """
+    fn_name, island, params_dict, epoch_gens, rng_state, rng_seed, population = args
+    fn = by_name(fn_name)
+    params = GAParameters(**params_dict).with_(n_generations=epoch_gens)
+    rng = CellularAutomatonPRNG(rng_seed)
+    rng.state = rng_state
+    ga = BehavioralGA(params, fn, rng=rng, record_members=False)
+    initial = np.asarray(population, dtype=np.int64) if population is not None else None
+    result = ga.run(initial=initial)
+    return (
+        island,
+        ga.final_population.tolist(),
+        result.best_individual,
+        result.best_fitness,
+        rng.state,
+        result.evaluations,
+    )
+
+
+class IslandGA:
+    """Ring-topology island model over behavioural GA engines."""
+
+    def __init__(
+        self,
+        params: GAParameters,
+        fitness: FitnessFunction,
+        n_islands: int = 4,
+        migration_interval: int = 8,
+        processes: int = 1,
+    ):
+        if n_islands < 2:
+            raise ValueError("island model needs at least 2 islands")
+        if migration_interval < 1:
+            raise ValueError("migration interval must be >= 1")
+        self.params = params
+        self.fitness = fitness
+        self.n_islands = n_islands
+        self.migration_interval = migration_interval
+        self.processes = processes
+        # Island seeds: decorrelated offsets of the programmed seed
+        # (the programmable-seed feature, once per core).
+        self.seeds = [
+            ((params.rng_seed + 0x9E37 * i) & 0xFFFF) or 1 for i in range(n_islands)
+        ]
+
+    # ------------------------------------------------------------------
+    def _epoch_jobs(self, states, populations):
+        params_dict = dict(
+            n_generations=self.params.n_generations,
+            population_size=self.params.population_size,
+            crossover_threshold=self.params.crossover_threshold,
+            mutation_threshold=self.params.mutation_threshold,
+            rng_seed=self.params.rng_seed,
+        )
+        return [
+            (
+                self.fitness.name,
+                i,
+                params_dict,
+                self.migration_interval,
+                states[i],
+                self.seeds[i],
+                populations[i],
+            )
+            for i in range(self.n_islands)
+        ]
+
+    def _migrate(self, populations, champions):
+        """Ring migration: island i's champion replaces the worst member of
+        island (i+1) mod N."""
+        table = self.fitness.table()
+        for i in range(self.n_islands):
+            migrant, _fit = champions[(i - 1) % self.n_islands]
+            pop = np.asarray(populations[i], dtype=np.int64)
+            fits = table[pop]
+            worst = int(fits.argmin())
+            pop[worst] = migrant
+            populations[i] = pop.tolist()
+
+    def run(self) -> IslandResult:
+        """Run all epochs; sequential or pooled per ``processes``."""
+        epochs = max(1, self.params.n_generations // self.migration_interval)
+        states = list(self.seeds)
+        populations: list[list[int] | None] = [None] * self.n_islands
+        island_best: list[tuple[int, int]] = [(0, -1)] * self.n_islands
+        evaluations = 0
+        migrations = 0
+        best_per_epoch: list[int] = []
+
+        pool = None
+        if self.processes > 1:
+            import multiprocessing as mp
+
+            pool = mp.Pool(self.processes)
+        try:
+            for _epoch in range(epochs):
+                jobs = self._epoch_jobs(states, populations)
+                if pool is not None:
+                    results = pool.map(_epoch_worker, jobs)
+                else:
+                    results = [_epoch_worker(job) for job in jobs]
+                champions: list[tuple[int, int]] = [(0, -1)] * self.n_islands
+                for island, final_pop, cand, fit, state, evals in results:
+                    states[island] = state
+                    populations[island] = final_pop
+                    evaluations += evals
+                    champions[island] = (cand, fit)
+                    if fit > island_best[island][1]:
+                        island_best[island] = (cand, fit)
+                self._migrate(populations, champions)
+                migrations += self.n_islands
+                best_per_epoch.append(max(f for _c, f in island_best))
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+
+        overall = max(island_best, key=lambda cf: cf[1])
+        return IslandResult(
+            best_individual=overall[0],
+            best_fitness=overall[1],
+            island_bests=[f for _c, f in island_best],
+            migrations=migrations,
+            evaluations=evaluations,
+            best_per_epoch=best_per_epoch,
+        )

@@ -1,0 +1,39 @@
+"""Pseudo-random number generation substrate (Sec. II-C of the paper).
+
+The GA IP core consumes 16-bit random words from a cellular-automaton PRNG
+"similar to the implementation in [5]" (Scott et al.'s HGA).  This package
+provides:
+
+* :class:`~repro.rng.cellular_automaton.CellularAutomatonPRNG` — the
+  production RNG: a 16-cell null-boundary hybrid rule-90/150 CA with a
+  verified maximal-length rule vector, programmable seed, and the three
+  preset seeds of the core;
+* :class:`~repro.rng.lfsr.GaloisLFSR` — the linear-feedback alternative used
+  by Tommiska & Vuori's implementation (Table I row [6]);
+* :class:`~repro.rng.lcg.LCG16` / :class:`~repro.rng.lcg.PoorLCG` — a decent
+  and a deliberately bad generator for the RNG-quality ablation study that
+  Sec. II-C motivates (Meysenburg/Foster vs. Cantu-Paz);
+* :mod:`~repro.rng.quality` — period, uniformity, serial-correlation, and
+  bit-balance metrics used to characterise all of the above.
+"""
+
+from repro.rng.base import RandomSource
+from repro.rng.cellular_automaton import (
+    DEFAULT_RULE_VECTOR,
+    PRESET_SEEDS,
+    CellularAutomatonPRNG,
+    ca_step,
+)
+from repro.rng.lfsr import GaloisLFSR
+from repro.rng.lcg import LCG16, PoorLCG
+
+__all__ = [
+    "RandomSource",
+    "CellularAutomatonPRNG",
+    "ca_step",
+    "DEFAULT_RULE_VECTOR",
+    "PRESET_SEEDS",
+    "GaloisLFSR",
+    "LCG16",
+    "PoorLCG",
+]

@@ -1,0 +1,66 @@
+"""Common interface for the hardware-style 16-bit random sources."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomSource:
+    """A deterministic stream of 16-bit words.
+
+    Subclasses implement :meth:`_advance` (compute the successor state) and
+    hold their state in ``self.state``.  The convention mirrors the hardware:
+    the GA core *reads the output register* and the module then steps, so
+    :meth:`next_word` returns the current state and advances afterwards.
+    """
+
+    #: Word width in bits.
+    width: int = 16
+
+    def __init__(self, seed: int):
+        if not 0 < seed < (1 << self.width):
+            raise ValueError(
+                f"seed must be in [1, {(1 << self.width) - 1}], got {seed}"
+            )
+        self.seed = seed
+        self.state = seed
+        self.draws = 0
+
+    def _advance(self, state: int) -> int:
+        raise NotImplementedError
+
+    def state_key(self) -> int:
+        """Hashable full internal state (overridden by generators whose
+        state is wider than the emitted word, e.g. :class:`~repro.rng.lcg.LCG16`)."""
+        return self.state
+
+    def next_word(self) -> int:
+        """Return the current 16-bit word and advance the generator."""
+        word = self.state
+        self.state = self._advance(self.state)
+        self.draws += 1
+        return word
+
+    def block(self, n: int) -> np.ndarray:
+        """Return the next ``n`` words as a ``uint16`` array.
+
+        The base implementation loops; sequence generators with a
+        precomputed orbit (the CA PRNG) override this with O(1) slicing.
+        """
+        out = np.empty(n, dtype=np.uint16)
+        for i in range(n):
+            out[i] = self.next_word()
+        return out
+
+    def reseed(self, seed: int) -> None:
+        """Load a new seed (the programmable-seed feature of the core)."""
+        if not 0 < seed < (1 << self.width):
+            raise ValueError(
+                f"seed must be in [1, {(1 << self.width) - 1}], got {seed}"
+            )
+        self.seed = seed
+        self.state = seed
+        self.draws = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(seed={self.seed:#06x}, draws={self.draws})"

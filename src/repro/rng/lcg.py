@@ -1,0 +1,56 @@
+"""Linear congruential generators for the RNG-quality ablation.
+
+Sec. II-C reviews the literature on RNG quality vs. GA performance
+(Meysenburg & Foster found little effect; Cantu-Paz found the initial
+population's randomness matters).  To reproduce that study shape we need a
+*good* and a deliberately *poor* generator alongside the CA and LFSR:
+
+* :class:`LCG16` — a 32-bit Numerical-Recipes LCG whose upper 16 bits are
+  emitted: decent uniformity and period for GA purposes.
+* :class:`PoorLCG` — a 16-bit modulus LCG with a small multiplier: short
+  period, strong serial correlation, the classic "bad RNG".
+"""
+
+from __future__ import annotations
+
+from repro.rng.base import RandomSource
+
+
+class LCG16(RandomSource):
+    """Good-quality LCG: 32-bit state, 16-bit output from the high half."""
+
+    MULTIPLIER = 1664525
+    INCREMENT = 1013904223
+    MODULUS_BITS = 32
+
+    def __init__(self, seed: int):
+        super().__init__(seed)
+        self._state32 = seed
+
+    def _advance(self, state: int) -> int:
+        self._state32 = (
+            self.MULTIPLIER * self._state32 + self.INCREMENT
+        ) & 0xFFFFFFFF
+        return (self._state32 >> 16) & 0xFFFF
+
+    def reseed(self, seed: int) -> None:
+        super().reseed(seed)
+        self._state32 = seed
+
+    def state_key(self) -> int:
+        return self._state32
+
+
+class PoorLCG(RandomSource):
+    """Deliberately poor LCG: tiny multiplier, 16-bit modulus.
+
+    Exhibits a short effective period and lattice structure in its low bits;
+    used to demonstrate the convergence degradation that motivates the
+    programmable-seed/good-RNG design decisions of the paper.
+    """
+
+    MULTIPLIER = 75
+    INCREMENT = 74
+
+    def _advance(self, state: int) -> int:
+        return (self.MULTIPLIER * state + self.INCREMENT) & 0xFFFF

@@ -1,0 +1,32 @@
+"""Galois LFSR — the RNG style used by the Tommiska & Vuori baseline.
+
+Table I lists "LSHR/fixed" (linear shift register, fixed seed) as the RNG of
+implementation [6].  A 16-bit maximal-length Galois LFSR with taps
+``x^16 + x^14 + x^13 + x^11 + 1`` (mask ``0xB400``) provides the same period
+(``2**16 - 1``) as the CA but with the well-known shift-register correlation
+structure, making it the natural comparison point for the RNG-quality
+ablation.
+"""
+
+from __future__ import annotations
+
+from repro.rng.base import RandomSource
+
+#: Tap mask of the maximal-length polynomial x^16 + x^14 + x^13 + x^11 + 1.
+DEFAULT_TAPS = 0xB400
+
+
+class GaloisLFSR(RandomSource):
+    """16-bit Galois (one-shift-per-word output register read) LFSR."""
+
+    def __init__(self, seed: int, taps: int = DEFAULT_TAPS, width: int = 16):
+        self.width = width
+        self.taps = taps
+        super().__init__(seed)
+
+    def _advance(self, state: int) -> int:
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= self.taps
+        return state

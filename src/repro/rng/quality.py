@@ -1,0 +1,153 @@
+"""RNG quality metrics (Sec. II-C).
+
+"A high-quality RNG is generally characterized by a long period, uniformly
+distributed random numbers, absence of correlations between consecutive
+numbers, and structural properties."  This module measures exactly those
+four properties for any :class:`~repro.rng.base.RandomSource`, so the
+ablation benchmarks can tie RNG quality to GA convergence the way the
+Meysenburg/Foster and Cantu-Paz studies did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sstats
+
+from repro.rng.base import RandomSource
+
+
+@dataclass(frozen=True)
+class RNGReport:
+    """Summary metrics over a sampled stream."""
+
+    name: str
+    period: int
+    chi2_pvalue: float
+    serial_correlation: float
+    bit_balance: float  # mean fraction of ones per bit position (ideal 0.5)
+    worst_bit_bias: float  # max |fraction - 0.5| over bit positions
+
+    def is_good(
+        self,
+        min_period: int = 60000,
+        min_p: float = 1e-4,
+        max_serial: float = 0.05,
+        max_bit_bias: float = 0.05,
+    ) -> bool:
+        """Apply the conventional acceptance thresholds."""
+        return (
+            self.period >= min_period
+            and self.chi2_pvalue >= min_p
+            and abs(self.serial_correlation) <= max_serial
+            and self.worst_bit_bias <= max_bit_bias
+        )
+
+
+def measure_period(source: RandomSource, limit: int = 1 << 17) -> int:
+    """Steps until the full generator state first repeats (capped at
+    ``limit``).  Operates on a deep copy, leaving ``source`` untouched."""
+    import copy
+
+    probe = copy.deepcopy(source)
+    seen = {probe.state_key()}
+    steps = 0
+    while steps < limit:
+        probe.next_word()
+        steps += 1
+        key = probe.state_key()
+        if key in seen:
+            return steps
+        seen.add(key)
+    return limit
+
+
+def chi_square_uniformity(words: np.ndarray, buckets: int = 64) -> float:
+    """P-value of the chi-square test of uniformity over equal buckets."""
+    counts, _ = np.histogram(words, bins=buckets, range=(0, 65536))
+    expected = len(words) / buckets
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    return float(sstats.chi2.sf(chi2, buckets - 1))
+
+
+def serial_correlation(words: np.ndarray) -> float:
+    """Lag-1 Pearson correlation between consecutive words."""
+    a = words[:-1].astype(np.float64)
+    b = words[1:].astype(np.float64)
+    if a.std() == 0 or b.std() == 0:
+        return 1.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def bit_balance(words: np.ndarray, width: int = 16) -> tuple[float, float]:
+    """(mean ones-fraction, worst |bias|) across bit positions."""
+    bits = (words[:, None] >> np.arange(width)[None, :]) & 1
+    fractions = bits.mean(axis=0)
+    return float(fractions.mean()), float(np.abs(fractions - 0.5).max())
+
+
+def runs_test(words: np.ndarray) -> float:
+    """Wald-Wolfowitz runs test on the above/below-median sequence.
+
+    Returns the two-sided p-value; a stream with too few or too many runs
+    (clumping or alternation) scores near zero.
+    """
+    median = np.median(words)
+    seq = (words > median).astype(np.int8)
+    # drop exact-median samples to keep the two classes clean
+    seq = seq[words != median] if np.any(words == median) else seq
+    n1 = int(seq.sum())
+    n2 = len(seq) - n1
+    if n1 == 0 or n2 == 0:
+        return 0.0
+    runs = 1 + int(np.count_nonzero(seq[1:] != seq[:-1]))
+    expected = 1 + 2 * n1 * n2 / (n1 + n2)
+    variance = (
+        2 * n1 * n2 * (2 * n1 * n2 - n1 - n2)
+        / ((n1 + n2) ** 2 * (n1 + n2 - 1))
+    )
+    if variance <= 0:
+        return 0.0
+    z = (runs - expected) / variance**0.5
+    return float(2 * sstats.norm.sf(abs(z)))
+
+
+def gap_test(words: np.ndarray, lo: int = 0, hi: int = 16384, max_gap: int = 30) -> float:
+    """Knuth's gap test: distribution of gaps between visits to [lo, hi).
+
+    Returns the chi-square p-value against the geometric expectation.
+    """
+    in_range = (words >= lo) & (words < hi)
+    positions = np.flatnonzero(in_range)
+    if len(positions) < 20:
+        return 0.0
+    gaps = np.diff(positions) - 1
+    gaps = np.minimum(gaps, max_gap)
+    p = (hi - lo) / 65536.0
+    expected_probs = np.array(
+        [p * (1 - p) ** g for g in range(max_gap)] + [(1 - p) ** max_gap]
+    )
+    counts = np.bincount(gaps, minlength=max_gap + 1)[: max_gap + 1]
+    expected = expected_probs * len(gaps)
+    keep = expected >= 1.0
+    chi2 = float(((counts[keep] - expected[keep]) ** 2 / expected[keep]).sum())
+    return float(sstats.chi2.sf(chi2, int(keep.sum()) - 1))
+
+
+def evaluate(source: RandomSource, samples: int = 20000) -> RNGReport:
+    """Full quality report for a generator (non-destructive on seed)."""
+    seed = source.seed
+    period = measure_period(source)
+    source.reseed(seed)
+    words = source.block(samples).astype(np.int64)
+    source.reseed(seed)
+    mean_frac, worst = bit_balance(words)
+    return RNGReport(
+        name=type(source).__name__,
+        period=period,
+        chi2_pvalue=chi_square_uniformity(words),
+        serial_correlation=serial_correlation(words),
+        bit_balance=mean_frac,
+        worst_bit_bias=worst,
+    )

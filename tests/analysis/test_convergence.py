@@ -1,0 +1,101 @@
+"""Tests for the convergence metrics."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    convergence_generation,
+    evaluations_to_best,
+    first_hit_generation,
+    fraction_of_space,
+)
+from repro.core.stats import GenerationStats
+
+
+def make_history(avgs, bests, pop=32):
+    return [
+        GenerationStats(
+            generation=i,
+            best_fitness=b,
+            best_individual=0,
+            fitness_sum=int(a * pop),
+            population_size=pop,
+        )
+        for i, (a, b) in enumerate(zip(avgs, bests))
+    ]
+
+
+class TestConvergenceGeneration:
+    def test_five_percent_rule(self):
+        # averages: 100 -> 150 -> 153 (2% step): converged at gen 1
+        hist = make_history([100, 150, 153], [1, 2, 3])
+        assert convergence_generation(hist) == 1
+
+    def test_never_converges_returns_last(self):
+        hist = make_history([100, 200, 400, 800], [1, 2, 3, 4])
+        assert convergence_generation(hist) == 3
+
+    def test_custom_threshold(self):
+        hist = make_history([100, 109, 120], [1, 2, 3])
+        # one-step reading: the first quiet step is gen 0 at 10% threshold
+        assert convergence_generation(hist, threshold=0.10, sustained=False) == 0
+        # sustained reading: the 109 -> 120 step (10.09%) breaks it
+        assert convergence_generation(hist, threshold=0.10) == 2
+        assert convergence_generation(hist, threshold=0.05) == 2
+
+    def test_sustained_ignores_early_quiet_step(self):
+        # a single flat step mid-climb does not count as convergence
+        hist = make_history([100, 101, 150, 152, 153], [1] * 5)
+        assert convergence_generation(hist, sustained=False) == 0
+        assert convergence_generation(hist) == 2
+
+    def test_zero_average_skipped(self):
+        hist = make_history([0, 0, 50, 51], [1, 1, 1, 1])
+        assert convergence_generation(hist) == 2
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_generation([])
+
+
+class TestFirstHit:
+    def test_hit_in_middle(self):
+        hist = make_history([1, 1, 1, 1], [10, 50, 90, 90])
+        assert first_hit_generation(hist) == 2
+
+    def test_hit_in_initial_population(self):
+        hist = make_history([1, 1], [90, 90])
+        assert first_hit_generation(hist) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            first_hit_generation([])
+
+
+class TestEvaluationArithmetic:
+    def test_paper_formula(self):
+        # Fig. 13: best found by generation 10 with pop 64 ->
+        # (10 + 1) * 64 = 704 candidates evaluated.
+        hist = make_history([1] * 21, [5] * 10 + [9] * 11, pop=64)
+        assert first_hit_generation(hist) == 10
+        assert evaluations_to_best(hist) == 704
+
+    def test_fraction_of_space(self):
+        # 704 / 65536 = 1.07% (< 1.1%, the paper's claim).
+        hist = make_history([1] * 21, [5] * 10 + [9] * 11, pop=64)
+        assert fraction_of_space(hist) == pytest.approx(704 / 65536)
+        assert fraction_of_space(hist) < 0.011
+
+
+class TestOnRealRuns:
+    def test_mbf6_finds_best_quickly(self):
+        # The headline Sec. IV-B claim on our reproduction: best found
+        # within a small fraction of the solution space.
+        from repro.core.behavioral import BehavioralGA
+        from repro.core.params import GAParameters
+        from repro.fitness import MBF6_2
+
+        result = BehavioralGA(
+            GAParameters(64, 64, 10, 1, 0x061F), MBF6_2()
+        ).run()
+        assert fraction_of_space(result.history) < 0.10
+        assert convergence_generation(result.history) <= 64

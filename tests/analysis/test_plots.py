@@ -1,0 +1,74 @@
+"""Tests for the figure-series extraction and ASCII renderer."""
+
+import numpy as np
+
+from repro.analysis.plots import (
+    ascii_plot,
+    best_avg_series,
+    function_series,
+    render_convergence,
+    scatter_series,
+)
+from repro.core.stats import GenerationStats
+from repro.fitness import BF6
+
+
+def history():
+    return [
+        GenerationStats(0, 50, 1, 120, 4, fitnesses=[10, 20, 40, 50]),
+        GenerationStats(1, 60, 2, 180, 4, fitnesses=[40, 40, 40, 60]),
+    ]
+
+
+class TestScatterSeries:
+    def test_deduplicates_equal_fitness_per_generation(self):
+        # Fig. 8 caption: "the plots show only one of multiple members with
+        # the same fitness in any generation".
+        points = scatter_series(history())
+        assert points.count((1, 40)) == 1
+        assert (0, 10) in points and (1, 60) in points
+
+    def test_sorted_within_generation(self):
+        points = scatter_series(history())
+        gen0 = [f for g, f in points if g == 0]
+        assert gen0 == sorted(gen0)
+
+
+class TestBestAvgSeries:
+    def test_series_shapes(self):
+        gens, best, avg = best_avg_series(history())
+        assert gens == [0, 1]
+        assert best == [50, 60]
+        assert avg == [30.0, 45.0]
+
+
+class TestFunctionSeries:
+    def test_fig7_range(self):
+        xs, ys = function_series(BF6(), 0, 300)
+        assert len(xs) == 301
+        assert ys[0] == 3200  # BF6(0)
+
+    def test_values_match_function(self):
+        fn = BF6()
+        xs, ys = function_series(fn, 10, 20)
+        for x, y in zip(xs, ys):
+            assert fn(int(x)) == int(y)
+
+
+class TestAsciiPlot:
+    def test_contains_points_and_frame(self):
+        out = ascii_plot([0, 1, 2], [0, 5, 10], width=20, height=5, label="t")
+        assert "*" in out
+        assert out.count("|") >= 5
+        assert "t [y:" in out
+
+    def test_empty_data(self):
+        assert ascii_plot([], []) == "(no data)"
+
+    def test_constant_series_no_crash(self):
+        out = ascii_plot([0, 1], [5, 5], width=10, height=3)
+        assert "*" in out
+
+    def test_render_convergence(self):
+        out = render_convergence(history(), label="fig13")
+        assert "fig13" in out and "*" in out

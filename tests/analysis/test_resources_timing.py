@@ -1,0 +1,105 @@
+"""Tests for the resource estimator (Table VI) and timing model (Sec. IV-C)."""
+
+import pytest
+
+from repro.analysis.resources import (
+    XC2VP30,
+    estimate_netlist,
+    ga_core_report,
+)
+from repro.analysis.timing import (
+    PAPER_SOFTWARE_RUNTIME_S,
+    PAPER_SPEEDUP,
+    PowerPCCostModel,
+    hardware_runtime,
+    software_runtime,
+    speedup_experiment,
+)
+from repro.baselines.software_ga import OpCounters
+from repro.core.params import GAParameters
+from repro.fitness import MBF6_2
+from repro.hdl import rtlib
+
+
+class TestDeviceModel:
+    def test_xc2vp30_capacity(self):
+        assert XC2VP30.slices == 13696
+        assert XC2VP30.brams == 136
+
+
+class TestNetlistEstimation:
+    def test_small_block_fits_easily(self):
+        report = estimate_netlist(rtlib.build_adder(16))
+        assert report.slices < 100
+        assert report.slice_utilization < 0.01
+
+    def test_deeper_logic_is_slower(self):
+        fast = estimate_netlist(rtlib.build_adder(8))
+        slow = estimate_netlist(rtlib.build_adder(32))
+        assert slow.max_frequency_mhz < fast.max_frequency_mhz
+        assert slow.critical_path_levels > fast.critical_path_levels
+
+    def test_report_row_shape(self):
+        row = estimate_netlist(rtlib.build_adder(16)).row()
+        assert {"design", "LUTs", "FFs", "slices", "slice%", "Fmax(MHz)"} <= set(row)
+
+
+class TestTableVI:
+    def test_slice_utilization_matches_paper_band(self):
+        report = ga_core_report()
+        assert 0.10 <= report.slice_utilization <= 0.16  # paper: 13%
+
+    def test_clock_near_50mhz(self):
+        report = ga_core_report()
+        assert 45 <= report.clock_mhz <= 60  # paper: 50 MHz
+
+    def test_ga_memory_bram_about_1pct(self):
+        report = ga_core_report()
+        assert report.ga_memory_bram_pct <= 1.0  # paper: 1%
+
+    def test_fitness_lut_bram_band(self):
+        report = ga_core_report()
+        assert 40 <= report.fitness_lut_bram_pct <= 50  # paper: 48%
+
+    def test_rows_cover_all_four_attributes(self):
+        rows = ga_core_report().rows()
+        assert len(rows) == 4
+        assert all({"attribute", "paper", "measured"} <= set(r) for r in rows)
+
+
+class TestTimingModel:
+    def test_price_is_linear_in_counts(self):
+        model = PowerPCCostModel()
+        one = OpCounters(1, 1, 1, 1, 1)
+        two = OpCounters(2, 2, 2, 2, 2)
+        assert software_runtime(two, model) == pytest.approx(
+            2 * software_runtime(one, model)
+        )
+
+    def test_hardware_runtime_at_50mhz(self):
+        assert hardware_runtime(50_000_000) == pytest.approx(1.0)
+        assert hardware_runtime(65432) == pytest.approx(65432 / 50e6)
+
+    def test_fitness_call_dominates(self):
+        # The communication round-trip is the paper's motivating cost.
+        model = PowerPCCostModel()
+        assert model.fitness_call > 10 * model.rng_call
+
+    def test_speedup_experiment_reproduces_paper_shape(self):
+        params = GAParameters(32, 32, 10, 1, 45890)
+        report = speedup_experiment(params, MBF6_2())
+        # software model lands near the measured 37.6 ms
+        assert report.software_seconds == pytest.approx(
+            PAPER_SOFTWARE_RUNTIME_S, rel=0.15
+        )
+        # our leaner FSM beats the paper's hardware, so measured speedup
+        # exceeds 5.16x; the paper-equivalent pricing reproduces ~5.16x.
+        assert report.speedup_measured > PAPER_SPEEDUP
+        assert report.speedup_paper_equivalent == pytest.approx(
+            PAPER_SPEEDUP, rel=0.15
+        )
+
+    def test_report_rows(self):
+        params = GAParameters(4, 8, 10, 1, 45890)
+        report = speedup_experiment(params, MBF6_2())
+        assert len(report.rows()) == 4

@@ -1,0 +1,96 @@
+"""Fig. 3 — the single-point crossover worked example, plus operator
+properties shared by every implementation level (behavioural model,
+cycle-accurate core, gate netlist)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness import F3
+from repro.hdl import rtlib
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+u16 = st.integers(0, 0xFFFF)
+cut4 = st.integers(0, 15)
+
+
+def reference_crossover(p1: int, p2: int, cut: int) -> tuple[int, int]:
+    """Sec. III-B.3: mask has ones from position 0 to cut-1; off1 takes the
+    low part of parent 1 and the high part of parent 2."""
+    mask = (1 << cut) - 1
+    inv = ~mask & 0xFFFF
+    return (p1 & mask) | (p2 & inv), (p2 & mask) | (p1 & inv)
+
+
+class TestFig3WorkedExample:
+    def test_paper_figure(self):
+        # Fig. 3 shows 8-bit parents crossed at a mid cutpoint; transcribe:
+        # parent1 = 1 0 1 0 1 0 1 0 (MSB..LSB), parent2 = 0 1 0 1 0 1 0 1,
+        # cutpoint at 4 -> offspring swap their low nibbles.
+        p1, p2, cut = 0b10101010, 0b01010101, 4
+        off1, off2 = reference_crossover(p1, p2, cut)
+        assert off1 == (p1 & 0x0F) | (p2 & 0xF0)
+        assert off2 == (p2 & 0x0F) | (p1 & 0xF0)
+
+    def test_two_offspring_produced(self):
+        # "The crossover operation produces two offspring" — and they are
+        # each other's complement choice at every position.
+        off1, off2 = reference_crossover(0xBEEF, 0x1234, 9)
+        assert off1 != off2
+        for i in range(16):
+            bits = {(off1 >> i) & 1, (off2 >> i) & 1}
+            parents = {(0xBEEF >> i) & 1, (0x1234 >> i) & 1}
+            assert bits == parents
+
+
+class TestCrossLevelAgreement:
+    @given(u16, u16, cut4)
+    def test_gate_level_matches_reference(self, p1, p2, cut):
+        nl = rtlib.build_crossover_unit(16)
+        out = nl.evaluate({"p1": p1, "p2": p2, "cut": cut})
+        assert (out["off1"], out["off2"]) == reference_crossover(p1, p2, cut)
+
+    @given(u16, u16, cut4)
+    def test_behavioral_model_matches_reference(self, p1, p2, cut):
+        # Force the behavioural engine's crossover path deterministically.
+        params = GAParameters(1, 2, 15, 0, 1)
+        ga = BehavioralGA(params, F3())
+
+        class FixedRNG:
+            def __init__(self, words):
+                self.words = list(words)
+
+            def next_word(self):
+                return self.words.pop(0)
+
+        ga.rng = FixedRNG([0, cut])  # decide-word 0 (< threshold 15), cut
+        assert ga._crossover(p1, p2) == reference_crossover(p1, p2, cut)
+
+    @given(u16, u16)
+    def test_cut_15_swaps_only_msb(self, p1, p2):
+        off1, off2 = reference_crossover(p1, p2, 15)
+        assert off1 & 0x7FFF == p1 & 0x7FFF
+        assert off1 & 0x8000 == p2 & 0x8000
+
+    @given(u16)
+    def test_self_crossover_is_identity(self, p):
+        for cut in range(16):
+            assert reference_crossover(p, p, cut) == (p, p)
+
+
+class TestMutationReference:
+    @given(u16, cut4)
+    def test_single_bit_flip_xor_mask(self, ind, point):
+        # Sec. III-B.4: "A randomly chosen mutation point dictates the
+        # appropriate bit mask to be used in an XOR operation".
+        nl = rtlib.build_mutation_unit(16)
+        out = nl.evaluate({"ind": ind, "point": point, "en": 1})["out"]
+        assert out == ind ^ (1 << point)
+        assert bin(out ^ ind).count("1") == 1
+
+    @given(u16, cut4)
+    def test_mutation_is_involution(self, ind, point):
+        once = ind ^ (1 << point)
+        assert once ^ (1 << point) == ind

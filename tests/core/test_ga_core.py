@@ -1,0 +1,193 @@
+"""Protocol- and behaviour-level tests of the cycle-accurate GA core."""
+
+import pytest
+
+from repro.core import GAParameters, GASystem
+from repro.core.ga_memory import BANK_SIZE
+from repro.core.params import PRESET_MODES, PresetMode
+from repro.fitness import F2, F3, MBF6_2
+from repro.fitness.mux import ExternalFEMPort
+from repro.hdl.simulator import SimulationTimeout
+
+
+def small_params(**overrides):
+    base = dict(
+        n_generations=4,
+        population_size=8,
+        crossover_threshold=10,
+        mutation_threshold=2,
+        rng_seed=45890,
+    )
+    base.update(overrides)
+    return GAParameters(**base)
+
+
+class TestBasicRun:
+    def test_completes_and_asserts_done(self):
+        system = GASystem(small_params(), F3())
+        result = system.run()
+        assert system.ports.GA_done.value == 1
+        assert result.best_fitness > 0
+
+    def test_candidate_bus_carries_best(self):
+        system = GASystem(small_params(), F3())
+        result = system.run()
+        assert system.ports.candidate.value == result.best_individual
+
+    def test_evaluation_count(self):
+        # The initial population is fully evaluated; afterwards the elite is
+        # copied with its stored fitness, so each generation costs pop - 1
+        # FEM requests: evals = pop + G * (pop - 1).
+        params = small_params(n_generations=4, population_size=8)
+        result = GASystem(params, F3()).run()
+        assert result.evaluations == 8 + 4 * 7
+
+    def test_history_has_one_entry_per_generation(self):
+        params = small_params(n_generations=6)
+        result = GASystem(params, F3()).run()
+        assert [g.generation for g in result.history] == list(range(7))
+
+    def test_best_fitness_monotone_elitism(self):
+        result = GASystem(small_params(n_generations=10), F2()).run()
+        series = result.best_series()
+        assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_population_members_recorded(self):
+        params = small_params()
+        result = GASystem(params, F3()).run()
+        for gen in result.history:
+            assert len(gen.fitnesses) == params.population_size
+
+    def test_final_population_in_memory(self):
+        params = small_params(n_generations=3)
+        system = GASystem(params, F3())
+        result = system.run()
+        bank = system.core.cur_bank
+        stored = system.memory.population(bank, params.population_size)
+        assert [fit for _c, fit in stored] == result.history[-1].fitnesses
+
+    def test_result_runtime_at_50mhz(self):
+        result = GASystem(small_params(), F3()).run()
+        assert result.runtime_seconds == pytest.approx(result.cycles / 50e6)
+
+
+class TestPresetModes:
+    def test_preset_small_runs_without_initialization(self):
+        # Preset runs ignore the programmable registers entirely (the
+        # fault-tolerance path of Sec. III-C.1a).
+        system = GASystem(None, F3(), preset=PresetMode.SMALL)
+        system.start()
+        system.sim.run_until(
+            lambda: system.ports.GA_done.value == 1, 40_000_000
+        )
+        cfg = system.core.cfg
+        assert cfg == PRESET_MODES[PresetMode.SMALL]
+
+    def test_user_mode_without_programming_raises(self):
+        system = GASystem(small_params(), F3())
+        # Bypass initialization: pulse start directly.
+        with pytest.raises(RuntimeError):
+            system.start()
+            system.sim.step(4)
+
+    def test_user_mode_requires_params(self):
+        with pytest.raises(ValueError):
+            GASystem(None, F3(), preset=PresetMode.USER)
+
+    def test_population_above_bank_size_rejected(self):
+        params = small_params(population_size=256, n_generations=1)
+        system = GASystem(params, F3())
+        with pytest.raises(ValueError):
+            system.run()
+
+    def test_bank_limit_is_128(self):
+        from repro.core.ga_core import GACore
+
+        assert GACore.MAX_POPULATION == BANK_SIZE == 128
+
+
+class TestMultiFEM:
+    def test_fitfunc_select_switches_functions(self):
+        params = small_params(n_generations=3)
+        fns = {0: F3(), 1: F2()}
+        r0 = GASystem(params, fns, select=0).run()
+        r1 = GASystem(params, fns, select=1).run()
+        assert r0.fitness_name == "F3"
+        assert r1.fitness_name == "F2"
+        # F3's optimum region is different from F2's: same seed, different
+        # evolution.
+        assert r0.history[-1].fitness_sum != r1.history[-1].fitness_sum
+
+    def test_eight_slots_supported(self):
+        params = small_params(n_generations=1, population_size=4)
+        fns = {i: F3() for i in range(8)}
+        result = GASystem(params, fns, select=7).run()
+        assert result.best_fitness > 0
+
+    def test_unconnected_slot_times_out(self):
+        params = small_params(n_generations=1, population_size=4)
+        system = GASystem(params, {0: F3()}, select=3)
+        with pytest.raises(SimulationTimeout):
+            system.run(max_ticks=2000)
+
+    def test_external_fem_served_by_testbench(self):
+        # The hybrid EHW configuration of Fig. 5: slot 1 routed off-chip;
+        # the testbench plays the external fitness module (here: F2).
+        params = small_params(n_generations=2, population_size=4)
+        ext = ExternalFEMPort.create()
+        system = GASystem(params, {0: F3()}, select=1, external={1: ext})
+        fn = F2()
+        served = []
+
+        def external_fem(_tick):
+            if system.ports.fit_request.value:
+                cand = system.ports.candidate.value
+                ext.fit_value_ext.poke(fn(cand))
+                ext.fit_valid_ext.poke(1)
+                served.append(cand)
+            else:
+                ext.fit_valid_ext.poke(0)
+
+        system.sim.probe(external_fem)
+        result = system.run()
+        assert result.evaluations == 4 + 2 * 3  # pop + G*(pop-1)
+        assert served  # the external module really was consulted
+        assert result.best_fitness == max(fn(c) for c in set(served))
+
+
+class TestRestart:
+    def test_second_start_reruns(self):
+        system = GASystem(small_params(), F3())
+        first = system.run()
+        system.start()
+        system.sim.run_until(lambda: system.ports.GA_done.value == 1, 10_000_000)
+        assert len(system.core.history) == len(first.history)
+
+    def test_reset_clears_core(self):
+        system = GASystem(small_params(), F3())
+        system.run()
+        system.sim.reset()
+        assert system.core.state == "IDLE"
+        assert system.core.history == []
+
+
+class TestDualClock:
+    def test_dual_clock_produces_identical_result(self):
+        params = small_params()
+        fast = GASystem(params, F3()).run()
+        dual = GASystem(params, F3(), dual_clock=True).run()
+        assert dual.best_individual == fast.best_individual
+        assert [g.as_tuple() for g in dual.history] == [
+            g.as_tuple() for g in fast.history
+        ]
+
+    def test_dual_clock_reduces_handshake_wait(self):
+        # With the FEM in the 4x faster domain (the paper's 200 MHz
+        # init/application clock), each fitness handshake completes in
+        # fewer GA-domain cycles, so the dual-clock run is slightly
+        # *shorter* in GA cycles — never longer.
+        params = small_params()
+        fast = GASystem(params, F3()).run()
+        dual = GASystem(params, F3(), dual_clock=True).run()
+        assert dual.cycles <= fast.cycles
+        assert dual.cycles == pytest.approx(fast.cycles, rel=0.15)

@@ -1,0 +1,91 @@
+"""Golden-trace regression: the exact memory/port activity of a tiny run.
+
+Pins down the cycle-level externally visible behaviour of the core — the
+write pattern into the two population banks, the handshake counts, and the
+RNG draw count — so any future FSM change that alters the protocol (even
+while preserving results) is caught deliberately rather than silently.
+"""
+
+import pytest
+
+from repro.core import GAParameters, GASystem
+from repro.core.ga_memory import BANK_SIZE, unpack_word
+from repro.fitness import F3
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    params = GAParameters(
+        n_generations=2,
+        population_size=4,
+        crossover_threshold=10,
+        mutation_threshold=2,
+        rng_seed=45890,
+    )
+    system = GASystem(params, F3())
+    writes = []
+    rn_pulses = []
+    fit_rises = []
+    prev = {"wr": 0, "rn": 0, "req": 0}
+
+    def probe(tick):
+        p = system.ports
+        if p.mem_wr.value and not prev["wr"]:
+            writes.append((p.mem_address.value, p.mem_data_out.value))
+        if p.rn_taken.value and not prev["rn"]:
+            rn_pulses.append(tick)
+        if p.fit_request.value and not prev["req"]:
+            fit_rises.append(tick)
+        prev["wr"] = p.mem_wr.value
+        prev["rn"] = p.rn_taken.value
+        prev["req"] = p.fit_request.value
+
+    system.sim.probe(probe)
+    result = system.run()
+    return params, system, result, writes, rn_pulses, fit_rises
+
+
+class TestGoldenTrace:
+    def test_write_count(self, traced_run):
+        params, _s, _r, writes, _rn, _f = traced_run
+        # init pop (4) + per generation: elite + 3 offspring = 4 -> 12 total
+        assert len(writes) == 4 + 2 * 4
+
+    def test_bank_alternation(self, traced_run):
+        params, _s, _r, writes, _rn, _f = traced_run
+        banks = [addr // BANK_SIZE for addr, _ in writes]
+        assert banks[:4] == [0, 0, 0, 0]  # initial population in bank 0
+        assert banks[4:8] == [1, 1, 1, 1]  # generation 1 into bank 1
+        assert banks[8:12] == [0, 0, 0, 0]  # generation 2 back into bank 0
+
+    def test_slot_order_within_banks(self, traced_run):
+        params, _s, _r, writes, _rn, _f = traced_run
+        offsets = [addr % BANK_SIZE for addr, _ in writes]
+        assert offsets == [0, 1, 2, 3] * 3
+
+    def test_elite_written_first_each_generation(self, traced_run):
+        params, _s, result, writes, _rn, _f = traced_run
+        # the first write of each generation carries the best-so-far
+        for gen, base in ((1, 4), (2, 8)):
+            cand, fit = unpack_word(writes[base][1])
+            assert fit == result.history[gen - 1].best_fitness
+
+    def test_fitness_request_count(self, traced_run):
+        params, _s, result, _w, _rn, fit_rises = traced_run
+        assert len(fit_rises) == result.evaluations == 4 + 2 * 3
+
+    def test_rng_draw_count_matches_behavioral(self, traced_run):
+        params, _s, _r, _w, rn_pulses, _f = traced_run
+        from repro.core.behavioral import BehavioralGA
+        from repro.fitness import F3 as F3b
+
+        twin = BehavioralGA(params, F3b(), rng=CellularAutomatonPRNG(params.rng_seed))
+        twin.run()
+        assert len(rn_pulses) == twin.rng.draws
+
+    def test_memory_contents_match_history(self, traced_run):
+        params, system, result, _w, _rn, _f = traced_run
+        final_bank = system.core.cur_bank
+        stored = system.memory.population(final_bank, params.population_size)
+        assert [f for _c, f in stored] == result.history[-1].fitnesses

@@ -1,0 +1,172 @@
+"""Tests for GA memory packing/banking, the RNG module, and the
+initialization module's Table III handshake."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ga_memory import BANK_SIZE, GAMemory, bank_address, pack_word, unpack_word
+from repro.core.init_module import InitializationModule
+from repro.core.params import GAParameters, ParameterIndex
+from repro.core.ports import GAPorts
+from repro.core.rng_module import RNGModule
+from repro.hdl.simulator import Simulator
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+class TestPacking:
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_pack_unpack_roundtrip(self, cand, fit):
+        assert unpack_word(pack_word(cand, fit)) == (cand, fit)
+
+    def test_layout_fitness_high(self):
+        assert pack_word(0x1111, 0x2222) == 0x22221111
+
+    def test_bank_addressing(self):
+        assert bank_address(0, 0) == 0
+        assert bank_address(0, BANK_SIZE - 1) == BANK_SIZE - 1
+        assert bank_address(1, 0) == BANK_SIZE
+        assert bank_address(1, 5) == BANK_SIZE + 5
+
+    def test_bank_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bank_address(0, BANK_SIZE)
+
+
+class TestGAMemory:
+    def test_wired_to_ports(self):
+        ports = GAPorts.create()
+        mem = GAMemory(ports)
+        sim = Simulator()
+        sim.add(mem)
+        ports.mem_address.poke(7)
+        ports.mem_data_out.poke(pack_word(0xABCD, 0x1234))
+        ports.mem_wr.poke(1)
+        sim.step()
+        ports.mem_wr.poke(0)
+        sim.step()
+        assert unpack_word(ports.mem_data_in.value) == (0xABCD, 0x1234)
+
+    def test_population_view(self):
+        ports = GAPorts.create()
+        mem = GAMemory(ports)
+        mem.data[BANK_SIZE + 0] = pack_word(5, 50)
+        mem.data[BANK_SIZE + 1] = pack_word(6, 60)
+        assert mem.population(bank=1, size=2) == [(5, 50), (6, 60)]
+
+    def test_capacity_is_256_words(self):
+        ports = GAPorts.create()
+        assert GAMemory(ports).depth == 256
+
+
+class TestRNGModule:
+    def build(self, seed=0x2961):
+        ports = GAPorts.create()
+        mod = RNGModule(ports, CellularAutomatonPRNG(seed))
+        sim = Simulator()
+        sim.add(mod)
+        return sim, ports, mod
+
+    def test_drives_rn_with_seed_after_load(self):
+        sim, ports, mod = self.build()
+        mod.load_seed(0x1567)
+        assert ports.rn.value == 0x1567
+
+    def test_holds_word_until_taken(self):
+        sim, ports, mod = self.build()
+        mod.load_seed(0x2961)
+        sim.step(5)
+        assert ports.rn.value == 0x2961
+
+    def test_advances_once_per_take_pulse(self):
+        sim, ports, mod = self.build()
+        mod.load_seed(0x2961)
+        reference = CellularAutomatonPRNG(0x2961)
+        for _ in range(10):
+            word = ports.rn.value
+            assert word == reference.next_word()
+            ports.rn_taken.poke(1)
+            sim.step()
+            ports.rn_taken.poke(0)
+            sim.step()
+
+    def test_stuck_take_advances_every_cycle(self):
+        sim, ports, mod = self.build()
+        mod.load_seed(0x2961)
+        ports.rn_taken.poke(1)
+        sim.step(3)
+        reference = CellularAutomatonPRNG(0x2961)
+        for _ in range(3):
+            reference.next_word()
+        assert ports.rn.value == reference.state
+
+
+class TestInitializationModule:
+    def build(self, params):
+        ports = GAPorts.create()
+        init = InitializationModule(ports, params)
+        sim = Simulator()
+        sim.add(init)
+        return sim, ports, init
+
+    def make_params(self):
+        return GAParameters(
+            n_generations=0x00020001,
+            population_size=64,
+            crossover_threshold=12,
+            mutation_threshold=3,
+            rng_seed=0xB342,
+        )
+
+    def run_responder(self, sim, ports, init, max_ticks=2000):
+        """Emulate the GA core's side of the handshake, recording words."""
+        received = {}
+        ticks = 0
+        while not init.done and ticks < max_ticks:
+            if ports.data_valid.value and not ports.data_ack.value:
+                received[ports.index.value] = ports.value.value
+                ports.data_ack.poke(1)
+            elif not ports.data_valid.value and ports.data_ack.value:
+                ports.data_ack.poke(0)
+            sim.step()
+            ticks += 1
+        return received
+
+    def test_programs_all_six_words(self):
+        params = self.make_params()
+        sim, ports, init = self.build(params)
+        received = self.run_responder(sim, ports, init)
+        assert init.done
+        assert received == {int(i): v for i, v in params.to_index_values()}
+
+    def test_ga_load_asserted_during_and_dropped_after(self):
+        params = self.make_params()
+        sim, ports, init = self.build(params)
+        sim.step(2)
+        assert ports.ga_load.value == 1
+        self.run_responder(sim, ports, init)
+        sim.step(2)
+        assert ports.ga_load.value == 0
+
+    def test_reset_restarts_sequence(self):
+        params = self.make_params()
+        sim, ports, init = self.build(params)
+        self.run_responder(sim, ports, init)
+        sim.reset()
+        assert not init.done and init.word_index == 0
+
+    def test_against_real_core(self):
+        # End-to-end: initialization module programs the actual GA core.
+        from repro.core.ga_core import GACore
+
+        params = self.make_params()
+        ports = GAPorts.create()
+        core = GACore(ports)
+        init = InitializationModule(ports, params)
+        sim = Simulator()
+        sim.add(core)
+        sim.add(init)
+        sim.run_until(lambda: init.done, 2000)
+        sim.step(2)
+        assert core.programmed
+        assert GAParameters.from_index_values(core.param_words) == params

@@ -1,0 +1,128 @@
+"""Tests for GAParameters, Table III index map, Table IV preset modes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    GAParameters,
+    ParameterIndex,
+    PRESET_MODES,
+    PresetMode,
+)
+from repro.rng.cellular_automaton import PRESET_SEEDS
+
+
+def make(**overrides):
+    base = dict(
+        n_generations=32,
+        population_size=32,
+        crossover_threshold=10,
+        mutation_threshold=1,
+        rng_seed=45890,
+    )
+    base.update(overrides)
+    return GAParameters(**base)
+
+
+class TestValidation:
+    def test_valid_roundtrip(self):
+        p = make()
+        assert p.population_size == 32
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_generations", 0),
+            ("n_generations", 1 << 32),
+            ("population_size", 1),
+            ("population_size", 257),
+            ("crossover_threshold", -1),
+            ("crossover_threshold", 16),
+            ("mutation_threshold", 16),
+            ("rng_seed", 0),
+            ("rng_seed", 1 << 16),
+        ],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            make(**{field: value})
+
+    def test_rates_in_sixteenths(self):
+        # Sec. IV-C quotes crossover rate 0.625 (threshold 10) and mutation
+        # rate 0.0625 (threshold 1).
+        p = make(crossover_threshold=10, mutation_threshold=1)
+        assert p.crossover_rate == 0.625
+        assert p.mutation_rate == 0.0625
+
+    def test_with_updates(self):
+        p = make().with_(population_size=64)
+        assert p.population_size == 64 and p.rng_seed == 45890
+
+
+class TestTableIII:
+    def test_index_values(self):
+        assert ParameterIndex.NUM_GENERATIONS_LO == 0
+        assert ParameterIndex.NUM_GENERATIONS_HI == 1
+        assert ParameterIndex.POPULATION_SIZE == 2
+        assert ParameterIndex.CROSSOVER_RATE == 3
+        assert ParameterIndex.MUTATION_RATE == 4
+        assert ParameterIndex.RNG_SEED == 5
+
+    def test_generations_split_across_two_words(self):
+        p = make(n_generations=0xABCD1234)
+        words = dict(p.to_index_values())
+        assert words[ParameterIndex.NUM_GENERATIONS_LO] == 0x1234
+        assert words[ParameterIndex.NUM_GENERATIONS_HI] == 0xABCD
+
+    @given(
+        st.integers(1, (1 << 32) - 1),
+        st.integers(2, 256),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(1, 0xFFFF),
+    )
+    def test_index_value_roundtrip(self, gens, pop, xt, mt, seed):
+        p = GAParameters(gens, pop, xt, mt, seed)
+        words = {int(i): v for i, v in p.to_index_values()}
+        assert GAParameters.from_index_values(words) == p
+
+    def test_from_index_values_needs_seed(self):
+        with pytest.raises(ValueError):
+            GAParameters.from_index_values({0: 32, 2: 32, 3: 10, 4: 1})
+
+    def test_from_index_values_default_seed(self):
+        p = GAParameters.from_index_values(
+            {0: 32, 2: 32, 3: 10, 4: 1}, default_seed=77
+        )
+        assert p.rng_seed == 77
+
+
+class TestTableIV:
+    def test_preset_values_match_table(self):
+        small = PRESET_MODES[PresetMode.SMALL]
+        assert (small.population_size, small.n_generations) == (32, 512)
+        assert (small.crossover_threshold, small.mutation_threshold) == (12, 1)
+        medium = PRESET_MODES[PresetMode.MEDIUM]
+        assert (medium.population_size, medium.n_generations) == (64, 1024)
+        assert (medium.crossover_threshold, medium.mutation_threshold) == (13, 2)
+        large = PRESET_MODES[PresetMode.LARGE]
+        assert (large.population_size, large.n_generations) == (128, 4096)
+        assert (large.crossover_threshold, large.mutation_threshold) == (14, 3)
+
+    def test_preset_selector_encoding(self):
+        assert PresetMode.USER == 0b00
+        assert PresetMode.SMALL == 0b01
+        assert PresetMode.MEDIUM == 0b10
+        assert PresetMode.LARGE == 0b11
+
+    def test_presets_use_the_inbuilt_seeds(self):
+        seeds = [PRESET_MODES[m].rng_seed for m in
+                 (PresetMode.SMALL, PresetMode.MEDIUM, PresetMode.LARGE)]
+        assert tuple(seeds) == PRESET_SEEDS
+
+    def test_presets_fit_cycle_accurate_memory(self):
+        from repro.core.ga_core import GACore
+
+        for mode, params in PRESET_MODES.items():
+            assert params.population_size <= GACore.MAX_POPULATION

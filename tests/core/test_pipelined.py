@@ -1,0 +1,92 @@
+"""Tests for the pipelined-core timing model (the future-work direction)."""
+
+import pytest
+
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.core.pipelined import PipelinedGA, PipelineTimingModel, StageLatencies
+from repro.core.system import GASystem
+from repro.fitness import F3, MBF6_2
+
+
+def params(**overrides):
+    base = dict(
+        n_generations=8,
+        population_size=16,
+        crossover_threshold=10,
+        mutation_threshold=1,
+        rng_seed=45890,
+    )
+    base.update(overrides)
+    return GAParameters(**base)
+
+
+class TestSequentialCalibration:
+    @pytest.mark.parametrize("pop,gens", [(16, 8), (32, 8)])
+    def test_prediction_tracks_measured_core(self, pop, gens):
+        # The analytical sequential model must land within 15% of the real
+        # cycle-accurate core — that anchor is what makes the pipelined
+        # prediction credible.
+        p = params(population_size=pop, n_generations=gens)
+        measured = GASystem(p, F3()).run().cycles
+        predicted = PipelineTimingModel().sequential_cycles(p)
+        assert predicted == pytest.approx(measured, rel=0.15)
+
+
+class TestPipelinePrediction:
+    def test_pipelining_always_helps(self):
+        model = PipelineTimingModel()
+        p = params(population_size=32, n_generations=32)
+        assert model.pipelined_cycles(p) < model.sequential_cycles(p)
+
+    def test_roulette_scan_is_the_bottleneck(self):
+        # With roulette selection the scan dominates the initiation
+        # interval, capping the speedup well below the stage count.
+        model = PipelineTimingModel()
+        p = params(population_size=32, n_generations=32)
+        assert 1.0 < model.speedup(p, "roulette") < 2.0
+
+    def test_tournament_unlocks_the_pipeline(self):
+        # Constant-latency tournament selection (the [8] architecture)
+        # makes evaluation the interval: several-fold speedup.
+        model = PipelineTimingModel()
+        p = params(population_size=32, n_generations=32)
+        assert model.speedup(p, "tournament") > 3.0
+        assert model.speedup(p, "tournament") > model.speedup(p, "roulette")
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineTimingModel().pipelined_cycles(params(), "rank")
+
+    def test_estimate_rows(self):
+        rows = PipelineTimingModel().estimate(params())
+        assert len(rows) == 3
+        assert rows[0].cycles >= rows[1].cycles >= rows[2].cycles
+
+    def test_custom_latencies(self):
+        # With a slow FEM (real intrinsic EHW measurements), evaluation is
+        # the interval for *both* organisations: a single-FEM pipeline can
+        # hide the selection scan but not the measurement itself, so the
+        # speedup collapses toward 1 — you'd replicate FEMs instead.
+        slow_fem = PipelineTimingModel(StageLatencies(evaluation=1000))
+        fast_fem = PipelineTimingModel(StageLatencies(evaluation=6))
+        p = params(population_size=32)
+        assert slow_fem.speedup(p, "roulette") < fast_fem.speedup(p, "roulette")
+        assert slow_fem.speedup(p, "roulette") == pytest.approx(1.0, abs=0.1)
+
+
+class TestPipelinedGA:
+    def test_results_identical_to_sequential(self):
+        p = params()
+        pipelined = PipelinedGA(p, MBF6_2()).run()
+        sequential = BehavioralGA(p, MBF6_2()).run()
+        assert pipelined.best_individual == sequential.best_individual
+        assert [g.as_tuple() for g in pipelined.history] == [
+            g.as_tuple() for g in sequential.history
+        ]
+
+    def test_cycles_use_pipeline_model(self):
+        p = params()
+        result = PipelinedGA(p, F3()).run()
+        assert result.cycles == PipelineTimingModel().pipelined_cycles(p)
+        assert result.runtime_seconds is not None

@@ -1,0 +1,60 @@
+"""Tests for the Table II port interface."""
+
+from repro.core.ports import GAPorts, PORT_SPEC
+
+
+class TestPortSpec:
+    def test_has_all_25_ports(self):
+        assert len(PORT_SPEC) == 25
+
+    def test_widths_match_table_ii(self):
+        widths = {name: width for name, _d, width in PORT_SPEC}
+        assert widths["index"] == 3
+        assert widths["value"] == 16
+        assert widths["fit_value"] == 16
+        assert widths["candidate"] == 16
+        assert widths["mem_address"] == 8
+        assert widths["mem_data_out"] == 32
+        assert widths["mem_data_in"] == 32
+        assert widths["preset"] == 2
+        assert widths["rn"] == 16
+        assert widths["fitfunc_select"] == 3
+        assert widths["fit_value_ext"] == 16
+
+    def test_single_bit_control_signals(self):
+        widths = {name: width for name, _d, width in PORT_SPEC}
+        for name in (
+            "reset", "sys_clock", "ga_load", "data_valid", "data_ack",
+            "fit_request", "fit_valid", "mem_wr", "start_GA", "GA_done",
+            "test", "scanin", "scanout", "fit_valid_ext",
+        ):
+            assert widths[name] == 1, name
+
+    def test_directions(self):
+        dirs = {name: d for name, d, _w in PORT_SPEC}
+        assert dirs["candidate"] == "O"
+        assert dirs["fit_request"] == "O"
+        assert dirs["data_ack"] == "O"
+        assert dirs["mem_wr"] == "O"
+        assert dirs["fit_value"] == "I"
+        assert dirs["rn"] == "I"
+        assert dirs["start_GA"] == "I"
+
+
+class TestGAPorts:
+    def test_create_builds_every_port(self):
+        ports = GAPorts.create()
+        for name, _d, width in PORT_SPEC:
+            assert ports.signal(name).width == width
+
+    def test_prefix_in_names(self):
+        ports = GAPorts.create("core0")
+        assert ports.candidate.name == "core0.candidate"
+
+    def test_rn_taken_strobe_exists(self):
+        ports = GAPorts.create()
+        assert ports.rn_taken.width == 1
+
+    def test_all_signals_enumeration(self):
+        ports = GAPorts.create()
+        assert len(ports.all_signals()) == 26  # 25 Table II ports + rn_taken

@@ -1,0 +1,82 @@
+"""Tests for GAResult helpers and the system-level conveniences."""
+
+import pytest
+
+from repro.core.params import GAParameters
+from repro.core.stats import GenerationStats
+from repro.core.system import (
+    FAST_CLOCK_HZ,
+    GA_CLOCK_HZ,
+    GAResult,
+    GASystem,
+    run_behavioral,
+)
+from repro.fitness import F3
+
+
+def make_result(cycles=None):
+    history = [
+        GenerationStats(0, 10, 1, 40, 4),
+        GenerationStats(1, 20, 2, 60, 4),
+    ]
+    return GAResult(
+        best_individual=2,
+        best_fitness=20,
+        history=history,
+        evaluations=7,
+        params=GAParameters(1, 4, 10, 1, 1),
+        fitness_name="F3",
+        cycles=cycles,
+    )
+
+
+class TestGAResult:
+    def test_series_helpers(self):
+        result = make_result()
+        assert result.best_series() == [10, 20]
+        assert result.average_series() == [10.0, 15.0]
+
+    def test_runtime_none_without_cycles(self):
+        assert make_result(cycles=None).runtime_seconds is None
+
+    def test_runtime_at_ga_clock(self):
+        result = make_result(cycles=50_000)
+        assert result.runtime_seconds == pytest.approx(50_000 / GA_CLOCK_HZ)
+
+    def test_clock_constants_match_paper(self):
+        assert GA_CLOCK_HZ == 50_000_000
+        assert FAST_CLOCK_HZ == 200_000_000
+
+
+class TestRunBehavioral:
+    def test_matches_direct_engine(self):
+        from repro.core.behavioral import BehavioralGA
+
+        params = GAParameters(4, 8, 10, 1, 45890)
+        via_helper = run_behavioral(params, F3())
+        direct = BehavioralGA(params, F3()).run()
+        assert via_helper.best_individual == direct.best_individual
+
+    def test_record_members_toggle(self):
+        params = GAParameters(2, 4, 10, 1, 45890)
+        lean = run_behavioral(params, F3(), record_members=False)
+        assert all(g.fitnesses == [] for g in lean.history)
+
+
+class TestGASystemConveniences:
+    def test_fitness_name_in_result(self):
+        params = GAParameters(2, 4, 10, 1, 45890)
+        result = GASystem(params, F3()).run()
+        assert result.fitness_name == "F3"
+
+    def test_params_echoed_in_result(self):
+        params = GAParameters(2, 4, 10, 1, 45890)
+        result = GASystem(params, F3()).run()
+        assert result.params == params
+
+    def test_initialize_is_idempotent_for_presets(self):
+        from repro.core.params import PresetMode
+
+        system = GASystem(None, F3(), preset=PresetMode.SMALL)
+        system.initialize()  # no init module: must be a no-op
+        assert system.init_module is None

@@ -1,0 +1,136 @@
+"""Tests for the virtual reconfigurable fabric and its fitness function."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.ehw.fabric import (
+    CELL_FUNCTIONS,
+    FabricFitness,
+    TARGET_FUNCTIONS,
+    VirtualFabric,
+)
+
+configs = st.integers(0, 0xFFFF)
+
+
+class TestFabric:
+    def test_cell_functions(self):
+        assert CELL_FUNCTIONS[0](1, 1) == 1 and CELL_FUNCTIONS[0](1, 0) == 0
+        assert CELL_FUNCTIONS[1](0, 1) == 1
+        assert CELL_FUNCTIONS[2](1, 1) == 0
+        assert CELL_FUNCTIONS[3](1, 1) == 0 and CELL_FUNCTIONS[3](0, 0) == 1
+
+    @given(configs)
+    def test_output_is_boolean(self, config):
+        fab = VirtualFabric()
+        for combo in range(16):
+            bits = tuple((combo >> k) & 1 for k in range(4))
+            assert fab.evaluate(config, bits) in (0, 1)
+
+    @given(configs)
+    def test_truth_table_16_bits(self, config):
+        assert 0 <= VirtualFabric().truth_table(config) <= 0xFFFF
+
+    def test_fault_injection_forces_output(self):
+        fab = VirtualFabric()
+        fab.inject_fault(3, 1)  # output cell stuck high
+        assert fab.truth_table(0x0000) == 0xFFFF
+        fab.inject_fault(3, 0)
+        assert fab.truth_table(0x0000) == 0x0000
+
+    def test_heal_all(self):
+        fab = VirtualFabric()
+        before = fab.truth_table(0x1234)
+        fab.inject_fault(0, 1)
+        fab.heal_all()
+        assert fab.truth_table(0x1234) == before
+
+    def test_bad_cell_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualFabric().inject_fault(4, 0)
+
+    @settings(max_examples=25)
+    @given(configs)
+    def test_vectorised_matches_scalar(self, config):
+        fab = VirtualFabric()
+        fit = FabricFitness("parity4", fab)
+        vec = fit._tables_vectorised(np.asarray([config]))
+        assert int(vec[0]) == fab.truth_table(config)
+
+    @given(configs)
+    def test_vectorised_matches_scalar_with_fault(self, config):
+        fab = VirtualFabric()
+        fab.inject_fault(1, 0)
+        fit = FabricFitness("majority", fab)
+        vec = fit._tables_vectorised(np.asarray([config]))
+        assert int(vec[0]) == fab.truth_table(config)
+
+
+class TestFabricFitness:
+    def test_perfect_score_is_65520(self):
+        assert FabricFitness("parity4").perfect_score == 16 * 4095
+
+    def test_targets_defined(self):
+        assert set(TARGET_FUNCTIONS) == {
+            "parity4", "majority", "mux2", "and4", "xor2and",
+        }
+        for table in TARGET_FUNCTIONS.values():
+            assert 0 <= table <= 0xFFFF
+
+    def test_numeric_target(self):
+        fit = FabricFitness(0xBEEF)
+        assert fit.target_table == 0xBEEF
+
+    def test_parity_is_evolvable_to_perfection(self):
+        # XOR cells in two levels can realise 4-input parity exactly.
+        fit = FabricFitness("parity4")
+        assert int(fit.table().max()) == fit.perfect_score
+
+    def test_fitness_counts_matching_rows(self):
+        fit = FabricFitness("and4")
+        fab = fit.fabric
+        config = 0
+        table = fab.truth_table(config)
+        matches = 16 - bin(table ^ fit.target_table).count("1")
+        assert fit(config) == matches * 4095
+
+    def test_ga_evolves_parity_to_perfection(self):
+        # The EHW landscape is rugged (config bits are categorical mux
+        # selectors), so it needs the larger preset-style settings: pop 64,
+        # 128 generations, mutation 4/16.
+        params = GAParameters(128, 64, 10, 4, 10593)
+        fit = FabricFitness("parity4")
+        result = BehavioralGA(params, fit).run()
+        assert result.best_fitness == fit.perfect_score
+
+    def test_fault_recovery_scenario(self):
+        # Evolve, break a cell, confirm degradation, re-evolve around it
+        # (the evolutionary-recovery experiment of Stoica et al. [27]).
+        # This fabric can realise at best 14/16 rows of majority healthy
+        # and 13/16 with cell 0 stuck high.
+        fab = VirtualFabric()
+        fit = FabricFitness("majority", fab)
+        params = GAParameters(128, 64, 10, 4, 45890)
+        healthy = BehavioralGA(params, fit).run()
+        assert healthy.best_fitness == 14 * 4095
+
+        fab.inject_fault(0, 1)
+        fit.invalidate()
+        degraded = fit(healthy.best_individual)
+
+        recovered = BehavioralGA(params.with_(rng_seed=10593), fit).run()
+        assert recovered.best_fitness >= degraded
+        assert recovered.best_fitness == 13 * 4095
+
+    def test_invalidate_refreshes_table(self):
+        fab = VirtualFabric()
+        fit = FabricFitness("and4", fab)
+        before = fit.table().copy()
+        fab.inject_fault(3, 0)
+        fit.invalidate()
+        after = fit.table()
+        assert not np.array_equal(before, after)

@@ -1,0 +1,100 @@
+"""Tests for the intrinsic-EHW system-class latency models (Sec. II-D)."""
+
+import pytest
+
+from repro.core.params import GAParameters
+from repro.core.system import GASystem
+from repro.ehw.system_classes import (
+    EHW_CLASSES,
+    EHWClass,
+    LatencyFEM,
+    run_class_comparison,
+)
+from repro.fitness import F3
+from repro.fitness.mux import FEMInterface
+from repro.hdl.simulator import Simulator
+
+
+def small_params():
+    return GAParameters(2, 6, 10, 2, 45890)
+
+
+class TestLatencyFEM:
+    def run_one(self, ehw_class, evaluation_cycles=1):
+        iface = FEMInterface.create("fem")
+        fem = LatencyFEM("fem", iface, F3(), ehw_class, evaluation_cycles)
+        sim = Simulator()
+        sim.add(fem)
+        iface.candidate.poke(0xFF00)
+        iface.fit_request.poke(1)
+        ticks = sim.wait_high(iface.fit_valid, 10_000)
+        value = iface.fit_value.value
+        iface.fit_request.poke(0)
+        sim.wait_low(iface.fit_valid)
+        return ticks, value
+
+    def test_returns_correct_fitness(self):
+        _ticks, value = self.run_one(EHW_CLASSES[0])
+        assert value == F3()(0xFF00)
+
+    def test_latency_scales_with_class(self):
+        fast, _ = self.run_one(EHW_CLASSES[0])
+        slow, _ = self.run_one(EHW_CLASSES[2])
+        assert slow > fast
+        assert slow - fast == pytest.approx(
+            EHW_CLASSES[2].round_trip - EHW_CLASSES[0].round_trip, abs=3
+        )
+
+    def test_evaluation_time_adds(self):
+        quick, _ = self.run_one(EHW_CLASSES[0], evaluation_cycles=1)
+        long, _ = self.run_one(EHW_CLASSES[0], evaluation_cycles=100)
+        assert long - quick == pytest.approx(99, abs=3)
+
+
+class TestClassTaxonomy:
+    def test_four_classes(self):
+        assert [c.name.split(" ")[0] for c in EHW_CLASSES] == [
+            "complete", "multichip", "multiboard", "PC-based",
+        ]
+
+    def test_latency_ordering(self):
+        trips = [c.round_trip for c in EHW_CLASSES]
+        assert trips == sorted(trips)
+        assert trips[0] < trips[-1]
+
+
+class TestComparison:
+    def test_runtime_ordering_matches_section(self):
+        rows = run_class_comparison(F3(), small_params(), evaluation_cycles=(1,))
+        cycles = [r["total_cycles"] for r in rows]
+        assert cycles == sorted(cycles)
+
+    def test_results_identical_across_classes(self):
+        # Communication latency slows the system down but cannot change the
+        # evolution (same draws, same candidates).
+        rows = run_class_comparison(F3(), small_params(), evaluation_cycles=(1,))
+        assert len({r["best"] for r in rows}) == 1
+
+    def test_evaluation_time_amortises_communication(self):
+        # Sec. II-D: multichip/multiboard "are useful in applications where
+        # the fitness evaluation time dominates the communication time".
+        rows = run_class_comparison(F3(), small_params(), evaluation_cycles=(1, 400))
+        def spread(eval_cycles):
+            sub = [r for r in rows if r["eval_cycles"] == eval_cycles]
+            return max(r["total_cycles"] for r in sub) / min(
+                r["total_cycles"] for r in sub
+            )
+        assert spread(400) < spread(1)
+
+    def test_fem_factory_plumbs_through_gasystem(self):
+        params = small_params()
+        system = GASystem(
+            params,
+            F3(),
+            fem_factory=lambda name, iface, fn: LatencyFEM(
+                name, iface, fn, EHW_CLASSES[1]
+            ),
+        )
+        result = system.run()
+        assert isinstance(system.fems[0], LatencyFEM)
+        assert result.best_fitness > 0

@@ -1,0 +1,60 @@
+"""Tests for the experiment configuration data."""
+
+from repro.experiments.config import (
+    FPGA_GRID,
+    FPGA_SEEDS,
+    PAPER_TABLE7,
+    PAPER_TABLE8,
+    PAPER_TABLE9,
+    TABLE5_RUNS,
+    fpga_params,
+)
+
+
+class TestTable5Config:
+    def test_ten_runs(self):
+        assert [r.run for r in TABLE5_RUNS] == list(range(1, 11))
+
+    def test_functions_partition(self):
+        fns = [r.function for r in TABLE5_RUNS]
+        assert fns == ["BF6"] * 5 + ["F2"] * 4 + ["F3"]
+
+    def test_all_seeds_from_preset_set(self):
+        # Table V uses the three in-built seeds only.
+        assert {r.seed for r in TABLE5_RUNS} == {45890, 10593, 1567}
+
+    def test_params_fixed_fields(self):
+        for run in TABLE5_RUNS:
+            p = run.params()
+            assert p.n_generations == 32
+            assert p.mutation_threshold == 1
+            assert p.population_size in (32, 64)
+            assert p.crossover_threshold in (10, 12)
+
+
+class TestFPGAConfig:
+    def test_six_seeds_match_paper(self):
+        assert FPGA_SEEDS == [0x2961, 0x061F, 0xB342, 0xAAAA, 0xA0A0, 0xFFFF]
+
+    def test_grid_is_2x2(self):
+        assert FPGA_GRID == [(32, 10), (32, 12), (64, 10), (64, 12)]
+
+    def test_fpga_params(self):
+        p = fpga_params(64, 12, 0xA0A0)
+        assert p.n_generations == 64
+        assert p.mutation_threshold == 1
+
+    def test_paper_tables_complete(self):
+        for table in (PAPER_TABLE7, PAPER_TABLE8, PAPER_TABLE9):
+            assert set(table) == set(FPGA_SEEDS)
+            assert all(len(vals) == 4 for vals in table.values())
+
+    def test_paper_table9_values_are_65535_minus_174k(self):
+        for vals in PAPER_TABLE9.values():
+            for v in vals:
+                assert (65535 - v) % 174 == 0
+
+    def test_paper_best_table7_is_8135(self):
+        # Sec. IV-B: "the best solution found ... evaluates to a fitness of
+        # 8135" — the max over Table VII's cells.
+        assert max(max(v) for v in PAPER_TABLE7.values()) == 8135

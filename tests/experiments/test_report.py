@@ -1,0 +1,40 @@
+"""Tests for the EXPERIMENTS.md report generator's building blocks."""
+
+from repro.experiments.report import _md_table
+
+
+class TestMarkdownTable:
+    def test_renders_rows(self):
+        text = _md_table([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | x |"
+        assert lines[3] == "| 2 | y |"
+
+    def test_key_selection_and_missing_values(self):
+        text = _md_table([{"a": 1}], keys=["a", "missing"])
+        assert "| 1 |  |" in text
+
+    def test_empty(self):
+        assert _md_table([]) == "(no rows)\n"
+
+
+class TestGeneratedDocumentExists:
+    def test_experiments_md_is_current_format(self):
+        # The repository ships the generated report; sanity-check that it
+        # contains each major section so a stale/truncated file is caught.
+        with open("EXPERIMENTS.md") as fh:
+            text = fh.read()
+        for heading in (
+            "# EXPERIMENTS",
+            "## Table I",
+            "## Table V",
+            "## Table VI",
+            "## Table VII",
+            "## Table VIII",
+            "## Table IX",
+            "## Figs. 13-16",
+            "## Sec. IV-C",
+        ):
+            assert heading in text, heading

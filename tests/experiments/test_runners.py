@@ -1,0 +1,103 @@
+"""Smoke + shape tests for the experiment runners (fast configurations)."""
+
+import pytest
+
+from repro.experiments.figures import run_fig7, run_rt_convergence_figures
+from repro.experiments.speedup import paper_speedup_params
+from repro.experiments.table1 import run_table1
+from repro.experiments.table5 import run_one
+from repro.experiments.table6 import run_table6
+from repro.experiments.table789 import run_fpga_table
+from repro.experiments.config import TABLE5_RUNS
+
+
+class TestTable1Runner:
+    def test_rows_and_measurements(self):
+        report = run_table1(evaluation_budget=256)
+        assert report["id"] == "Table I"
+        assert len(report["rows"]) == 7
+        assert "Proposed" in report["measured"]
+        # six runnable baselines + the proposed core
+        assert len(report["measured"]) == 7
+
+    def test_every_row_is_runnable(self):
+        report = run_table1(evaluation_budget=256)
+        for row in report["rows"]:
+            assert isinstance(row["best_fitness@budget"], int), row["work"]
+
+    def test_proposed_row_gets_value(self):
+        report = run_table1(evaluation_budget=256)
+        proposed = next(r for r in report["rows"] if r["work"] == "Proposed")
+        assert isinstance(proposed["best_fitness@budget"], int)
+
+
+class TestTable5Runner:
+    def test_single_row_behavioural(self):
+        result, row = run_one(TABLE5_RUNS[5], cycle_accurate=False)  # F2 run
+        assert row["function"] == "F2"
+        assert row["optimum"] == 3060
+        assert 0 <= row["gap%"] <= 100
+        assert row["conv_gen"] <= 32
+
+    def test_single_row_cycle_accurate_matches_behavioural(self):
+        hw_result, hw_row = run_one(TABLE5_RUNS[9], cycle_accurate=True)
+        sw_result, sw_row = run_one(TABLE5_RUNS[9], cycle_accurate=False)
+        assert hw_row["best"] == sw_row["best"]
+        assert hw_row["conv_gen"] == sw_row["conv_gen"]
+
+
+class TestTable6Runner:
+    def test_report_structure(self):
+        report = run_table6()
+        assert report["id"] == "Table VI"
+        assert report["device"] == "xc2vp30-7ff896"
+        assert len(report["rows"]) == 4
+        assert len(report["block_breakdown"]) == 6
+        assert report["datapath_stats"]["dff"] > 0
+
+
+class TestFpgaTableRunner:
+    def test_mbf6_grid_shape(self):
+        report = run_fpga_table("mBF6_2")
+        assert report["id"] == "Table VII"
+        assert len(report["rows"]) == 6
+        for row in report["rows"]:
+            assert {"pop32/XR10", "pop32/XR12", "pop64/XR10", "pop64/XR12"} <= set(row)
+            assert "paper_pop32/XR10" in row
+
+    def test_reaches_near_optimum(self):
+        # Paper claim: best within 0.59% of the mBF6_2 optimum.
+        report = run_fpga_table("mBF6_2")
+        assert report["gap_pct"] <= 1.0
+
+    def test_shubert_finds_multiple_optima(self):
+        # Table IX: the core finds the global optimum for several settings.
+        report = run_fpga_table("mShubert2D")
+        assert len(report["optimum_hits"]) >= 1
+
+
+class TestFigureRunners:
+    def test_fig7_series(self):
+        report = run_fig7()
+        assert report["id"] == "Fig. 7"
+        assert len(report["x"]) == 301
+        assert report["n_local_maxima"] > 10
+
+    def test_rt_figures_behavioural(self):
+        report = run_rt_convergence_figures(cycle_accurate=False)
+        assert set(report["figures"]) == {
+            "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12",
+        }
+        for fig in report["figures"].values():
+            assert fig["scatter"], "scatter data missing"
+            gens = {g for g, _f in fig["scatter"]}
+            assert gens == set(range(33))  # initial + 32 generations
+
+
+class TestSpeedupConfig:
+    def test_paper_configuration(self):
+        p = paper_speedup_params()
+        assert p.population_size == 32
+        assert p.crossover_rate == 0.625
+        assert p.mutation_rate == 0.0625
+        assert p.n_generations == 32

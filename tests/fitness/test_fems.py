@@ -1,0 +1,179 @@
+"""Tests for the FEM components: lookup, combinational, mux, gate-level."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fitness import F2, F3, MBF6_2
+from repro.fitness.combinational import (
+    CombinationalFEM,
+    build_f2_netlist,
+    build_f3_netlist,
+)
+from repro.fitness.lookup import FitnessLookupROM, LookupFEM
+from repro.fitness.mux import MAX_SLOTS, ExternalFEMPort, FEMInterface, FitnessMux
+from repro.hdl.signal import Signal
+from repro.hdl.simulator import Simulator
+
+
+def run_handshake(sim, iface, candidate, max_ticks=100):
+    """Drive one fitness request like the GA core does; return the value."""
+    iface.candidate.poke(candidate)
+    iface.fit_request.poke(1)
+    sim.wait_high(iface.fit_valid, max_ticks)
+    value = iface.fit_value.value
+    iface.fit_request.poke(0)
+    sim.wait_low(iface.fit_valid, max_ticks)
+    return value
+
+
+class TestLookupROM:
+    def test_contents_match_function(self):
+        rom = FitnessLookupROM(F3())
+        assert rom[0x0000] == 0
+        assert rom[0xFFFF] == 3060
+
+    def test_bram_count_for_16bit_lut(self):
+        rom = FitnessLookupROM(MBF6_2())
+        assert rom.storage_bits() == 1 << 20
+        assert rom.bram_count() == 57  # ceil(1Mb / 18Kb)
+
+
+class TestLookupFEM:
+    def make(self, fn):
+        iface = FEMInterface.create("fem")
+        fem = LookupFEM("fem", iface, fn)
+        sim = Simulator()
+        sim.add(fem)
+        return sim, iface, fem
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 0xFFFF))
+    def test_returns_table_value(self, cand):
+        fn = F3()
+        sim, iface, fem = self.make(fn)
+        assert run_handshake(sim, iface, cand) == fn(cand)
+
+    def test_multiple_sequential_requests(self):
+        fn = F2()
+        sim, iface, fem = self.make(fn)
+        for cand in (0, 0xFF00, 0x00FF, 0x1234):
+            assert run_handshake(sim, iface, cand) == fn(cand)
+        assert fem.evaluations == 4
+
+    def test_no_response_without_request(self):
+        sim, iface, fem = self.make(F3())
+        sim.step(10)
+        assert iface.fit_valid.value == 0
+
+    def test_reset_returns_to_idle(self):
+        sim, iface, fem = self.make(F3())
+        iface.fit_request.poke(1)
+        sim.step(1)
+        sim.reset()
+        assert fem.state == "IDLE" and fem.evaluations == 0
+
+
+class TestCombinationalFEM:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 0xFFFF))
+    def test_matches_function(self, cand):
+        fn = F2()
+        iface = FEMInterface.create("fem")
+        fem = CombinationalFEM("fem", iface, fn)
+        sim = Simulator()
+        sim.add(fem)
+        assert run_handshake(sim, iface, cand) == fn(cand)
+
+    def test_faster_than_lookup(self):
+        fn = F3()
+        iface_c = FEMInterface.create("c")
+        iface_l = FEMInterface.create("l")
+        sim_c, sim_l = Simulator(), Simulator()
+        sim_c.add(CombinationalFEM("c", iface_c, fn))
+        sim_l.add(LookupFEM("l", iface_l, fn))
+        iface_c.candidate.poke(1)
+        iface_c.fit_request.poke(1)
+        t_c = sim_c.wait_high(iface_c.fit_valid)
+        iface_l.candidate.poke(1)
+        iface_l.fit_request.poke(1)
+        t_l = sim_l.wait_high(iface_l.fit_valid)
+        assert t_c < t_l
+
+
+class TestGateLevelFEMs:
+    @given(st.integers(0, 0xFFFF))
+    def test_f3_netlist_equivalence(self, cand):
+        nl = build_f3_netlist()
+        assert nl.evaluate({"candidate": cand})["fitness"] == F3()(cand)
+
+    @given(st.integers(0, 0xFFFF))
+    def test_f2_netlist_equivalence(self, cand):
+        nl = build_f2_netlist()
+        assert nl.evaluate({"candidate": cand})["fitness"] == F2()(cand)
+
+    def test_netlists_are_acyclic(self):
+        build_f2_netlist().topo_order()
+        build_f3_netlist().topo_order()
+
+
+class TestFitnessMux:
+    def build_system(self):
+        ga = FEMInterface.create("ga")
+        select = Signal("fitfunc_select", 3)
+        slot0 = FEMInterface.create("s0")
+        slot1 = FEMInterface.create("s1")
+        ext = ExternalFEMPort.create()
+        mux = FitnessMux(
+            "mux", ga, select, slots={0: slot0, 1: slot1}, external={7: ext}
+        )
+        sim = Simulator()
+        sim.add(mux)
+        sim.add(LookupFEM("fem0", slot0, F3()))
+        sim.add(CombinationalFEM("fem1", slot1, F2()))
+        return sim, ga, select, ext
+
+    def test_selects_between_internal_fems(self):
+        sim, ga, select, _ = self.build_system()
+        cand = 0xFF00
+        select.poke(0)
+        assert run_handshake(sim, ga, cand) == F3()(cand)
+        select.poke(1)
+        assert run_handshake(sim, ga, cand) == F2()(cand)
+
+    def test_external_slot_routes_pins(self):
+        sim, ga, select, ext = self.build_system()
+        select.poke(7)
+        ga.candidate.poke(0x1234)
+        ga.fit_request.poke(1)
+        sim.step(3)
+        assert ga.fit_valid.value == 0  # external FEM hasn't answered yet
+        ext.fit_value_ext.poke(4242)
+        ext.fit_valid_ext.poke(1)
+        sim.wait_high(ga.fit_valid)
+        assert ga.fit_value.value == 4242
+
+    def test_unused_slot_gives_no_valid(self):
+        sim, ga, select, _ = self.build_system()
+        select.poke(5)
+        ga.fit_request.poke(1)
+        sim.step(10)
+        assert ga.fit_valid.value == 0
+
+    def test_overlapping_slots_rejected(self):
+        ga = FEMInterface.create("ga")
+        sel = Signal("sel", 3)
+        s = FEMInterface.create("s")
+        e = ExternalFEMPort.create()
+        with pytest.raises(ValueError):
+            FitnessMux("m", ga, sel, slots={1: s}, external={1: e})
+
+    def test_slot_range_enforced(self):
+        ga = FEMInterface.create("ga")
+        sel = Signal("sel", 3)
+        s = FEMInterface.create("s")
+        with pytest.raises(ValueError):
+            FitnessMux("m", ga, sel, slots={MAX_SLOTS: s})
+
+    def test_max_slots_is_eight(self):
+        assert MAX_SLOTS == 8

@@ -1,0 +1,157 @@
+"""Tests pinning the test functions to the paper's claimed optima."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fitness import (
+    BF6,
+    F2,
+    F3,
+    MBF6_2,
+    MBF7_2,
+    MShubert2D,
+    by_name,
+    decode_two_vars,
+    encode_two_vars,
+)
+
+chromosomes = st.integers(0, 0xFFFF)
+
+
+class TestEncoding:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_roundtrip(self, x, y):
+        assert decode_two_vars(encode_two_vars(x, y)) == (x, y)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_two_vars(256, 0)
+
+    def test_registry(self):
+        assert by_name("BF6").name == "BF6"
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+
+class TestBF6:
+    def test_global_optimum(self):
+        # Paper: single global maximum value 4271 (text says x=65522; exact
+        # argmax of the printed formula is 65521, same fitness).
+        fn = BF6()
+        best, value = fn.optimum()
+        assert value == 4271
+        assert best in (65521, 65522)
+
+    def test_value_at_zero(self):
+        assert BF6()(0) == 3200
+
+    def test_fits_16_bits(self):
+        table = BF6().table()
+        assert table.min() >= 0 and table.max() <= 0xFFFF
+
+    def test_many_local_maxima(self):
+        # Fig. 7: "numerous local maxima" — count strict interior peaks.
+        t = BF6().table().astype(np.int64)
+        peaks = np.sum((t[1:-1] > t[:-2]) & (t[1:-1] > t[2:]))
+        assert peaks > 1000
+
+
+class TestF2:
+    def test_optimum_is_minimax(self):
+        fn = F2()
+        best, value = fn.optimum()
+        assert value == 3060
+        assert decode_two_vars(best) == (255, 0)
+
+    def test_worst_case_is_zero(self):
+        assert F2()(encode_two_vars(0, 255)) == 0
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_formula(self, x, y):
+        assert F2()(encode_two_vars(x, y)) == 8 * x - 4 * y + 1020
+
+
+class TestF3:
+    def test_optimum_is_maximax(self):
+        fn = F3()
+        best, value = fn.optimum()
+        assert value == 3060
+        assert decode_two_vars(best) == (255, 255)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_formula(self, x, y):
+        assert F3()(encode_two_vars(x, y)) == 8 * x + 4 * y
+
+
+class TestMBF6_2:
+    def test_global_optimum_matches_paper(self):
+        # Paper: "single globally optimal solution at x = 65521 with a
+        # value = 8183" — exact match.
+        best, value = MBF6_2().optimum()
+        assert (best, value) == (65521, 8183)
+
+    def test_paper_best_found_value(self):
+        # Paper Sec. IV-B: "the best solution found ... was 65345. This
+        # solution evaluates to a fitness of 8135".
+        assert MBF6_2()(65345) == 8135
+
+    def test_solution_space_size(self):
+        assert len(MBF6_2().table()) == 65536
+
+
+class TestMBF7_2:
+    def test_optimum_location_matches_paper(self):
+        # Paper: optimum at x = 247, y = 249.  (The paper prints value
+        # 63904; the printed formula's exact value there is 63994.)
+        best, value = MBF7_2().optimum()
+        assert decode_two_vars(best) == (247, 249)
+        assert value == 63994
+
+    def test_paper_reported_candidate(self):
+        # Paper's best found: x = 0xEC, y = 0xFF with fitness ~61496.
+        value = MBF7_2()(encode_two_vars(0xEC, 0xFF))
+        assert abs(value - 61496) < 100
+
+
+class TestMShubert2D:
+    def test_global_max_is_65535(self):
+        fn = MShubert2D()
+        _, value = fn.optimum()
+        assert value == 65535
+
+    def test_multiple_global_optima(self):
+        fn = MShubert2D()
+        assert len(fn.optima()) >= 4
+
+    def test_values_quantized_in_steps_of_174(self):
+        table = MShubert2D().table().astype(np.int64)
+        assert np.all((65535 - table) % 174 == 0)
+
+    def test_minimum_is_48135(self):
+        # 65535 - 174*100, the lowest best-fitness value in Table IX.
+        assert MShubert2D().table().min() == 48135
+
+    def test_symmetric_in_variables(self):
+        fn = MShubert2D()
+        for x, y in [(10, 200), (30, 74), (0, 255)]:
+            assert fn(encode_two_vars(x, y)) == fn(encode_two_vars(y, x))
+
+
+class TestVectorisedConsistency:
+    @pytest.mark.parametrize("name", ["BF6", "F2", "F3", "mBF6_2", "mBF7_2", "mShubert2D"])
+    def test_scalar_matches_array(self, name):
+        fn = by_name(name)
+        rng = np.random.default_rng(1)
+        sample = rng.integers(0, 65536, size=64, dtype=np.uint32)
+        array = fn.evaluate_array(sample)
+        for chrom, expected in zip(sample, array):
+            assert fn(int(chrom)) == int(expected)
+
+    @pytest.mark.parametrize("name", ["BF6", "F2", "F3", "mBF6_2", "mBF7_2", "mShubert2D"])
+    def test_table_matches_optimum(self, name):
+        fn = by_name(name)
+        best, value = fn.optimum()
+        assert fn(best) == value
+        assert value == fn.table().max()

@@ -1,0 +1,71 @@
+"""Tests for the memory march-test BIST."""
+
+import pytest
+
+from repro.core.ga_memory import GAMemory
+from repro.core.ports import GAPorts
+from repro.hdl.bist import MemoryHarness, march_c_minus, mats_plus
+from repro.hdl.memory import SinglePortRAM
+from repro.hdl.signal import Signal
+
+
+def make_harness(depth=32, width=8):
+    ram = SinglePortRAM(
+        "ram",
+        Signal("a", 8),
+        Signal("d", width),
+        Signal("q", width),
+        Signal("w", 1),
+        depth=depth,
+    )
+    return MemoryHarness(ram)
+
+
+class TestHealthyMemory:
+    @pytest.mark.parametrize("algorithm", [mats_plus, march_c_minus])
+    def test_passes(self, algorithm):
+        result = algorithm(make_harness())
+        assert result.passed
+        assert result.first_failure is None
+
+    def test_operation_counts(self):
+        depth = 32
+        assert mats_plus(make_harness(depth)).operations == 5 * depth
+        assert march_c_minus(make_harness(depth)).operations == 10 * depth
+
+    def test_ga_memory_passes(self):
+        harness = MemoryHarness(GAMemory(GAPorts.create()))
+        result = march_c_minus(harness)
+        assert result.passed
+        assert result.operations == 10 * 256
+
+
+class TestFaultDetection:
+    @pytest.mark.parametrize("algorithm", [mats_plus, march_c_minus])
+    @pytest.mark.parametrize("stuck", [0, 1])
+    def test_stuck_bit_detected(self, algorithm, stuck):
+        harness = make_harness()
+        harness.inject_stuck_bit(addr=13, bit=3, value=stuck)
+        result = algorithm(harness)
+        assert not result.passed
+        assert result.first_failure[0] == 13
+
+    def test_coupling_fault_detected_by_march_c(self):
+        harness = make_harness()
+        harness.inject_coupling(aggressor=5, victim=9, bit=2)
+        assert not march_c_minus(harness).passed
+
+    def test_every_stuck_cell_position_detected(self):
+        # exhaustive: any single stuck bit anywhere is caught by MATS+
+        for addr in (0, 7, 31):
+            for bit in (0, 7):
+                harness = make_harness()
+                harness.inject_stuck_bit(addr, bit, 1)
+                assert not mats_plus(harness).passed, (addr, bit)
+
+    def test_failure_reports_expected_vs_got(self):
+        harness = make_harness()
+        harness.inject_stuck_bit(2, 0, 1)
+        result = mats_plus(harness)
+        addr, expect, got = result.first_failure
+        assert addr == 2 and expect != got

@@ -1,0 +1,85 @@
+"""Unit tests for the declarative Moore FSM helper."""
+
+import pytest
+
+from repro.hdl.fsm import MooreFSM
+from repro.hdl.signal import Signal
+from repro.hdl.simulator import Simulator
+
+
+def test_transitions_follow_table():
+    out = Signal("out", 4)
+    fsm = MooreFSM(
+        "seq",
+        states={
+            "A": lambda m: "B",
+            "B": lambda m: "C",
+            "C": lambda m: None,
+        },
+        initial="A",
+    )
+    sim = Simulator()
+    sim.add(fsm)
+    assert fsm.state == "A"
+    sim.step()
+    assert fsm.state == "B"
+    sim.step()
+    assert fsm.state == "C"
+    sim.step()
+    assert fsm.state == "C"
+
+
+def test_action_can_drive_signals():
+    out = Signal("out", 8)
+
+    def emit(m):
+        m.drive(out, 0x42)
+        return None
+
+    fsm = MooreFSM("d", {"S": emit}, initial="S")
+    sim = Simulator()
+    sim.add(fsm)
+    sim.step()
+    assert out.value == 0x42
+
+
+def test_unknown_initial_state_rejected():
+    with pytest.raises(ValueError):
+        MooreFSM("x", {"A": lambda m: None}, initial="Z")
+
+
+def test_transition_to_unknown_state_rejected():
+    fsm = MooreFSM("x", {"A": lambda m: "NOPE"}, initial="A")
+    sim = Simulator()
+    sim.add(fsm)
+    with pytest.raises(ValueError):
+        sim.step()
+
+
+def test_reset_returns_to_initial():
+    fsm = MooreFSM("x", {"A": lambda m: "B", "B": lambda m: None}, initial="A")
+    sim = Simulator()
+    sim.add(fsm)
+    sim.step()
+    assert fsm.state == "B"
+    sim.reset()
+    assert fsm.state == "A"
+
+
+def test_conditional_transition_on_signal():
+    go = Signal("go", 1)
+    fsm = MooreFSM(
+        "hs",
+        states={
+            "WAIT": lambda m: "RUN" if go.value else None,
+            "RUN": lambda m: None,
+        },
+        initial="WAIT",
+    )
+    sim = Simulator()
+    sim.add(fsm)
+    sim.step(3)
+    assert fsm.state == "WAIT"
+    go.poke(1)
+    sim.step()
+    assert fsm.state == "RUN"

@@ -1,0 +1,116 @@
+"""Unit tests for the block-RAM/ROM models."""
+
+import pytest
+
+from repro.hdl.memory import BRAM_BITS, BlockROM, SinglePortRAM
+from repro.hdl.signal import Signal
+from repro.hdl.simulator import Simulator
+
+
+def make_ram(depth=None, addr_w=8, data_w=32):
+    addr = Signal("addr", addr_w)
+    din = Signal("din", data_w)
+    dout = Signal("dout", data_w)
+    wr = Signal("wr", 1)
+    ram = SinglePortRAM("ram", addr, din, dout, wr, depth=depth)
+    sim = Simulator()
+    sim.add(ram)
+    return sim, ram, addr, din, dout, wr
+
+
+class TestSinglePortRAM:
+    def test_read_latency_one_cycle(self):
+        sim, ram, addr, din, dout, wr = make_ram()
+        ram.data[5] = 0xDEAD
+        addr.poke(5)
+        assert dout.value == 0
+        sim.step()
+        assert dout.value == 0xDEAD
+
+    def test_write_then_read(self):
+        sim, ram, addr, din, dout, wr = make_ram()
+        addr.poke(9)
+        din.poke(0x1234)
+        wr.poke(1)
+        sim.step()
+        assert ram.data[9] == 0x1234
+        wr.poke(0)
+        sim.step()
+        assert dout.value == 0x1234
+
+    def test_write_first_dout(self):
+        sim, ram, addr, din, dout, wr = make_ram()
+        addr.poke(3)
+        din.poke(0xBEEF)
+        wr.poke(1)
+        sim.step()
+        assert dout.value == 0xBEEF
+
+    def test_same_cycle_readers_see_old_contents(self):
+        # Another component clocking in the same cycle as a write must see
+        # the pre-write array (two-phase semantics).
+        sim, ram, addr, din, dout, wr = make_ram()
+        ram.data[0] = 111
+        observed = []
+
+        from repro.hdl.component import Component
+
+        class Peeker(Component):
+            def clock(self):
+                observed.append(ram.data[0])
+
+        sim.add(Peeker("peek"))
+        addr.poke(0)
+        din.poke(222)
+        wr.poke(1)
+        sim.step()
+        assert observed == [111]
+        assert ram.data[0] == 222
+
+    def test_depth_exceeding_address_space_rejected(self):
+        with pytest.raises(ValueError):
+            make_ram(depth=512, addr_w=8)
+
+    def test_address_wraps_to_depth(self):
+        sim, ram, addr, din, dout, wr = make_ram(depth=16)
+        ram.data[1] = 42
+        addr.poke(17)  # 17 % 16 == 1
+        sim.step()
+        assert dout.value == 42
+
+    def test_reset_clears_contents(self):
+        sim, ram, addr, din, dout, wr = make_ram()
+        ram.data[4] = 7
+        sim.reset()
+        assert ram.data[4] == 0
+
+    def test_storage_accounting_matches_paper_ga_memory(self):
+        # 256 x 32-bit GA memory = 8 Kb -> 1 of 136 BRAMs (~1%, Table VI).
+        sim, ram, *_ = make_ram()
+        assert ram.storage_bits() == 256 * 32
+        assert ram.bram_count() == 1
+
+
+class TestBlockROM:
+    def test_sync_read(self):
+        addr = Signal("addr", 4)
+        dout = Signal("dout", 16)
+        rom = BlockROM("rom", addr, dout, [i * 3 for i in range(16)])
+        sim = Simulator()
+        sim.add(rom)
+        addr.poke(7)
+        sim.step()
+        assert dout.value == 21
+
+    def test_contents_must_fit(self):
+        with pytest.raises(ValueError):
+            BlockROM("rom", Signal("a", 2), Signal("d", 8), [0] * 5)
+
+    def test_fitness_lut_bram_count_matches_paper(self):
+        # 65536 x 16-bit fitness lookup = 1 Mb -> 57 BRAMs of 136 (~42-48%,
+        # Table VI reports 48% including FEM control overhead).
+        addr = Signal("a", 16)
+        dout = Signal("d", 16)
+        rom = BlockROM("fitlut", addr, dout, [0] * 65536)
+        assert rom.storage_bits() == 1 << 20
+        assert rom.bram_count() == -(-(1 << 20) // BRAM_BITS)

@@ -1,0 +1,116 @@
+"""Unit tests for gate primitives and netlist construction/simulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.gates import DFF, Gate, GateType
+from repro.hdl.netlist import Netlist, NetlistError
+
+
+class TestGate:
+    @pytest.mark.parametrize(
+        "gtype,a,b,expected",
+        [
+            (GateType.AND, 1, 1, 1),
+            (GateType.AND, 1, 0, 0),
+            (GateType.OR, 0, 0, 0),
+            (GateType.OR, 1, 0, 1),
+            (GateType.NAND, 1, 1, 0),
+            (GateType.NAND, 0, 1, 1),
+            (GateType.NOR, 0, 0, 1),
+            (GateType.NOR, 1, 0, 0),
+            (GateType.XOR, 1, 1, 0),
+            (GateType.XOR, 1, 0, 1),
+            (GateType.XNOR, 1, 1, 1),
+            (GateType.XNOR, 1, 0, 0),
+        ],
+    )
+    def test_two_input_truth_tables(self, gtype, a, b, expected):
+        gate = Gate(gtype, (0, 1), 2)
+        assert gate.evaluate([a, b, 0]) == expected
+
+    def test_not_buf(self):
+        assert Gate(GateType.NOT, (0,), 1).evaluate([1, 0]) == 0
+        assert Gate(GateType.BUF, (0,), 1).evaluate([1, 0]) == 1
+
+    def test_fanin_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.AND, (0,), 1)
+        with pytest.raises(ValueError):
+            Gate(GateType.NOT, (0, 1), 2)
+
+
+class TestNetlistStructure:
+    def test_duplicate_port_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a", 4)
+        with pytest.raises(NetlistError):
+            nl.add_input("a", 4)
+
+    def test_gate_with_unknown_net_rejected(self):
+        nl = Netlist("t")
+        with pytest.raises(NetlistError):
+            nl.add_gate(GateType.AND, 0, 99)
+
+    def test_combinational_cycle_detected(self):
+        nl = Netlist("t")
+        (a,) = nl.add_input("a", 1)
+        # Build a cycle manually: g1 = AND(a, g2), g2 = BUF(g1)
+        out1 = nl.net()
+        out2 = nl.net()
+        nl.gates.append(Gate(GateType.AND, (a, out2), out1))
+        nl.gates.append(Gate(GateType.BUF, (out1,), out2))
+        with pytest.raises(NetlistError):
+            nl.topo_order()
+
+    def test_stats_counts(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 2)
+        y = nl.add_gate(GateType.AND, a[0], a[1])
+        nl.add_dff(y)
+        stats = nl.stats()
+        assert stats["and"] == 1
+        assert stats["dff"] == 1
+        assert stats["gates"] == 1
+
+
+class TestNetlistSimulation:
+    def test_combinational_evaluate(self):
+        nl = Netlist("halfadder")
+        a = nl.add_input("a", 1)
+        b = nl.add_input("b", 1)
+        nl.add_output("s", [nl.add_gate(GateType.XOR, a[0], b[0])])
+        nl.add_output("c", [nl.add_gate(GateType.AND, a[0], b[0])])
+        assert nl.evaluate({"a": 1, "b": 1}) == {"s": 0, "c": 1}
+        assert nl.evaluate({"a": 1, "b": 0}) == {"s": 1, "c": 0}
+
+    def test_missing_inputs_default_zero(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        nl.add_output("y", [nl.add_gate(GateType.NOT, a[0])])
+        assert nl.evaluate({}) == {"y": 1}
+
+    def test_clocked_toggle_flop(self):
+        nl = Netlist("toggle")
+        q = nl.net("q")
+        nq = nl.add_gate(GateType.NOT, q)
+        nl.dffs.append(DFF(d=nq, q=q))
+        nl.add_output("q", [q])
+        results = nl.simulate([{}] * 4)
+        assert [r["q"] for r in results] == [0, 1, 0, 1]
+
+    def test_flop_init_value(self):
+        nl = Netlist("t")
+        q = nl.net("q")
+        nl.dffs.append(DFF(d=q, q=q, init=1))
+        nl.add_output("q", [q])
+        assert nl.simulate([{}])[0]["q"] == 1
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_wide_buses_pack_unpack(self, a, b):
+        nl = Netlist("t")
+        an = nl.add_input("a", 8)
+        bn = nl.add_input("b", 8)
+        nl.add_output("y", [nl.add_gate(GateType.XOR, x, y) for x, y in zip(an, bn)])
+        assert nl.evaluate({"a": a, "b": b})["y"] == a ^ b

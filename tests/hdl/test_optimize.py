@@ -1,0 +1,163 @@
+"""Tests for the netlist optimizer (constant propagation + dead logic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import rtlib
+from repro.hdl.gates import GateType
+from repro.hdl.netlist import Netlist
+from repro.hdl.optimize import optimize, propagate_constants, strip_dead
+
+
+class TestConstantFolding:
+    def test_and_with_zero_folds(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        zero = nl.add_gate(GateType.CONST0)
+        nl.add_output("y", [nl.add_gate(GateType.AND, a[0], zero)])
+        opt = optimize(nl)
+        assert opt.evaluate({"a": 1})["y"] == 0
+        # only the tie cell remains
+        assert opt.stats()["gates"] <= 1
+
+    @pytest.mark.parametrize(
+        "gtype,const,a,expected",
+        [
+            (GateType.AND, 1, 1, 1),
+            (GateType.OR, 0, 1, 1),
+            (GateType.XOR, 0, 1, 1),
+            (GateType.XOR, 1, 1, 0),
+            (GateType.NAND, 1, 1, 0),
+            (GateType.NOR, 0, 0, 1),
+            (GateType.XNOR, 1, 1, 1),
+        ],
+    )
+    def test_one_const_rules(self, gtype, const, a, expected):
+        nl = Netlist("t")
+        ain = nl.add_input("a", 1)
+        cnet = nl.add_gate(GateType.CONST1 if const else GateType.CONST0)
+        nl.add_output("y", [nl.add_gate(gtype, ain[0], cnet)])
+        opt = optimize(nl)
+        assert opt.evaluate({"a": a})["y"] == expected
+
+    def test_buffer_chains_collapse(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        x = a[0]
+        for _ in range(5):
+            x = nl.add_gate(GateType.BUF, x)
+        nl.add_output("y", [x])
+        opt = optimize(nl)
+        assert opt.stats()["gates"] == 0
+        assert opt.evaluate({"a": 1})["y"] == 1
+
+    def test_double_negation_survives_with_correct_function(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        nl.add_output("y", [nl.add_gate(GateType.NOT, nl.add_gate(GateType.NOT, a[0]))])
+        opt = optimize(nl)
+        assert opt.evaluate({"a": 1})["y"] == 1
+        assert opt.evaluate({"a": 0})["y"] == 0
+
+
+class TestDeadLogic:
+    def test_unobserved_gates_removed(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 4)
+        used = nl.add_gate(GateType.AND, a[0], a[1])
+        nl.add_gate(GateType.XOR, a[2], a[3])  # dead
+        nl.add_output("y", [used])
+        opt = strip_dead(nl)
+        assert opt.stats()["gates"] == 1
+
+    def test_logic_feeding_flops_survives(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        g = nl.add_gate(GateType.NOT, a[0])
+        nl.add_dff(g)
+        opt = strip_dead(nl)
+        assert opt.stats()["gates"] == 1
+
+    def test_scan_nets_kept(self):
+        from repro.hdl.flatten import merge
+        from repro.hdl.scan import insert_scan_chain
+
+        nl = Netlist("t")
+        merge(nl, rtlib.build_counter(4), "cnt")
+        insert_scan_chain(nl)
+        opt = strip_dead(nl)
+        assert opt.scan_ports == nl.scan_ports
+
+
+class TestEquivalencePreservation:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_adder_unchanged(self, a, b):
+        nl = optimize(rtlib.build_adder(16))
+        assert nl.evaluate({"a": a, "b": b})["sum"] == (a + b) & 0xFFFF
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 15))
+    def test_mutation_unit_unchanged(self, ind, point):
+        nl = optimize(rtlib.build_mutation_unit(16))
+        out = nl.evaluate({"ind": ind, "point": point, "en": 1})
+        assert out["out"] == ind ^ (1 << point)
+
+    def test_constant_rich_block_shrinks(self):
+        # the thermometer decoder compares against constants: folding wins
+        raw = rtlib.build_crossover_unit(16)
+        opt = optimize(raw)
+        assert opt.stats()["gates"] < raw.stats()["gates"]
+        out = opt.evaluate({"p1": 0xAAAA, "p2": 0x5555, "cut": 7})
+        ref = raw.evaluate({"p1": 0xAAAA, "p2": 0x5555, "cut": 7})
+        assert out == ref
+
+    def test_sequential_behaviour_preserved(self):
+        from repro.hdl.scan import Stepper
+        from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+        opt = optimize(rtlib.build_ca_rng(16))
+        stepper = Stepper(opt)
+        stepper.step(seed=0xB342, load=1, en=0)
+        rng = CellularAutomatonPRNG(0xB342)
+        for _ in range(30):
+            assert stepper.step(load=0, en=1)["rn"] == rng.next_word()
+
+    def test_optimizer_is_idempotent(self):
+        once = optimize(rtlib.build_crossover_unit(16))
+        twice = optimize(once)
+        assert once.stats() == twice.stats()
+
+
+class TestSmartGA:
+    def test_fixed_matches_programmable_decisions(self):
+        from repro.core.params import GAParameters
+        from repro.hls.smartga import fixed_datapath
+
+        params = GAParameters(32, 32, 12, 3, 0xB342)
+        fixed = fixed_datapath(params)
+        for rx in range(16):
+            out = fixed.evaluate(
+                {"rand_xover": rx, "rand_mut": rx,
+                 "generation_index": 32, "population_index": 32}
+            )
+            assert out["do_crossover"] == int(rx < 12)
+            assert out["do_mutation"] == int(rx < 3)
+            assert out["generations_done"] == 1
+            assert out["seed"] == 0xB342
+
+    def test_fixing_parameters_saves_area(self):
+        from repro.hls.smartga import comparison
+
+        report = comparison()
+        assert report.gate_saving_pct > 30
+        assert report.ff_saving > 0
+
+    def test_reprogramming_is_cycles_not_resynthesis(self):
+        from repro.hls.smartga import comparison
+
+        report = comparison()
+        assert report.reprogram_cycles < 200
+        assert report.resynthesis_seconds > 0

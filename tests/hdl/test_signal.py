@@ -1,0 +1,95 @@
+"""Unit tests for the Signal wire model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.signal import Signal, SignalConflictError, bus
+
+
+class TestSignalBasics:
+    def test_initial_value(self):
+        s = Signal("s", width=8, init=0xAB)
+        assert s.value == 0xAB
+
+    def test_init_masked_to_width(self):
+        s = Signal("s", width=4, init=0xFF)
+        assert s.value == 0xF
+
+    def test_poke_masks(self):
+        s = Signal("s", width=4)
+        s.poke(0x1F)
+        assert s.value == 0xF
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Signal("s", width=0)
+
+    def test_bus_helper(self):
+        s = bus("data", 16)
+        assert s.width == 16 and s.value == 0
+
+
+class TestTwoPhase:
+    def test_queue_does_not_change_value(self):
+        s = Signal("s", width=8)
+        s.queue(5)
+        assert s.value == 0
+
+    def test_apply_commits(self):
+        s = Signal("s", width=8)
+        s.queue(5)
+        s.apply()
+        assert s.value == 5
+
+    def test_conflicting_drives_raise(self):
+        s = Signal("s", width=8)
+        s.queue(1, driver="a")
+        with pytest.raises(SignalConflictError):
+            s.queue(2, driver="b")
+
+    def test_same_value_drives_allowed(self):
+        s = Signal("s", width=8)
+        s.queue(7, driver="a")
+        s.queue(7, driver="b")
+        s.apply()
+        assert s.value == 7
+
+    def test_reset_clears_pending(self):
+        s = Signal("s", width=8, init=3)
+        s.poke(9)
+        s.queue(5)
+        s.reset()
+        assert s.value == 3
+        s.apply()
+        assert s.value == 3
+
+
+class TestBitAccess:
+    def test_bit(self):
+        s = Signal("s", width=8, init=0b1010_0101)
+        assert s.bit(0) == 1
+        assert s.bit(1) == 0
+        assert s.bit(7) == 1
+
+    def test_bits_slice(self):
+        s = Signal("s", width=16, init=0xBEEF)
+        assert s.bits(3, 0) == 0xF
+        assert s.bits(7, 4) == 0xE
+        assert s.bits(15, 8) == 0xBE
+
+    def test_bits_bad_slice(self):
+        s = Signal("s", width=16)
+        with pytest.raises(ValueError):
+            s.bits(0, 3)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_bits_reassemble(self, value):
+        s = Signal("s", width=16, init=value)
+        assert (s.bits(15, 8) << 8) | s.bits(7, 0) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_bit_matches_python(self, value):
+        s = Signal("s", width=16, init=value)
+        for i in range(16):
+            assert s.bit(i) == (value >> i) & 1

@@ -1,0 +1,86 @@
+"""Tests for the VCD waveform recorder."""
+
+import pytest
+
+from repro.hdl.register import Counter
+from repro.hdl.signal import Signal
+from repro.hdl.simulator import Simulator
+from repro.hdl.vcd import VCDRecorder, _identifier
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        assert all(all(33 <= ord(c) <= 126 for c in i) for i in ids)
+
+
+class TestRecording:
+    def build(self):
+        q = Signal("count", 4)
+        en = Signal("enable", 1, init=1)
+        sim = Simulator()
+        sim.add(Counter("c", q, en))
+        rec = VCDRecorder([q, en]).attach(sim)
+        return sim, rec, q, en
+
+    def test_records_changes_only(self):
+        sim, rec, q, en = self.build()
+        sim.step(3)
+        count_changes = [c for c in rec.changes if c[1] == "count"]
+        enable_changes = [c for c in rec.changes if c[1] == "enable"]
+        assert len(count_changes) == 3  # 1, 2, 3
+        assert len(enable_changes) == 1  # initial capture only
+
+    def test_dump_structure(self):
+        sim, rec, q, en = self.build()
+        sim.step(2)
+        text = rec.dump()
+        assert "$timescale 20 ns $end" in text
+        assert "$var wire 4" in text and "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert "#1" in text and "#2" in text
+        assert "b1 " in text or "b10 " in text
+
+    def test_scalar_vs_vector_format(self):
+        sim, rec, q, en = self.build()
+        sim.step(1)
+        text = rec.dump()
+        # 1-bit signals dump as '1<id>'; buses as 'b<bits> <id>'
+        en_id = rec.ids["enable"]
+        q_id = rec.ids["count"]
+        assert f"1{en_id}\n" in text
+        assert f"b1 {q_id}\n" in text
+
+    def test_save(self, tmp_path):
+        sim, rec, q, en = self.build()
+        sim.step(2)
+        path = tmp_path / "wave.vcd"
+        rec.save(str(path))
+        assert path.read_text().startswith("$date")
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            VCDRecorder([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            VCDRecorder([Signal("x", 1), Signal("x", 2)])
+
+    def test_ga_system_waveform(self):
+        # Record the fitness handshake of a real (tiny) GA run.
+        from repro.core import GAParameters, GASystem
+        from repro.fitness import F3
+
+        params = GAParameters(1, 4, 10, 1, 45890)
+        system = GASystem(params, F3())
+        ports = system.ports
+        rec = VCDRecorder(
+            [ports.fit_request, ports.fit_valid, ports.candidate, ports.GA_done]
+        ).attach(system.sim)
+        system.run()
+        text = rec.dump()
+        req_id = rec.ids[ports.fit_request.name]
+        # the handshake toggled many times: at least one 0->1 and 1->0 each
+        assert text.count(f"1{req_id}") >= 4
+        assert text.count(f"0{req_id}") >= 4

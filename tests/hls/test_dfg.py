@@ -1,0 +1,97 @@
+"""Tests for DFG construction and reference evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hls.dfg import DFG, OpType
+
+u16 = st.integers(0, 0xFFFF)
+
+
+def linear_dfg():
+    d = DFG("lin")
+    x = d.input("x")
+    y = d.input("y")
+    d.output("f", d.sub(d.add(d.add(x, x), d.const(100)), y))
+    return d
+
+
+class TestBuilder:
+    def test_duplicate_input_rejected(self):
+        d = DFG("t")
+        d.input("x")
+        with pytest.raises(ValueError):
+            d.input("x")
+
+    def test_duplicate_output_rejected(self):
+        d = DFG("t")
+        x = d.input("x")
+        d.output("f", x)
+        with pytest.raises(ValueError):
+            d.output("f", x)
+
+    def test_forward_reference_rejected(self):
+        d = DFG("t")
+        with pytest.raises(ValueError):
+            d.add(0, 1)
+
+    def test_arity_enforced(self):
+        d = DFG("t")
+        x = d.input("x")
+        with pytest.raises(ValueError):
+            d._add(OpType.ADD, (x,))
+
+    def test_const_masked(self):
+        d = DFG("t")
+        c = d.const(0x12345)
+        assert d.ops[c].value == 0x2345
+
+    def test_cmp_width_is_one(self):
+        d = DFG("t")
+        x, y = d.input("x"), d.input("y")
+        assert d.ops[d.lt(x, y)].width == 1
+        assert d.ops[d.eq(x, y)].width == 1
+
+
+class TestEvaluate:
+    @given(u16, u16)
+    def test_linear(self, x, y):
+        d = linear_dfg()
+        assert d.evaluate({"x": x, "y": y})["f"] == (2 * x + 100 - y) & 0xFFFF
+
+    @given(u16, u16)
+    def test_bitwise(self, x, y):
+        d = DFG("bw")
+        a, b = d.input("a"), d.input("b")
+        d.output("and", d.and_(a, b))
+        d.output("or", d.or_(a, b))
+        d.output("xor", d.xor(a, b))
+        d.output("not", d.not_(a))
+        out = d.evaluate({"a": x, "b": y})
+        assert out == {
+            "and": x & y,
+            "or": x | y,
+            "xor": x ^ y,
+            "not": ~x & 0xFFFF,
+        }
+
+    @given(u16, u16)
+    def test_mux_and_compare(self, x, y):
+        d = DFG("mc")
+        a, b = d.input("a"), d.input("b")
+        sel = d.lt(a, b)
+        d.output("min", d.mux(sel, b, a))  # sel ? a : b
+        out = d.evaluate({"a": x, "b": y})
+        assert out["min"] == min(x, y)
+
+    def test_missing_input_defaults_zero(self):
+        d = linear_dfg()
+        assert d.evaluate({"x": 5})["f"] == 110
+
+    def test_consumers(self):
+        d = DFG("c")
+        x = d.input("x")
+        s = d.add(x, x)
+        d.output("f", s)
+        assert [op.index for op in d.consumers(x)] == [s]

@@ -1,0 +1,124 @@
+"""Equivalence tests: synthesized netlists vs. DFG reference evaluation.
+
+The mini-HLS analogue of the paper's "RT-level VHDL model was simulated
+thoroughly to test the correctness of the synthesized netlist".
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.scan import Stepper, insert_scan_chain
+from repro.hls.dfg import DFG
+from repro.hls.generate import synthesize
+from repro.hls.schedule import ResourceConstraints
+
+u16 = st.integers(0, 0xFFFF)
+
+
+def run_synth(result, **inputs):
+    stepper = Stepper(result.netlist)
+    out = {}
+    for _ in range(2 * result.latency + 2):
+        out = stepper.step(**inputs)
+    return out
+
+
+def minmax_dfg():
+    d = DFG("minmax")
+    a, b = d.input("a"), d.input("b")
+    sel = d.lt(a, b)
+    d.output("min", d.mux(sel, b, a))
+    d.output("max", d.mux(sel, a, b))
+    d.output("diff", d.sub(d.mux(sel, a, b), d.mux(sel, b, a)))
+    return d
+
+
+def arith_dfg():
+    d = DFG("arith")
+    x, y = d.input("x"), d.input("y")
+    s = d.add(d.add(x, x), d.const(1020))
+    t = d.sub(s, d.add(y, y))
+    d.output("f", t)
+    d.output("flag", d.mux(d.eq(t, d.const(0)), t, d.const(0xAAAA)))
+    return d
+
+
+class TestSynthesizedEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(u16, u16)
+    def test_minmax_asap(self, a, b):
+        result = synthesize(minmax_dfg())
+        assert run_synth(result, a=a, b=b) | {} == run_synth(result, a=a, b=b)
+        out = run_synth(result, a=a, b=b)
+        ref = minmax_dfg().evaluate({"a": a, "b": b})
+        for key, val in ref.items():
+            assert out[key] == val
+
+    @settings(max_examples=10, deadline=None)
+    @given(u16, u16)
+    def test_arith_resource_constrained(self, x, y):
+        result = synthesize(arith_dfg(), resources=ResourceConstraints(alu=1))
+        out = run_synth(result, x=x, y=y)
+        ref = arith_dfg().evaluate({"x": x, "y": y})
+        for key, val in ref.items():
+            assert out[key] == val
+
+    def test_constraint_changes_schedule_not_function(self):
+        fast = synthesize(arith_dfg())
+        slow = synthesize(arith_dfg(), resources=ResourceConstraints(alu=1))
+        assert slow.schedule.length > fast.schedule.length
+        assert slow.allocation.units["alu"] == 1
+        out_fast = run_synth(fast, x=1234, y=77)
+        out_slow = run_synth(slow, x=1234, y=77)
+        assert out_fast["f"] == out_slow["f"]
+
+    def test_outputs_stable_across_period(self):
+        result = synthesize(arith_dfg())
+        stepper = Stepper(result.netlist)
+        for _ in range(2 * result.latency + 2):
+            stepper.step(x=100, y=3)
+        first = stepper.step(x=100, y=3)["f"]
+        for _ in range(result.latency):
+            assert stepper.step(x=100, y=3)["f"] == first
+
+    def test_fsm_is_one_hot(self):
+        result = synthesize(arith_dfg())
+        stepper = Stepper(result.netlist)
+        for _ in range(3 * result.latency):
+            state = stepper.step(x=0, y=0)["fsm_state"]
+            assert bin(state).count("1") == 1
+
+
+class TestDownstreamTooling:
+    def test_synthesized_netlist_lints_clean(self):
+        from repro.hdl.export import lint
+
+        assert lint(synthesize(minmax_dfg()).netlist) == []
+
+    def test_synthesized_netlist_exports(self):
+        from repro.hdl.export import read_netlist, write_netlist
+
+        nl = synthesize(arith_dfg()).netlist
+        restored = read_netlist(write_netlist(nl))
+        assert restored.stats() == nl.stats()
+
+    def test_scan_chain_insertable(self):
+        nl = synthesize(arith_dfg()).netlist
+        length = insert_scan_chain(nl)
+        assert length == len(nl.dffs)
+
+    def test_resource_estimation(self):
+        from repro.analysis.resources import estimate_netlist
+
+        report = estimate_netlist(synthesize(minmax_dfg()).netlist)
+        assert report.luts > 0 and report.flipflops > 0
+
+    def test_resynthesis_is_cheap(self):
+        # The Sec. III-D claim: "the entire process of resynthesis using the
+        # AUDI HLS tool takes only a few minutes" — here, well under a second.
+        import time
+
+        t0 = time.perf_counter()
+        synthesize(arith_dfg(), resources=ResourceConstraints(alu=1))
+        assert time.perf_counter() - t0 < 2.0

@@ -1,0 +1,135 @@
+"""Tests for scheduling and allocation."""
+
+import pytest
+
+from repro.hls.allocate import allocate
+from repro.hls.dfg import DFG
+from repro.hls.schedule import (
+    ResourceConstraints,
+    alap,
+    asap,
+    list_schedule,
+    mobility,
+)
+
+
+def chain_dfg(depth=4):
+    """x -> +1 -> +1 -> ... (pure dependency chain)."""
+    d = DFG("chain")
+    v = d.input("x")
+    one = d.const(1)
+    for _ in range(depth):
+        v = d.add(v, one)
+    d.output("f", v)
+    return d
+
+
+def wide_dfg(width=4):
+    """width independent adds reduced pairwise."""
+    d = DFG("wide")
+    xs = [d.input(f"x{i}") for i in range(width)]
+    sums = [d.add(xs[i], xs[(i + 1) % width]) for i in range(width)]
+    total = sums[0]
+    for s in sums[1:]:
+        total = d.add(total, s)
+    d.output("f", total)
+    return d
+
+
+class TestASAPALAP:
+    def test_chain_is_sequential(self):
+        d = chain_dfg(4)
+        sched = asap(d)
+        assert sched.length == 4
+        assert sorted(sched.steps.values()) == [0, 1, 2, 3]
+
+    def test_wide_front_is_parallel(self):
+        d = wide_dfg(4)
+        sched = asap(d)
+        assert sum(1 for s in sched.steps.values() if s == 0) == 4
+
+    def test_alap_matches_asap_length(self):
+        d = wide_dfg(4)
+        assert alap(d).length == asap(d).length
+
+    def test_alap_pushes_slack_ops_late(self):
+        d = wide_dfg(4)
+        early, late = asap(d).steps, alap(d).steps
+        assert any(late[i] > early[i] for i in early)
+
+    def test_alap_infeasible_length(self):
+        with pytest.raises(ValueError):
+            alap(chain_dfg(4), length=2)
+
+    def test_mobility_zero_on_critical_path(self):
+        d = chain_dfg(4)
+        assert set(mobility(d).values()) == {0}
+
+    def test_validate_catches_violation(self):
+        d = chain_dfg(2)
+        sched = asap(d)
+        # corrupt: schedule the consumer before its producer
+        ops = sorted(sched.steps)
+        sched.steps[ops[1]] = 0
+        with pytest.raises(ValueError):
+            sched.validate()
+
+
+class TestListScheduling:
+    def test_unlimited_matches_asap_length(self):
+        d = wide_dfg(4)
+        sched = list_schedule(d, ResourceConstraints())
+        assert sched.length == asap(d).length
+
+    def test_single_alu_serializes(self):
+        d = wide_dfg(4)  # 7 adds total
+        sched = list_schedule(d, ResourceConstraints(alu=1))
+        assert sched.length == 7
+        # never more than one ALU op per step
+        for step in range(sched.length):
+            assert len(sched.ops_in_step(step)) <= 1
+
+    def test_two_alus_halve_the_front(self):
+        d = wide_dfg(4)
+        one = list_schedule(d, ResourceConstraints(alu=1)).length
+        two = list_schedule(d, ResourceConstraints(alu=2)).length
+        assert two < one
+
+    def test_dependencies_respected(self):
+        d = chain_dfg(5)
+        sched = list_schedule(d, ResourceConstraints(alu=2))
+        sched.validate()
+        assert sched.length == 5  # chain can't be compressed
+
+
+class TestAllocation:
+    def test_unit_counts_are_peak_usage(self):
+        d = wide_dfg(4)
+        alloc = allocate(asap(d))
+        assert alloc.units["alu"] == 4  # the parallel front
+
+    def test_single_alu_binding(self):
+        d = wide_dfg(4)
+        alloc = allocate(list_schedule(d, ResourceConstraints(alu=1)))
+        assert alloc.units["alu"] == 1
+        assert len(alloc.ops_on_unit("alu", 0)) == 7
+
+    def test_lifetimes_cover_uses(self):
+        d = chain_dfg(3)
+        sched = asap(d)
+        alloc = allocate(sched)
+        for index, (birth, last) in alloc.lifetimes.items():
+            assert birth == sched.steps[index]
+            assert last >= birth
+
+    def test_register_sharing_bounded(self):
+        d = wide_dfg(4)
+        alloc = allocate(list_schedule(d, ResourceConstraints(alu=1)))
+        assert 1 <= alloc.shared_registers <= len(d.computational_ops)
+
+    def test_output_values_live_to_end(self):
+        d = chain_dfg(2)
+        sched = asap(d)
+        alloc = allocate(sched)
+        final_op = max(sched.steps, key=lambda i: sched.steps[i])
+        assert alloc.lifetimes[final_op][1] == sched.length - 1

@@ -1,0 +1,127 @@
+"""Unit & property tests for the cellular-automaton PRNG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng.cellular_automaton import (
+    DEFAULT_RULE_VECTOR,
+    PRESET_SEEDS,
+    CellularAutomatonPRNG,
+    ca_period,
+    ca_step,
+)
+
+seeds = st.integers(1, 0xFFFF)
+
+
+class TestCAStep:
+    def test_rule90_pure(self):
+        # rule_vector 0: every cell is left XOR right
+        state = 0b0000_0000_0001_0000
+        nxt = ca_step(state, rule_vector=0)
+        assert nxt == 0b0000_0000_0010_1000
+
+    def test_rule150_pure(self):
+        # rule_vector all ones: left XOR self XOR right
+        state = 0b0000_0000_0001_0000
+        nxt = ca_step(state, rule_vector=0xFFFF)
+        assert nxt == 0b0000_0000_0011_1000
+
+    def test_null_boundaries(self):
+        # A lone bit at the edge only feeds inward.
+        assert ca_step(0x8000, rule_vector=0) == 0x4000
+        assert ca_step(0x0001, rule_vector=0) == 0x0002
+
+    def test_zero_is_fixed_point(self):
+        assert ca_step(0, DEFAULT_RULE_VECTOR) == 0
+
+    @given(seeds)
+    def test_linearity_over_gf2(self, state):
+        # The CA update is linear: step(a ^ b) == step(a) ^ step(b).
+        other = 0x1234
+        assert ca_step(state ^ other) == ca_step(state) ^ ca_step(other)
+
+
+class TestMaximality:
+    def test_default_rule_is_maximal(self):
+        assert ca_period(DEFAULT_RULE_VECTOR) == 0xFFFF
+
+    def test_non_maximal_rule_detected(self):
+        # Pure rule 90 on 16 cells is far from maximal.
+        assert ca_period(0) not in (-1, 0xFFFF)
+
+
+class TestPRNG:
+    def test_first_word_is_seed(self):
+        rng = CellularAutomatonPRNG(0xACE1)
+        assert rng.next_word() == 0xACE1
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            CellularAutomatonPRNG(0)
+
+    def test_overwide_seed_rejected(self):
+        with pytest.raises(ValueError):
+            CellularAutomatonPRNG(0x10000)
+
+    @given(seeds)
+    @settings(max_examples=20)
+    def test_block_matches_stepping(self, seed):
+        stepped = CellularAutomatonPRNG(seed, precompute=False)
+        blocked = CellularAutomatonPRNG(seed)
+        expected = [stepped.next_word() for _ in range(50)]
+        assert blocked.block(50).tolist() == expected
+
+    @given(seeds)
+    @settings(max_examples=10)
+    def test_block_split_invariance(self, seed):
+        a = CellularAutomatonPRNG(seed)
+        b = CellularAutomatonPRNG(seed)
+        whole = a.block(40)
+        parts = np.concatenate([b.block(13), b.block(27)])
+        assert np.array_equal(whole, parts)
+
+    def test_block_wraps_around_orbit(self):
+        rng = CellularAutomatonPRNG(1)
+        first = rng.block(0xFFFF)
+        again = rng.block(1)
+        assert again[0] == first[0]  # full period brings us home
+
+    def test_reseed_restarts_stream(self):
+        rng = CellularAutomatonPRNG(0x1567)
+        first = rng.block(10).tolist()
+        rng.reseed(0x1567)
+        assert rng.block(10).tolist() == first
+
+    def test_different_seeds_different_streams(self):
+        a = CellularAutomatonPRNG(45890).block(32)
+        b = CellularAutomatonPRNG(10593).block(32)
+        assert not np.array_equal(a, b)
+
+    def test_presets(self):
+        assert PRESET_SEEDS == (45890, 10593, 1567)
+        for i, seed in enumerate(PRESET_SEEDS):
+            assert CellularAutomatonPRNG.from_preset(i).seed == seed
+        with pytest.raises(ValueError):
+            CellularAutomatonPRNG.from_preset(3)
+
+    def test_draw_counter(self):
+        rng = CellularAutomatonPRNG(42)
+        rng.next_word()
+        rng.block(5)
+        assert rng.draws == 6
+
+    def test_gate_level_rng_matches_prng(self):
+        # The same stream must come out of the flattened CA netlist.
+        from repro.hdl import rtlib
+        from repro.hdl.scan import Stepper
+
+        nl = rtlib.build_ca_rng(16, DEFAULT_RULE_VECTOR)
+        stepper = Stepper(nl)
+        stepper.step(seed=0x2961, load=1, en=0)
+        rng = CellularAutomatonPRNG(0x2961)
+        for _ in range(64):
+            out = stepper.step(load=0, en=1)
+            assert out["rn"] == rng.next_word()

@@ -1,0 +1,119 @@
+"""Tests for the LFSR/LCG baselines and the quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.rng.base import RandomSource
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+from repro.rng.lcg import LCG16, PoorLCG
+from repro.rng.lfsr import GaloisLFSR
+from repro.rng import quality
+
+
+class TestLFSR:
+    def test_first_word_is_seed(self):
+        assert GaloisLFSR(0xBEEF).next_word() == 0xBEEF
+
+    def test_maximal_period(self):
+        assert quality.measure_period(GaloisLFSR(1)) == 0xFFFF
+
+    def test_known_step(self):
+        # One Galois step of state 1: lsb set -> shift then xor taps.
+        lfsr = GaloisLFSR(1)
+        lfsr.next_word()
+        assert lfsr.state == 0xB400
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(0)
+
+
+class TestLCG:
+    def test_lcg16_long_period(self):
+        # Full 32-bit state: period far exceeds the measurement cap.
+        assert quality.measure_period(LCG16(1), limit=1 << 16) == 1 << 16
+
+    def test_poor_lcg_short_period(self):
+        assert quality.measure_period(PoorLCG(1)) < 0xFFFF
+
+    def test_deterministic(self):
+        a = LCG16(99).block(20)
+        b = LCG16(99).block(20)
+        assert np.array_equal(a, b)
+
+
+class TestQualityMetrics:
+    def test_ca_rng_characteristics(self):
+        # Raw hybrid-CA streams have a long period, uniform distribution and
+        # balanced bits, but the local update leaves lag-1 correlation; the
+        # spacing option (free-running CA between reads) removes it.
+        report = quality.evaluate(CellularAutomatonPRNG(45890))
+        assert report.period == 0xFFFF
+        assert report.chi2_pvalue > 1e-4
+        assert report.worst_bit_bias < 0.05
+        assert abs(report.serial_correlation) > 0.1  # the documented flaw
+
+    def test_ca_rng_with_spacing_is_good(self):
+        # spacing must be coprime to the orbit length 65535 = 3*5*17*257 to
+        # keep the full period; powers of two always are.
+        report = quality.evaluate(CellularAutomatonPRNG(45890, spacing=4))
+        assert report.is_good(), report
+
+    def test_spacing_matches_stepped_stream(self):
+        # spaced draw k equals plain draw 3k, for both block and next_word
+        spaced = CellularAutomatonPRNG(0x2961, spacing=3)
+        plain = CellularAutomatonPRNG(0x2961)
+        assert np.array_equal(spaced.block(10), plain.block(30)[::3])
+        stepped = CellularAutomatonPRNG(0x2961, spacing=3, precompute=False)
+        spaced.reseed(0x2961)
+        for _ in range(10):
+            assert stepped.next_word() == spaced.next_word()
+
+    def test_bad_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            CellularAutomatonPRNG(1, spacing=0)
+
+    def test_lfsr_is_good_enough(self):
+        report = quality.evaluate(GaloisLFSR(45890))
+        assert report.period == 0xFFFF
+        assert abs(report.bit_balance - 0.5) < 0.02
+
+    def test_poor_lcg_flagged(self):
+        report = quality.evaluate(PoorLCG(45890))
+        assert not report.is_good(), report
+
+    def test_bit_balance_on_constant_stream(self):
+        words = np.full(1000, 0xFFFF, dtype=np.int64)
+        mean_frac, worst = quality.bit_balance(words)
+        assert mean_frac == 1.0 and worst == 0.5
+
+    def test_serial_correlation_detects_counter(self):
+        words = np.arange(10000, dtype=np.int64) & 0xFFFF
+        assert quality.serial_correlation(words) > 0.99
+
+    def test_chi_square_uniform_stream(self):
+        rng = np.random.default_rng(7)
+        words = rng.integers(0, 65536, size=50000)
+        assert quality.chi_square_uniformity(words) > 1e-3
+
+    def test_evaluate_leaves_source_reseeded(self):
+        src = CellularAutomatonPRNG(1567)
+        quality.evaluate(src, samples=100)
+        assert src.state == 1567 and src.draws == 0
+
+
+class TestRandomSourceBase:
+    def test_base_advance_not_implemented(self):
+        src = RandomSource.__new__(RandomSource)
+        src.width = 16
+        src.seed = src.state = 1
+        src.draws = 0
+        with pytest.raises(NotImplementedError):
+            src.next_word()
+
+    def test_reseed_validates(self):
+        src = GaloisLFSR(5)
+        with pytest.raises(ValueError):
+            src.reseed(0)
+        with pytest.raises(ValueError):
+            src.reseed(1 << 16)
