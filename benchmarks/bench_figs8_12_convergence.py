@@ -1,7 +1,9 @@
 """Figs. 8-12 — RT-simulation convergence scatter plots.
 
 Regenerates the per-generation population-fitness scatter for Table V runs
-#3, #4, #5 (BF6), #6 (F2), #10 (F3) and renders each as ASCII.
+#3, #4, #5 (BF6), #6 (F2), #10 (F3) and renders each as ASCII.  The five
+behavioural runs execute as one batched sweep (mixed fitness functions, one
+replica per figure) with per-member recording for the scatter data.
 """
 
 import pytest

@@ -1,4 +1,7 @@
-"""Table VII — mBF6_2 best fitness across the 6-seed x 4-setting grid."""
+"""Table VII — mBF6_2 best fitness across the 6-seed x 4-setting grid.
+
+The 24 cells run as one batched sweep (``run_fpga_table`` fans them into
+two :class:`BatchBehavioralGA` calls, one per population size)."""
 
 import pytest
 

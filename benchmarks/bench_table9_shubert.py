@@ -1,4 +1,7 @@
-"""Table IX — mShubert2D best fitness; multiple global optima found."""
+"""Table IX — mShubert2D best fitness; multiple global optima found.
+
+The 24 cells run as one batched sweep (``run_fpga_table`` fans them into
+two :class:`BatchBehavioralGA` calls, one per population size)."""
 
 import pytest
 

@@ -21,7 +21,7 @@ regenerate the paper's ~5.16x hardware/software comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.params import GAParameters
 from repro.core.stats import GenerationStats

@@ -12,6 +12,8 @@ Modules:
 * :mod:`repro.core.system` — the full Fig. 4 system assembly and runner;
 * :mod:`repro.core.behavioral` — the numpy-vectorised algorithm twin
   (bit-identical populations given the same RNG stream);
+* :mod:`repro.core.batch` — the batched sweep engine evolving N replicas
+  at once as ``(replica, member)`` arrays, bit-identical to N serial runs;
 * :mod:`repro.core.scaling` — the 32-bit dual-core construction of Fig. 6.
 """
 
@@ -28,6 +30,7 @@ from repro.core.rng_module import RNGModule
 from repro.core.init_module import InitializationModule
 from repro.core.system import GAResult, GASystem, GenerationStats
 from repro.core.behavioral import BehavioralGA
+from repro.core.batch import BatchBehavioralGA, run_batched
 from repro.core.scaling import DualCoreGA32, compose_rate
 
 __all__ = [
@@ -47,6 +50,8 @@ __all__ = [
     "GASystem",
     "GenerationStats",
     "BehavioralGA",
+    "BatchBehavioralGA",
+    "run_batched",
     "DualCoreGA32",
     "compose_rate",
 ]

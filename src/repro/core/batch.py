@@ -1,0 +1,420 @@
+"""Batched behavioural GA engine — N independent replicas as 2-D arrays.
+
+The paper's evaluation is sweep-shaped: Tables V and VII–IX are grids of
+24–72 *independent* GA runs over seed × population × crossover settings.
+:class:`BehavioralGA` vectorises the member axis of one run;
+:class:`BatchBehavioralGA` vectorises the replica axis too, evolving N
+populations simultaneously as ``(replica, member)`` arrays.  This is the
+software rendition of the fine-grained-parallelism argument the paper makes
+for hardware GAs (Sec. I) and the multi-core fabric of Sec. II-B: every
+per-generation operator becomes one numpy pass over all replicas.
+
+The engine is **bit-identical, draw for draw**, to running N separate
+:class:`BehavioralGA` instances (property-tested in
+``tests/core/test_batch.py``).  Each replica owns an independent CA-PRNG
+stream addressed by orbit position (see
+:class:`repro.rng.cellular_automaton.CAStreamBank`); the core trick is that
+the *consumption pattern* of the stream — which words feed selection, which
+feed the crossover/mutation decisions, and whether the data-dependent
+crossover-point/mutation-point words are consumed at all — depends only on
+the stream itself and the two threshold parameters, never on the population
+or its fitness.  That lets the engine precompute, for every one of the
+65,535 orbit positions, the complete outcome of one offspring-pair "slot":
+
+* the two raw selection words,
+* the effective crossover mask (0 when the crossover decision fails),
+* the mutation XOR bits for both offspring (0 when mutation fails),
+* the successor orbit position and the number of words consumed.
+
+Evolving one slot across all replicas is then a single row gather from that
+table plus a handful of elementwise ops, and proportionate selection is a
+row-wise ``cumsum`` with one flattened ``searchsorted`` per slot.
+
+Replicas in one batch must share ``n_generations`` and ``population_size``
+(the array shape); seeds, thresholds, and even the fitness function may
+differ per replica.  :func:`run_batched` is the sweep-facing convenience:
+it groups arbitrary (params, fitness) jobs by shape, runs one batch per
+group, and returns results in input order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.params import GAParameters
+from repro.core.stats import GenerationStats
+from repro.fitness.base import FitnessFunction
+from repro.rng.cellular_automaton import (
+    DEFAULT_RULE_VECTOR,
+    CAStreamBank,
+    orbit_tables,
+)
+
+#: Row offset separating replica segments in the flattened cumulative-sum
+#: array used for batched selection; must exceed any per-replica fitness
+#: total (max is 256 members * 0xFFFF < 2**24).
+_ROW_STRIDE = np.int64(1) << 32
+
+# Columns of the per-position slot-outcome table (see _slot_table).
+_W1, _W2 = 0, 1  # raw selection words (offsets 0 and 1)
+_XMASK = 2  # crossover combine mask: inv(cut) when crossing, else 0
+_M1BIT, _M2BIT = 3, 4  # mutation XOR bit per offspring, 0 when not mutating
+_NEXT, _CONSUMED = 5, 6  # successor position / words consumed (full pair)
+_NEXT1, _CONSUMED1 = 7, 8  # same for a single-offspring tail slot
+_COLS = 9
+
+_SLOT_TABLE_CACHE: dict[tuple, np.ndarray] = {}
+_SLOT_STACK_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def _slot_table(
+    crossover_threshold: int,
+    mutation_threshold: int,
+    rule_vector: int = DEFAULT_RULE_VECTOR,
+    width: int = 16,
+    spacing: int = 1,
+) -> np.ndarray:
+    """Per-orbit-position outcome of one offspring slot, as a ``(size, 9)``
+    int64 table.
+
+    A slot starting with the stream at orbit position ``p`` consumes, in
+    the serial engine's order: two selection words, the crossover-decision
+    word, the crossover-point word (only when the decision fires), then per
+    offspring a mutation-decision word and a mutation-point word (only when
+    that decision fires).  All of it is a pure function of ``p`` and the two
+    thresholds, so it is precomputed here for every position at once and
+    cached per parameter combination.
+    """
+    key = (crossover_threshold, mutation_threshold, rule_vector, width, spacing)
+    cached = _SLOT_TABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    orbit, _position = orbit_tables(rule_vector, width)
+    orbit = orbit.astype(np.int64)
+    size = orbit.shape[0]
+    dec = orbit & 0xF  # the 4-bit decision field of each word
+    pos = np.arange(size, dtype=np.int64)
+    s = spacing
+
+    table = np.empty((size, _COLS), dtype=np.int64)
+    table[:, _W1] = orbit
+    table[:, _W2] = orbit[(pos + s) % size]
+
+    do_x = dec[(pos + 2 * s) % size] < crossover_threshold
+    cut = dec[(pos + 3 * s) % size]  # read speculatively, masked below
+    inv = (0xFFFF << cut) & 0xFFFF  # ~((1 << cut) - 1) in 16 bits
+    table[:, _XMASK] = np.where(do_x, inv, 0)
+
+    m1 = (pos + (3 + do_x) * s) % size
+    do_m1 = dec[m1] < mutation_threshold
+    point1 = dec[(m1 + s) % size]
+    table[:, _M1BIT] = np.where(do_m1, np.int64(1) << point1, 0)
+    table[:, _NEXT1] = (m1 + (1 + do_m1) * s) % size
+    table[:, _CONSUMED1] = 4 + do_x + do_m1
+
+    m2 = (m1 + (1 + do_m1) * s) % size
+    do_m2 = dec[m2] < mutation_threshold
+    point2 = dec[(m2 + s) % size]
+    table[:, _M2BIT] = np.where(do_m2, np.int64(1) << point2, 0)
+    table[:, _NEXT] = (m2 + (1 + do_m2) * s) % size
+    table[:, _CONSUMED] = 5 + do_x + do_m1 + do_m2
+
+    if len(_SLOT_TABLE_CACHE) >= 32:  # bound the cache for long sweeps
+        _SLOT_TABLE_CACHE.clear()
+    _SLOT_TABLE_CACHE[key] = table
+    return table
+
+
+class BatchBehavioralGA:
+    """N replicas of the behavioural GA evolved in lock-step numpy arrays.
+
+    Parameters
+    ----------
+    params_list:
+        One :class:`GAParameters` per replica.  All replicas must agree on
+        ``n_generations`` and ``population_size``; seeds and thresholds are
+        free per replica.
+    fitness:
+        A single :class:`FitnessFunction` shared by every replica, or one
+        per replica (mixed-function batches, e.g. Table V).
+    record_members:
+        Keep every member's fitness per generation in the history (needed
+        for the Figs. 8-12 scatter data); off by default for sweeps.
+    rng_states:
+        Optional per-replica CA states to resume the streams from (the
+        island model carries streams across migration epochs); defaults to
+        each replica's ``params.rng_seed``.
+    """
+
+    def __init__(
+        self,
+        params_list: Sequence[GAParameters],
+        fitness: FitnessFunction | Sequence[FitnessFunction],
+        record_members: bool = False,
+        rng_states: Sequence[int] | None = None,
+    ):
+        self.params_list = list(params_list)
+        n = len(self.params_list)
+        if n == 0:
+            raise ValueError("batch needs at least one replica")
+        first = self.params_list[0]
+        for p in self.params_list[1:]:
+            if (
+                p.n_generations != first.n_generations
+                or p.population_size != first.population_size
+            ):
+                raise ValueError(
+                    "all replicas in a batch must share n_generations and "
+                    "population_size (group jobs with run_batched instead)"
+                )
+        self.n_replicas = n
+        self.n_generations = first.n_generations
+        self.pop = first.population_size
+        self.record_members = record_members
+
+        if isinstance(fitness, FitnessFunction):
+            self.fitnesses: list[FitnessFunction] = [fitness] * n
+        else:
+            self.fitnesses = list(fitness)
+            if len(self.fitnesses) != n:
+                raise ValueError(
+                    f"got {len(self.fitnesses)} fitness functions for {n} replicas"
+                )
+        if len({fn.name for fn in self.fitnesses}) == 1:
+            self._table = self.fitnesses[0].table().astype(np.int64)
+            self._tables_flat = None
+        else:
+            self._table = None
+            # one row per replica, flattened so a lookup is a single gather
+            stacked = np.stack(
+                [fn.table().astype(np.int64) for fn in self.fitnesses]
+            )
+            self._table_width = stacked.shape[1]
+            self._tables_flat = stacked.ravel()
+
+        seeds = (
+            list(rng_states)
+            if rng_states is not None
+            else [p.rng_seed for p in self.params_list]
+        )
+        self.bank = CAStreamBank(seeds)
+
+        # one slot-outcome table per distinct threshold pair, stacked so a
+        # replica's slot gather is TT[class, position]
+        pairs = [(p.crossover_threshold, p.mutation_threshold) for p in self.params_list]
+        classes = sorted(set(pairs))
+        stack_key = (
+            tuple(classes),
+            self.bank.rule_vector,
+            self.bank.width,
+            self.bank.spacing,
+        )
+        stacked = _SLOT_STACK_CACHE.get(stack_key)
+        if stacked is None:
+            stacked = np.stack(
+                [
+                    _slot_table(
+                        xt, mt, self.bank.rule_vector, self.bank.width, self.bank.spacing
+                    )
+                    for xt, mt in classes
+                ]
+            )
+            if len(_SLOT_STACK_CACHE) >= 32:
+                _SLOT_STACK_CACHE.clear()
+            _SLOT_STACK_CACHE[stack_key] = stacked
+        self._slot_tables = stacked
+        self._class_idx = np.array(
+            [classes.index(pair) for pair in pairs], dtype=np.int64
+        )
+
+        self._rows = np.arange(n, dtype=np.int64)
+        self._row_offsets = (self._rows * _ROW_STRIDE)[:, None]
+        # flat index of each replica's last member, for the hardware's
+        # "last member as fallback" clamp (each selection target appears
+        # twice: two parents per slot)
+        self._sel_cap = np.repeat(self._rows * self.pop, 2) + (self.pop - 1)
+
+        self.histories: list[list[GenerationStats]] = [[] for _ in range(n)]
+        self.evaluations = np.zeros(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _eval(self, inds: np.ndarray) -> np.ndarray:
+        """Fitness lookup — shared table or per-replica flattened tables."""
+        if self._table is not None:
+            return self._table[inds]
+        if inds.ndim == 1:
+            return self._tables_flat[self._rows * self._table_width + inds]
+        return self._tables_flat[
+            (self._rows * self._table_width)[:, None] + inds
+        ]
+
+    def _record(
+        self,
+        generation: int,
+        fits: np.ndarray,
+        best_fit: np.ndarray,
+        best_ind: np.ndarray,
+        sums: np.ndarray,
+    ) -> None:
+        for r in range(self.n_replicas):
+            self.histories[r].append(
+                GenerationStats(
+                    generation=generation,
+                    best_fitness=int(best_fit[r]),
+                    best_individual=int(best_ind[r]),
+                    fitness_sum=int(sums[r]),
+                    population_size=self.pop,
+                    fitnesses=fits[r].tolist() if self.record_members else [],
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, initial: np.ndarray | None = None) -> list:
+        """Evolve all replicas; returns one ``GAResult`` per replica.
+
+        ``initial`` optionally seeds every replica's population with an
+        ``(n_replicas, population_size)`` array of already-evaluated
+        individuals (the island model carrying populations across epochs);
+        seeded members are *not* counted as new FEM evaluations.  Final
+        populations land in ``self.final_populations`` and the per-replica
+        RNG end states in ``self.rng_states``.
+        """
+        from repro.core.system import GAResult  # deferred: avoids cycle
+
+        n, pop, gens = self.n_replicas, self.pop, self.n_generations
+        rows = self._rows
+        single_class = self._slot_tables.shape[0] == 1
+        slot_tt = self._slot_tables[0] if single_class else self._slot_tables
+        class_idx = self._class_idx
+        self.histories = [[] for _ in range(n)]
+        self.evaluations = np.zeros(n, dtype=np.int64)
+
+        if initial is not None:
+            arr = np.asarray(initial, dtype=np.int64) & 0xFFFF
+            if arr.shape != (n, pop):
+                raise ValueError(
+                    f"initial populations have shape {arr.shape}, "
+                    f"expected ({n}, {pop})"
+                )
+            inds = arr.copy()
+        else:
+            inds = self.bank.block2d(pop).astype(np.int64)
+            self.evaluations += pop
+        fits = self._eval(inds)
+        # take over the streams from the bank; positions are handed back
+        # (with the consumed-word count) when the run finishes
+        cur = self.bank.pos.copy()
+        consumed = np.zeros(n, dtype=np.int64)
+
+        # hardware tie-breaking: first occurrence of the max wins
+        best_idx = fits.argmax(axis=1)
+        best_fit = fits[rows, best_idx]
+        best_ind = inds[rows, best_idx]
+        self._record(0, fits, best_fit, best_ind, fits.sum(axis=1))
+
+        n_pairs = (pop - 1) // 2
+        has_tail = (pop - 1) % 2 == 1
+
+        for gen in range(1, gens + 1):
+            cum = fits.cumsum(axis=1)
+            total = cum[:, -1:]  # (n, 1) for broadcasting over both parents
+            flat = (cum + self._row_offsets).ravel()
+            inds_flat = inds.ravel()
+            new_inds = np.empty((n, pop), dtype=np.int64)
+            new_inds[:, 0] = best_ind  # elitism
+            col = 1
+            for _ in range(n_pairs + has_tail):
+                tail = col == pop - 1
+                R = slot_tt[cur] if single_class else slot_tt[class_idx, cur]
+                # proportionate selection, both parents in one searchsorted:
+                # threshold = (rn * sum) >> 16, first member whose cumulative
+                # fitness exceeds it, last member as the hardware fallback
+                thresholds = (R[:, :2] * total) >> 16
+                picks = np.minimum(
+                    flat.searchsorted(
+                        (thresholds + self._row_offsets).ravel(), side="right"
+                    ),
+                    self._sel_cap,
+                )
+                parents = inds_flat[picks]
+                p1, p2 = parents[0::2], parents[1::2]
+                # single-point crossover as an XOR update; XMASK is zero
+                # when this slot's crossover decision failed
+                diff = (p1 ^ p2) & R[:, _XMASK]
+                new_inds[:, col] = (p1 ^ diff) ^ R[:, _M1BIT]
+                col += 1
+                if tail:
+                    consumed += R[:, _CONSUMED1]
+                    cur = R[:, _NEXT1]
+                else:
+                    new_inds[:, col] = (p2 ^ diff) ^ R[:, _M2BIT]
+                    col += 1
+                    consumed += R[:, _CONSUMED]
+                    cur = R[:, _NEXT]
+            inds = new_inds
+            # selection only reads the previous generation's fitness, so the
+            # whole offspring generation is evaluated in one table gather
+            # (the elite in column 0 re-evaluates to its stored fitness)
+            fits = self._eval(inds)
+            # the serial engine's running strict-improvement update equals
+            # the first occurrence of the row max (the elite in column 0
+            # carries the previous best, so ties keep the old champion)
+            best_idx = fits.argmax(axis=1)
+            gen_best = fits[rows, best_idx]
+            improved = gen_best > best_fit
+            best_fit = np.where(improved, gen_best, best_fit)
+            best_ind = np.where(improved, inds[rows, best_idx], best_ind)
+            self._record(
+                gen, fits, gen_best, inds[rows, best_idx], fits.sum(axis=1)
+            )
+
+        # each generation evaluates pop - 1 new offspring (the elite is
+        # copied with its stored fitness), exactly as the serial engine
+        self.evaluations += gens * (pop - 1)
+        self.bank.pos = cur % self.bank._size
+        self.bank.draws += consumed
+        self.final_populations = inds.copy()
+        self.rng_states = self.bank.states
+        return [
+            GAResult(
+                best_individual=int(best_ind[r]),
+                best_fitness=int(best_fit[r]),
+                history=self.histories[r],
+                evaluations=int(self.evaluations[r]),
+                params=self.params_list[r],
+                fitness_name=self.fitnesses[r].name,
+                cycles=None,
+            )
+            for r in range(n)
+        ]
+
+
+def run_batched(
+    jobs: Sequence[tuple[GAParameters, FitnessFunction]],
+    record_members: bool = False,
+) -> list:
+    """Run a heterogeneous sweep through the batch engine.
+
+    ``jobs`` is any sequence of ``(params, fitness)`` cells; cells sharing
+    ``(n_generations, population_size)`` are grouped into one
+    :class:`BatchBehavioralGA` run each, and the results come back in input
+    order — bit-identical to looping ``BehavioralGA(params, fitness).run()``
+    over the jobs one by one.
+    """
+    groups: dict[tuple[int, int], list[int]] = {}
+    for i, (params, _fn) in enumerate(jobs):
+        groups.setdefault(
+            (params.n_generations, params.population_size), []
+        ).append(i)
+    results: list = [None] * len(jobs)
+    for indices in groups.values():
+        params_list = [jobs[i][0] for i in indices]
+        fns = [jobs[i][1] for i in indices]
+        batch = BatchBehavioralGA(
+            params_list, fns, record_members=record_members
+        )
+        for i, result in zip(indices, batch.run()):
+            results[i] = result
+    return results

@@ -103,7 +103,9 @@ class BehavioralGA:
         ``initial`` optionally seeds the population with given individuals
         (used by the island model to carry populations across migration
         epochs); when omitted the population is drawn from the RNG exactly
-        like the hardware.  The final population is kept in
+        like the hardware.  A seeded population is already evaluated, so it
+        does not count towards ``self.evaluations`` — only genuinely new
+        FEM requests do.  The final population is kept in
         ``self.final_population``.
         """
         from repro.core.system import GAResult  # deferred: avoids cycle
@@ -121,8 +123,8 @@ class BehavioralGA:
             inds = np.asarray(initial, dtype=np.int64) & 0xFFFF
         else:
             inds = self.rng.block(pop).astype(np.int64)
+            self.evaluations += pop
         fits = table[inds].astype(np.int64)
-        self.evaluations += pop
         # hardware tie-breaking: first occurrence of the max wins
         best_idx = int(fits.argmax())
         best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])

@@ -37,7 +37,7 @@ The algorithm (identical, draw for draw, to
 from __future__ import annotations
 
 from repro.core.ga_memory import BANK_SIZE, bank_address, pack_word, unpack_word
-from repro.core.params import GAParameters, PRESET_MODES, ParameterIndex, PresetMode
+from repro.core.params import GAParameters, PRESET_MODES, PresetMode
 from repro.core.ports import GAPorts
 from repro.core.stats import GenerationStats
 from repro.hdl.component import Component
@@ -194,6 +194,9 @@ class GACore(Component):
             best_fit=0,
             evaluations=0,
             start_cycle=self.cycles,
+            # clear the previous run's latch so _state_DONE re-latches and
+            # GAResult.cycles stays correct on a back-to-back restart
+            done_cycle=0,
         )
         self.history = []
         self._gen_fitnesses = []

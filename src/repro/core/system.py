@@ -14,7 +14,7 @@ parameter initialization to ``GA_done``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.behavioral import BehavioralGA
 from repro.core.ga_core import GACore

@@ -14,7 +14,6 @@ recovery experiment of Stoica et al. [27]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np

@@ -77,6 +77,27 @@ def fpga_params(population: int, crossover_threshold: int, seed: int) -> GAParam
     )
 
 
+def fpga_sweep_cells() -> list[tuple[int, int, int]]:
+    """All 24 ``(seed, population, crossover threshold)`` cells of one
+    FPGA table, row-major (seeds outer, grid settings inner) — the
+    canonical ordering of Tables VII-IX and of the batched sweep."""
+    return [(seed, pop, xt) for seed in FPGA_SEEDS for pop, xt in FPGA_GRID]
+
+
+def fpga_sweep_params() -> list[GAParameters]:
+    """Parameters for the full 24-cell grid, in :func:`fpga_sweep_cells`
+    order; feed to :func:`repro.core.batch.run_batched` with the table's
+    fitness function to regenerate one of Tables VII-IX in two batches
+    (one per population size)."""
+    return [fpga_params(pop, xt, seed) for seed, pop, xt in fpga_sweep_cells()]
+
+
+def table5_sweep_params() -> list[GAParameters]:
+    """Parameters for the ten Table V rows, in ``TABLE5_RUNS`` order (the
+    behavioural sweep batches these by population size)."""
+    return [run.params() for run in TABLE5_RUNS]
+
+
 #: Paper Table VII: best mBF6_2 fitness; rows = FPGA_SEEDS, cols = FPGA_GRID.
 PAPER_TABLE7: dict[int, tuple[int, int, int, int]] = {
     0x2961: (7999, 7813, 7824, 7819),

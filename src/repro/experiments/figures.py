@@ -15,11 +15,12 @@ from repro.analysis.convergence import (
     first_hit_generation,
     fraction_of_space,
 )
-from repro.analysis.plots import best_avg_series, function_series, scatter_series
+from repro.analysis.plots import best_avg_series, scatter_series
+from repro.core.batch import run_batched
 from repro.core.behavioral import BehavioralGA
 from repro.core.system import GASystem
 from repro.experiments.config import TABLE5_RUNS, fpga_params
-from repro.fitness.functions import BF6, by_name
+from repro.fitness.functions import by_name
 
 #: Table V run numbers behind Figs. 8-12, in figure order.
 RT_FIGURES: list[tuple[str, int]] = [
@@ -63,16 +64,20 @@ def run_fig7(lo: int = 0, hi: int = 300) -> dict:
 
 
 def run_rt_convergence_figures(cycle_accurate: bool = False) -> dict:
-    """Figs. 8-12: per-generation population scatter for five Table V runs."""
+    """Figs. 8-12: per-generation population scatter for five Table V runs.
+
+    The behavioural path runs all five configurations as one batched sweep
+    (:func:`repro.core.batch.run_batched`, with per-member fitness recording
+    for the scatter data), bit-identical to the per-run loop."""
     by_run = {run.run: run for run in TABLE5_RUNS}
+    selected = [by_run[run_no] for _fig_id, run_no in RT_FIGURES]
+    if cycle_accurate:
+        results = [GASystem(run.params(), by_name(run.function)).run() for run in selected]
+    else:
+        jobs = [(run.params(), by_name(run.function)) for run in selected]
+        results = run_batched(jobs, record_members=True)
     figures = {}
-    for fig_id, run_no in RT_FIGURES:
-        run = by_run[run_no]
-        fn = by_name(run.function)
-        if cycle_accurate:
-            result = GASystem(run.params(), fn).run()
-        else:
-            result = BehavioralGA(run.params(), fn).run()
+    for (fig_id, run_no), run, result in zip(RT_FIGURES, selected, results):
         figures[fig_id] = {
             "run": run_no,
             "function": run.function,

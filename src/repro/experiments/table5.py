@@ -4,15 +4,41 @@ Runs the paper's ten configurations on the *cycle-accurate* model (this is
 the RT-simulation level of the paper's flow) and reports, per run: best
 fitness, the generation where the best first appeared, and the Table V
 convergence generation, next to the paper's values.
+
+With ``cycle_accurate=False`` the ten rows run on the batched behavioural
+engine instead — grouped by population size into two
+:class:`repro.core.batch.BatchBehavioralGA` calls (the functions differ per
+row; the batch engine carries one fitness table per replica), bit-identical
+to looping :class:`BehavioralGA` row by row.
 """
 
 from __future__ import annotations
 
 from repro.analysis.convergence import convergence_generation, first_hit_generation
+from repro.core.batch import run_batched
 from repro.core.behavioral import BehavioralGA
-from repro.core.system import GASystem
+from repro.core.system import GAResult, GASystem
 from repro.experiments.config import TABLE5_RUNS, Table5Run
 from repro.fitness.functions import by_name
+
+
+def _row(run: Table5Run, result: GAResult) -> dict:
+    """One report row of Table V from a finished run."""
+    optimum = int(by_name(run.function).table().max())
+    return {
+        "run": run.run,
+        "function": run.function,
+        "seed": run.seed,
+        "pop": run.population,
+        "xover_thr": run.crossover_threshold,
+        "paper_best": run.paper_best,
+        "best": result.best_fitness,
+        "optimum": optimum,
+        "gap%": round(100 * (optimum - result.best_fitness) / optimum, 2),
+        "paper_conv": run.paper_convergence,
+        "found_gen": first_hit_generation(result.history),
+        "conv_gen": convergence_generation(result.history),
+    }
 
 
 def run_one(run: Table5Run, cycle_accurate: bool = True):
@@ -23,32 +49,23 @@ def run_one(run: Table5Run, cycle_accurate: bool = True):
         result = GASystem(params, fn).run()
     else:
         result = BehavioralGA(params, fn).run()
-    optimum = fn.table().max()
-    row = {
-        "run": run.run,
-        "function": run.function,
-        "seed": run.seed,
-        "pop": run.population,
-        "xover_thr": run.crossover_threshold,
-        "paper_best": run.paper_best,
-        "best": result.best_fitness,
-        "optimum": int(optimum),
-        "gap%": round(100 * (int(optimum) - result.best_fitness) / int(optimum), 2),
-        "paper_conv": run.paper_convergence,
-        "found_gen": first_hit_generation(result.history),
-        "conv_gen": convergence_generation(result.history),
-    }
-    return result, row
+    return result, _row(run, result)
 
 
 def run_table5(cycle_accurate: bool = True) -> dict:
     """Regenerate all ten rows of Table V."""
     rows = []
     results = {}
-    for run in TABLE5_RUNS:
-        result, row = run_one(run, cycle_accurate=cycle_accurate)
-        rows.append(row)
-        results[run.run] = result
+    if cycle_accurate:
+        for run in TABLE5_RUNS:
+            result, row = run_one(run, cycle_accurate=True)
+            rows.append(row)
+            results[run.run] = result
+    else:
+        jobs = [(run.params(), by_name(run.function)) for run in TABLE5_RUNS]
+        for run, result in zip(TABLE5_RUNS, run_batched(jobs, record_members=True)):
+            rows.append(_row(run, result))
+            results[run.run] = result
     return {
         "id": "Table V",
         "level": "RT (cycle-accurate)" if cycle_accurate else "behavioural",

@@ -2,20 +2,25 @@
 
 24 runs per table: 6 RNG seeds x {pop 32, 64} x {crossover threshold 10,
 12}, 64 generations, mutation rate 0.0625, on mBF6_2 / mBF7_2 / mShubert2D.
-The grid runs on the behavioural twin (bit-identical to the cycle-accurate
-core, verified by the equivalence suite) so the full 72-run sweep finishes
-in seconds; `benchmarks/bench_figs13_16_hwconv.py` re-runs selected cells on
-the cycle-accurate model.
+The grid runs on the batched behavioural engine
+(:class:`repro.core.batch.BatchBehavioralGA`) — all cells sharing a
+population size evolve simultaneously as one ``(replica, member)`` array,
+bit-identical to looping the behavioural twin cell by cell (and therefore
+to the cycle-accurate core, via the equivalence suite) — so the full 72-run
+sweep finishes in a fraction of a second;
+`benchmarks/bench_figs13_16_hwconv.py` re-runs selected cells on the
+cycle-accurate model.
 """
 
 from __future__ import annotations
 
-from repro.core.behavioral import BehavioralGA
+from repro.core.batch import run_batched
 from repro.experiments.config import (
     FPGA_GRID,
     FPGA_SEEDS,
     PAPER_TABLES,
-    fpga_params,
+    fpga_sweep_cells,
+    fpga_sweep_params,
 )
 from repro.fitness.functions import by_name
 
@@ -25,15 +30,21 @@ def run_fpga_table(function_name: str, record_members: bool = False) -> dict:
     fn = by_name(function_name)
     paper = PAPER_TABLES.get(function_name, {})
     optimum = int(fn.table().max())
+
+    cells = fpga_sweep_cells()
+    results = run_batched(
+        [(params, fn) for params in fpga_sweep_params()],
+        record_members=record_members,
+    )
+    by_cell = dict(zip(cells, results))
+
     rows = []
     best_overall = (0, -1, None)  # (individual, fitness, cell)
     optima_found = []
-
     for seed in FPGA_SEEDS:
         row: dict = {"seed": f"{seed:04X}"}
         for col, (pop, xt) in enumerate(FPGA_GRID):
-            params = fpga_params(pop, xt, seed)
-            result = BehavioralGA(params, fn, record_members=record_members).run()
+            result = by_cell[(seed, pop, xt)]
             cell = f"pop{pop}/XR{xt}"
             row[cell] = result.best_fitness
             paper_row = paper.get(seed)

@@ -10,9 +10,9 @@ into.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.hls.dfg import DFG, FU_CLASS, OpType
+from repro.hls.dfg import FU_CLASS, OpType
 from repro.hls.schedule import Schedule
 
 

@@ -9,7 +9,7 @@ a value handle usable as a later operand.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 WORD = 16
 

@@ -37,7 +37,7 @@ from repro.hdl.rtlib import (
     equals,
 )
 from repro.hls.allocate import Allocation, allocate
-from repro.hls.dfg import DFG, FU_CLASS, OpType, WORD
+from repro.hls.dfg import DFG, OpType, WORD
 from repro.hls.schedule import ResourceConstraints, Schedule, asap, list_schedule
 
 

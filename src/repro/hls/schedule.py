@@ -7,7 +7,7 @@ available at step 0 and outputs simply observe their producer's register.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hls.dfg import DFG, FU_CLASS, Op, OpType
 

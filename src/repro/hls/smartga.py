@@ -23,7 +23,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.analysis.resources import estimate_netlist
 from repro.core.params import GAParameters
 from repro.hdl import rtlib
 from repro.hdl.flatten import merge

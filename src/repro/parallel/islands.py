@@ -5,13 +5,19 @@ Sec. II-B / the hybrid system of Fig. 5): ``n_islands`` behavioural engines
 evolve independent populations in epochs of ``migration_interval``
 generations; at each epoch boundary every island's champion migrates to its
 ring neighbour, replacing the neighbour's worst member.  Populations are
-carried across epochs (no restarts).
+carried across epochs (no restarts).  When ``n_generations`` is not a
+multiple of ``migration_interval`` a final partial epoch runs the
+remainder, so exactly ``n_generations`` generations execute per island;
+no migration happens after the final epoch (there is nothing left to
+evolve the migrants).
 
 Two execution modes:
 
-* ``processes=1`` — sequential in-process, fully deterministic;
+* ``processes=1`` — all islands evolve in one :class:`BatchBehavioralGA`
+  call per epoch (the batched fast path: one 2-D numpy population array,
+  one multi-stream RNG bank), fully deterministic;
 * ``processes>1`` — epochs fan out over a ``multiprocessing`` pool; results
-  are identical to the sequential mode because each island owns an
+  are identical to the batched mode because each island owns an
   independently seeded RNG and migration happens at synchronised epoch
   barriers (property-tested).
 """
@@ -22,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchBehavioralGA
 from repro.core.behavioral import BehavioralGA
 from repro.core.params import GAParameters
 from repro.fitness.base import FitnessFunction
@@ -94,7 +101,17 @@ class IslandGA:
         ]
 
     # ------------------------------------------------------------------
-    def _epoch_jobs(self, states, populations):
+    def epoch_schedule(self) -> list[int]:
+        """Generations per epoch: full ``migration_interval`` epochs plus a
+        final partial epoch for the remainder, summing to exactly
+        ``n_generations``."""
+        full, remainder = divmod(self.params.n_generations, self.migration_interval)
+        schedule = [self.migration_interval] * full
+        if remainder:
+            schedule.append(remainder)
+        return schedule
+
+    def _epoch_jobs(self, epoch_gens, states, populations):
         params_dict = dict(
             n_generations=self.params.n_generations,
             population_size=self.params.population_size,
@@ -107,10 +124,39 @@ class IslandGA:
                 self.fitness.name,
                 i,
                 params_dict,
-                self.migration_interval,
+                epoch_gens,
                 states[i],
                 self.seeds[i],
                 populations[i],
+            )
+            for i in range(self.n_islands)
+        ]
+
+    def _batched_epoch(self, epoch_gens, states, populations):
+        """The ``processes=1`` fast path: evolve every island in one
+        :class:`BatchBehavioralGA` call (bit-identical to the per-island
+        workers — same per-stream draw sequence, same operators)."""
+        params_list = [
+            self.params.with_(n_generations=epoch_gens, rng_seed=self.seeds[i])
+            for i in range(self.n_islands)
+        ]
+        batch = BatchBehavioralGA(
+            params_list, self.fitness, record_members=False, rng_states=states
+        )
+        initial = (
+            np.asarray(populations, dtype=np.int64)
+            if populations[0] is not None
+            else None
+        )
+        results = batch.run(initial=initial)
+        return [
+            (
+                i,
+                batch.final_populations[i].tolist(),
+                results[i].best_individual,
+                results[i].best_fitness,
+                int(batch.rng_states[i]),
+                results[i].evaluations,
             )
             for i in range(self.n_islands)
         ]
@@ -128,8 +174,8 @@ class IslandGA:
             populations[i] = pop.tolist()
 
     def run(self) -> IslandResult:
-        """Run all epochs; sequential or pooled per ``processes``."""
-        epochs = max(1, self.params.n_generations // self.migration_interval)
+        """Run all epochs; batched in-process or pooled per ``processes``."""
+        schedule = self.epoch_schedule()
         states = list(self.seeds)
         populations: list[list[int] | None] = [None] * self.n_islands
         island_best: list[tuple[int, int]] = [(0, -1)] * self.n_islands
@@ -143,12 +189,12 @@ class IslandGA:
 
             pool = mp.Pool(self.processes)
         try:
-            for _epoch in range(epochs):
-                jobs = self._epoch_jobs(states, populations)
+            for epoch, epoch_gens in enumerate(schedule):
                 if pool is not None:
+                    jobs = self._epoch_jobs(epoch_gens, states, populations)
                     results = pool.map(_epoch_worker, jobs)
                 else:
-                    results = [_epoch_worker(job) for job in jobs]
+                    results = self._batched_epoch(epoch_gens, states, populations)
                 champions: list[tuple[int, int]] = [(0, -1)] * self.n_islands
                 for island, final_pop, cand, fit, state, evals in results:
                     states[island] = state
@@ -157,8 +203,11 @@ class IslandGA:
                     champions[island] = (cand, fit)
                     if fit > island_best[island][1]:
                         island_best[island] = (cand, fit)
-                self._migrate(populations, champions)
-                migrations += self.n_islands
+                if epoch < len(schedule) - 1:
+                    # no migration after the final epoch: the migrants would
+                    # never evolve and would inflate the migration count
+                    self._migrate(populations, champions)
+                    migrations += self.n_islands
                 best_per_epoch.append(max(f for _c, f in island_best))
         finally:
             if pool is not None:

@@ -92,6 +92,103 @@ def _orbit(rule_vector: int, width: int) -> tuple[np.ndarray, np.ndarray]:
     return cached
 
 
+def orbit_tables(
+    rule_vector: int = DEFAULT_RULE_VECTOR, width: int = 16
+) -> tuple[np.ndarray, np.ndarray]:
+    """Public accessor for the precomputed ``(orbit, position)`` tables.
+
+    ``orbit[k]`` is the CA state after ``k`` steps from state 1 and
+    ``position[s]`` inverts it (``orbit[position[s]] == s`` for every
+    non-zero state ``s``).  Both tables are cached per ``(rule_vector,
+    width)``; callers must treat them as read-only.
+    """
+    return _orbit(rule_vector, width)
+
+
+class CAStreamBank:
+    """``N`` independent CA-PRNG streams advanced by orbit-index slicing.
+
+    The vectorised multi-stream twin of :class:`CellularAutomatonPRNG`:
+    every stream is just a position on the shared precomputed orbit, so a
+    draw across all streams is one numpy gather and an advance is one add.
+    Stream ``i`` is draw-for-draw identical to
+    ``CellularAutomatonPRNG(seeds[i], spacing=spacing)`` — including
+    *conditional* consumption: :meth:`draw` takes a boolean mask selecting
+    which streams actually advance, mirroring serial code where only some
+    replicas take an RNG-consuming branch.  This is what lets
+    :class:`repro.core.batch.BatchBehavioralGA` stay bit-identical to N
+    separate serial runs.
+    """
+
+    def __init__(
+        self,
+        seeds,
+        rule_vector: int = DEFAULT_RULE_VECTOR,
+        width: int = 16,
+        spacing: int = 1,
+    ):
+        if spacing < 1:
+            raise ValueError("spacing must be >= 1")
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.ndim != 1 or seeds.size == 0:
+            raise ValueError("seeds must be a non-empty 1-D sequence")
+        if np.any((seeds <= 0) | (seeds >= (1 << width))):
+            raise ValueError(
+                f"every seed must be in [1, {(1 << width) - 1}]"
+            )
+        self.rule_vector = rule_vector
+        self.width = width
+        self.spacing = spacing
+        orbit, position = _orbit(rule_vector, width)
+        self._orbit = orbit
+        self._size = orbit.shape[0]
+        #: Orbit index of each stream's current state.
+        self.pos = position[seeds].astype(np.int64)
+        #: Words consumed per stream (matches ``RandomSource.draws``).
+        self.draws = np.zeros(seeds.size, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.pos.size
+
+    @property
+    def states(self) -> np.ndarray:
+        """Current state (= next word to be emitted) of every stream."""
+        return self._orbit[self.pos].astype(np.int64)
+
+    def draw(self, advance: np.ndarray | None = None) -> np.ndarray:
+        """Return the current word of every stream as ``int64``.
+
+        Streams selected by the boolean mask ``advance`` (all streams when
+        ``None``) step to their next state; the others are *peeked* — they
+        did not consume a word, exactly like serial replicas that skip an
+        RNG-consuming branch.
+        """
+        out = self._orbit[self.pos].astype(np.int64)
+        if advance is None:
+            self.pos += self.spacing
+            self.pos %= self._size
+            self.draws += 1
+        else:
+            adv = np.asarray(advance, dtype=bool)
+            self.pos += self.spacing * adv
+            self.pos %= self._size
+            self.draws += adv
+        return out
+
+    def block2d(self, n: int) -> np.ndarray:
+        """The next ``n`` words of every stream as an ``(N, n)`` array.
+
+        Row ``i`` equals what ``CellularAutomatonPRNG.block(n)`` would
+        return for stream ``i``; all streams advance by ``n`` draws.
+        """
+        steps = self.spacing * np.arange(n, dtype=np.int64)
+        idx = (self.pos[:, None] + steps[None, :]) % self._size
+        out = self._orbit[idx]
+        self.pos = (self.pos + self.spacing * n) % self._size
+        self.draws += n
+        return out
+
+
 class CellularAutomatonPRNG(RandomSource):
     """The GA core's RNG module, software twin.
 
@@ -138,6 +235,47 @@ class CellularAutomatonPRNG(RandomSource):
         self.state = int(orbit[(start + self.spacing * n) % size])
         self.draws += n
         return out
+
+    def orbit_position(self) -> int:
+        """Index of the current state on the precomputed orbit.
+
+        Two generators are at the same point of their stream iff their
+        orbit positions are equal; the batch engine uses this to resume a
+        vectorised multi-stream run from serial generator states.
+        """
+        _orbit_tab, position = orbit_tables(self.rule_vector, self.width)
+        return int(position[self.state])
+
+    def stream_bank(self) -> CAStreamBank:
+        """A single-stream :class:`CAStreamBank` positioned at this
+        generator's current state (continues the same word sequence)."""
+        return CAStreamBank(
+            [self.state],
+            rule_vector=self.rule_vector,
+            width=self.width,
+            spacing=self.spacing,
+        )
+
+    @classmethod
+    def block2d(
+        cls,
+        seeds,
+        n: int,
+        rule_vector: int = DEFAULT_RULE_VECTOR,
+        width: int = 16,
+        spacing: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One-shot vectorised multi-stream draw.
+
+        Returns ``(words, end_states)`` where ``words[i]`` is bit-identical
+        to ``CellularAutomatonPRNG(seeds[i], spacing=spacing).block(n)`` and
+        ``end_states[i]`` is that generator's state afterwards.
+        """
+        bank = CAStreamBank(
+            seeds, rule_vector=rule_vector, width=width, spacing=spacing
+        )
+        words = bank.block2d(n)
+        return words, bank.states
 
     @classmethod
     def from_preset(cls, index: int, **kwargs) -> "CellularAutomatonPRNG":

@@ -1,6 +1,5 @@
 """Tests for the figure-series extraction and ASCII renderer."""
 
-import numpy as np
 
 from repro.analysis.plots import (
     ascii_plot,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.power import CELL_CAPACITANCE_FF, PowerReport, estimate_power
+from repro.analysis.power import CELL_CAPACITANCE_FF, estimate_power
 from repro.hdl import rtlib
 from repro.hdl.flatten import merge
 from repro.hdl.netlist import Netlist

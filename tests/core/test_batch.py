@@ -1,0 +1,175 @@
+"""Bit-identity of the batched sweep engine against serial runs.
+
+The contract of :class:`repro.core.batch.BatchBehavioralGA` is strict: a
+batch of N replicas must be indistinguishable — draw for draw — from N
+independent :class:`BehavioralGA` runs.  The property test below checks
+every observable at once: per-generation history, best individual and
+fitness, FEM evaluation counts, final populations, RNG end states, and
+RNG draw counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import BatchBehavioralGA, run_batched
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness import BF6, F2, F3, MBF6_2, MBF7_2
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+FUNCTIONS = [BF6(), F2(), F3(), MBF6_2(), MBF7_2()]
+
+
+def params(**overrides):
+    base = dict(
+        n_generations=8,
+        population_size=16,
+        crossover_threshold=10,
+        mutation_threshold=2,
+        rng_seed=45890,
+    )
+    base.update(overrides)
+    return GAParameters(**base)
+
+
+def assert_batch_matches_loop(params_list, fitnesses, record_members=True):
+    """Run the batch and the equivalent serial loop; compare everything."""
+    batch = BatchBehavioralGA(
+        params_list, fitnesses, record_members=record_members
+    )
+    batch_results = batch.run()
+    for r, (p, fn) in enumerate(zip(params_list, fitnesses)):
+        serial = BehavioralGA(p, fn, record_members=record_members)
+        expect = serial.run()
+        got = batch_results[r]
+        assert got.best_individual == expect.best_individual
+        assert got.best_fitness == expect.best_fitness
+        assert got.evaluations == expect.evaluations
+        assert got.fitness_name == expect.fitness_name
+        assert [g.as_tuple() for g in got.history] == [
+            g.as_tuple() for g in expect.history
+        ]
+        if record_members:
+            assert [g.fitnesses for g in got.history] == [
+                g.fitnesses for g in expect.history
+            ]
+        assert batch.final_populations[r].tolist() == serial.final_population.tolist()
+        assert int(batch.rng_states[r]) == serial.rng.state
+        assert int(batch.bank.draws[r]) == serial.rng.draws
+    return batch_results
+
+
+class TestBitIdentity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seeds=st.lists(st.integers(1, 0xFFFF), min_size=1, max_size=5),
+        pop=st.sampled_from([2, 5, 8, 16]),
+        gens=st.integers(1, 8),
+        xt=st.integers(0, 15),
+        mt=st.integers(0, 15),
+        fn_idx=st.lists(st.integers(0, len(FUNCTIONS) - 1), min_size=1, max_size=5),
+    )
+    def test_batch_equals_serial_loop(self, seeds, pop, gens, xt, mt, fn_idx):
+        params_list = [
+            params(
+                rng_seed=s,
+                population_size=pop,
+                n_generations=gens,
+                crossover_threshold=xt,
+                mutation_threshold=mt,
+            )
+            for s in seeds
+        ]
+        fns = [FUNCTIONS[fn_idx[i % len(fn_idx)]] for i in range(len(seeds))]
+        assert_batch_matches_loop(params_list, fns)
+
+    def test_mixed_thresholds_per_replica(self):
+        # replicas in one batch may use different threshold classes
+        params_list = [
+            params(rng_seed=s, crossover_threshold=xt, mutation_threshold=mt)
+            for s, xt, mt in [(45890, 10, 2), (10593, 12, 2), (1567, 0, 15), (7, 15, 0)]
+        ]
+        assert_batch_matches_loop(params_list, [BF6()] * 4)
+
+    def test_extreme_thresholds(self):
+        # crossover/mutation always on and always off
+        for xt, mt in [(0, 0), (15, 15), (0, 15), (15, 0)]:
+            params_list = [
+                params(rng_seed=s, crossover_threshold=xt, mutation_threshold=mt)
+                for s in (45890, 10593)
+            ]
+            assert_batch_matches_loop(params_list, [F3()] * 2)
+
+    def test_single_replica(self):
+        assert_batch_matches_loop([params()], [MBF6_2()])
+
+    def test_initial_populations_match_serial_seeding(self):
+        rng = CellularAutomatonPRNG(999)
+        initial = rng.block(16).astype(np.int64)
+        params_list = [params(rng_seed=s) for s in (45890, 10593)]
+        batch = BatchBehavioralGA(params_list, BF6())
+        batch_results = batch.run(initial=np.stack([initial, initial]))
+        for r, p in enumerate(params_list):
+            serial = BehavioralGA(p, BF6())
+            expect = serial.run(initial=initial)
+            got = batch_results[r]
+            assert got.best_individual == expect.best_individual
+            assert got.evaluations == expect.evaluations
+            assert [g.as_tuple() for g in got.history] == [
+                g.as_tuple() for g in expect.history
+            ]
+            assert int(batch.rng_states[r]) == serial.rng.state
+
+
+class TestConstruction:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchBehavioralGA([], BF6())
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            BatchBehavioralGA(
+                [params(), params(population_size=8)], BF6()
+            )
+        with pytest.raises(ValueError):
+            BatchBehavioralGA(
+                [params(), params(n_generations=4)], BF6()
+            )
+
+    def test_fitness_count_must_match_replicas(self):
+        with pytest.raises(ValueError):
+            BatchBehavioralGA([params(), params(rng_seed=2)], [BF6()])
+
+    def test_bad_initial_shape_rejected(self):
+        batch = BatchBehavioralGA([params(), params(rng_seed=2)], BF6())
+        with pytest.raises(ValueError):
+            batch.run(initial=np.zeros((2, 8), dtype=np.int64))
+
+
+class TestRunBatched:
+    def test_results_in_input_order_across_shape_groups(self):
+        # jobs deliberately interleave two (gens, pop) groups and mixed
+        # fitness functions; results must come back in input order and be
+        # identical to the serial loop
+        jobs = [
+            (params(rng_seed=45890), BF6()),
+            (params(rng_seed=10593, population_size=8, n_generations=4), F2()),
+            (params(rng_seed=1567), F3()),
+            (params(rng_seed=77, population_size=8, n_generations=4), BF6()),
+        ]
+        results = run_batched(jobs, record_members=True)
+        for (p, fn), got in zip(jobs, results):
+            expect = BehavioralGA(p, fn).run()
+            assert got.best_individual == expect.best_individual
+            assert got.best_fitness == expect.best_fitness
+            assert got.evaluations == expect.evaluations
+            assert got.params == p
+            assert [g.as_tuple() for g in got.history] == [
+                g.as_tuple() for g in expect.history
+            ]
+
+    def test_record_members_off_leaves_fitnesses_empty(self):
+        results = run_batched([(params(), BF6())], record_members=False)
+        assert all(g.fitnesses == [] for g in results[0].history)

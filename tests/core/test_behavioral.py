@@ -1,7 +1,6 @@
 """Algorithmic invariants of the behavioural GA engine."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -105,6 +104,24 @@ class TestSelectionPressure:
         words = CellularAutomatonPRNG(p.rng_seed).block(8)
         per_bit_or = int(np.bitwise_or.reduce(words))
         assert result.best_fitness <= F3()(per_bit_or & 0xFFFF)
+
+
+class TestEvaluationAccounting:
+    def test_fresh_run_counts_initial_population(self):
+        p = params(n_generations=8, population_size=16)
+        result = BehavioralGA(p, F3()).run()
+        assert result.evaluations == 16 + 8 * 15  # pop + G*(pop-1)
+
+    def test_seeded_run_does_not_recount_initial_population(self):
+        # regression: run(initial=...) used to add pop to the count even
+        # though a seeded population is already evaluated (double-counting
+        # every island epoch after the first)
+        from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+        p = params(n_generations=8, population_size=16)
+        initial = CellularAutomatonPRNG(999).block(16)
+        result = BehavioralGA(p, F3()).run(initial=initial)
+        assert result.evaluations == 8 * 15  # only genuinely new offspring
 
 
 class TestSelectionArithmetic:

@@ -2,7 +2,6 @@
 properties shared by every implementation level (behavioural model,
 cycle-accurate core, gate netlist)."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -10,7 +9,6 @@ from repro.core.behavioral import BehavioralGA
 from repro.core.params import GAParameters
 from repro.fitness import F3
 from repro.hdl import rtlib
-from repro.rng.cellular_automaton import CellularAutomatonPRNG
 
 u16 = st.integers(0, 0xFFFF)
 cut4 = st.integers(0, 15)

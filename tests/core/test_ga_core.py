@@ -5,7 +5,7 @@ import pytest
 from repro.core import GAParameters, GASystem
 from repro.core.ga_memory import BANK_SIZE
 from repro.core.params import PRESET_MODES, PresetMode
-from repro.fitness import F2, F3, MBF6_2
+from repro.fitness import F2, F3
 from repro.fitness.mux import ExternalFEMPort
 from repro.hdl.simulator import SimulationTimeout
 
@@ -162,6 +162,18 @@ class TestRestart:
         system.start()
         system.sim.run_until(lambda: system.ports.GA_done.value == 1, 10_000_000)
         assert len(system.core.history) == len(first.history)
+
+    def test_second_run_cycle_count_is_fresh(self):
+        # regression: _state_DONE latches done_cycle only while it is zero,
+        # so _begin_run must clear it — otherwise a back-to-back run keeps
+        # the first run's stale value and reports zero or negative cycles
+        system = GASystem(small_params(), F3())
+        first = system.run()
+        system.start()
+        system.sim.run_until(lambda: system.ports.GA_done.value == 1, 10_000_000)
+        second_cycles = system.core.done_cycle - system.core.start_cycle
+        assert second_cycles > 0
+        assert second_cycles == first.cycles  # same work, same duration
 
     def test_reset_clears_core(self):
         system = GASystem(small_params(), F3())

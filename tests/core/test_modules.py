@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.ga_memory import BANK_SIZE, GAMemory, bank_address, pack_word, unpack_word
 from repro.core.init_module import InitializationModule
-from repro.core.params import GAParameters, ParameterIndex
+from repro.core.params import GAParameters
 from repro.core.ports import GAPorts
 from repro.core.rng_module import RNGModule
 from repro.hdl.simulator import Simulator

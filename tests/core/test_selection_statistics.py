@@ -7,7 +7,6 @@ arithmetic (threshold = (rn * sum) >> 16 against the cumulative scan).
 """
 
 import numpy as np
-import pytest
 from scipy import stats as sstats
 
 from repro.core.behavioral import BehavioralGA

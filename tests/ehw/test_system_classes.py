@@ -6,7 +6,6 @@ from repro.core.params import GAParameters
 from repro.core.system import GASystem
 from repro.ehw.system_classes import (
     EHW_CLASSES,
-    EHWClass,
     LatencyFEM,
     run_class_comparison,
 )

@@ -1,6 +1,5 @@
 """Smoke + shape tests for the experiment runners (fast configurations)."""
 
-import pytest
 
 from repro.experiments.figures import run_fig7, run_rt_convergence_figures
 from repro.experiments.speedup import paper_speedup_params

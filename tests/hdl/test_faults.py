@@ -1,6 +1,5 @@
 """Tests for stuck-at fault simulation and random-pattern ATPG."""
 
-import pytest
 
 from repro.hdl import rtlib
 from repro.hdl.faults import (

@@ -1,6 +1,5 @@
 """Tests for the netlist optimizer (constant propagation + dead logic)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -8,7 +7,7 @@ from hypothesis import strategies as st
 from repro.hdl import rtlib
 from repro.hdl.gates import GateType
 from repro.hdl.netlist import Netlist
-from repro.hdl.optimize import optimize, propagate_constants, strip_dead
+from repro.hdl.optimize import optimize, strip_dead
 
 
 class TestConstantFolding:

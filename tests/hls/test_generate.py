@@ -4,7 +4,6 @@ The mini-HLS analogue of the paper's "RT-level VHDL model was simulated
 thoroughly to test the correctness of the synthesized netlist".
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

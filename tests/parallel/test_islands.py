@@ -39,7 +39,41 @@ class TestSequentialRun:
         ga = IslandGA(params(), F3(), n_islands=3, migration_interval=4)
         result = ga.run()
         assert len(result.best_per_epoch) == 4  # 16 gens / 4 per epoch
-        assert result.migrations == 3 * 4
+        # migrations happen at epoch *boundaries* only: none after the
+        # final epoch (the migrants would never evolve)
+        assert result.migrations == 3 * 3
+
+    def test_remainder_generations_run(self):
+        # 14 generations at interval 4 = three full epochs plus a final
+        # partial epoch of 2; the remainder must not be silently dropped
+        ga = IslandGA(
+            params(n_generations=14, population_size=8),
+            F3(),
+            n_islands=2,
+            migration_interval=4,
+        )
+        assert ga.epoch_schedule() == [4, 4, 4, 2]
+        result = ga.run()
+        assert len(result.best_per_epoch) == 4
+        # exactly 14 generations per island: pop + 14*(pop-1) evaluations
+        assert result.evaluations == (8 + 14 * 7) * 2
+
+    def test_interval_longer_than_run_is_one_epoch(self):
+        ga = IslandGA(
+            params(n_generations=5, population_size=8),
+            F3(),
+            n_islands=2,
+            migration_interval=8,
+        )
+        assert ga.epoch_schedule() == [5]
+        result = ga.run()
+        assert result.migrations == 0  # single epoch: no boundary to migrate at
+        assert result.evaluations == (8 + 5 * 7) * 2
+
+    def test_no_migration_after_final_epoch(self):
+        ga = IslandGA(params(), F3(), n_islands=4, migration_interval=8)
+        result = ga.run()  # 16 gens / 8 = 2 epochs, 1 boundary
+        assert result.migrations == 4 * 1
 
     def test_best_is_max_over_islands(self):
         ga = IslandGA(params(), BF6(), n_islands=4, migration_interval=8)
@@ -73,15 +107,29 @@ class TestSequentialRun:
         p = params(n_generations=8, population_size=8)
         ga = IslandGA(p, F3(), n_islands=2, migration_interval=4)
         result = ga.run()
-        # per island per epoch: pop + gens*(pop-1) = 8 + 4*7 = 36
-        assert result.evaluations == 36 * 2 * 2
+        # the initial population is evaluated once per island; later epochs
+        # resume an already-evaluated population, so each island costs
+        # pop + n_generations*(pop-1) FEM requests in total
+        assert result.evaluations == (8 + 8 * 7) * 2
 
 
 class TestParallelMode:
     def test_pool_matches_sequential(self):
+        # processes=1 runs all islands in one BatchBehavioralGA call per
+        # epoch; the pooled per-island workers must match it bit for bit
         p = params(n_generations=8, population_size=8)
         seq = IslandGA(p, F3(), n_islands=2, migration_interval=4, processes=1).run()
         par = IslandGA(p, F3(), n_islands=2, migration_interval=4, processes=2).run()
         assert par.best_individual == seq.best_individual
         assert par.best_per_epoch == seq.best_per_epoch
         assert par.evaluations == seq.evaluations
+
+    def test_pool_matches_sequential_with_remainder_epoch(self):
+        p = params(n_generations=10, population_size=8)
+        seq = IslandGA(p, F3(), n_islands=3, migration_interval=4, processes=1).run()
+        par = IslandGA(p, F3(), n_islands=3, migration_interval=4, processes=2).run()
+        assert par.best_individual == seq.best_individual
+        assert par.island_bests == seq.island_bests
+        assert par.best_per_epoch == seq.best_per_epoch
+        assert par.evaluations == seq.evaluations
+        assert par.migrations == seq.migrations == 3 * 2

@@ -8,9 +8,11 @@ from hypothesis import strategies as st
 from repro.rng.cellular_automaton import (
     DEFAULT_RULE_VECTOR,
     PRESET_SEEDS,
+    CAStreamBank,
     CellularAutomatonPRNG,
     ca_period,
     ca_step,
+    orbit_tables,
 )
 
 seeds = st.integers(1, 0xFFFF)
@@ -113,6 +115,19 @@ class TestPRNG:
         rng.block(5)
         assert rng.draws == 6
 
+    def test_orbit_tables_invert_each_other(self):
+        orbit, position = orbit_tables()
+        assert orbit.shape == (0xFFFF,)
+        some = np.array([1, 45890, 10593, 1567, 0xFFFF])
+        assert np.array_equal(orbit[position[some]], some)
+
+    def test_orbit_position_tracks_stream(self):
+        rng = CellularAutomatonPRNG(45890)
+        orbit, _ = orbit_tables()
+        for _ in range(5):
+            assert int(orbit[rng.orbit_position()]) == rng.state
+            rng.next_word()
+
     def test_gate_level_rng_matches_prng(self):
         # The same stream must come out of the flattened CA netlist.
         from repro.hdl import rtlib
@@ -125,3 +140,66 @@ class TestPRNG:
         for _ in range(64):
             out = stepper.step(load=0, en=1)
             assert out["rn"] == rng.next_word()
+
+
+class TestStreamBank:
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            CAStreamBank([])
+        with pytest.raises(ValueError):
+            CAStreamBank([1, 0])
+        with pytest.raises(ValueError):
+            CAStreamBank([0x10000])
+
+    @given(st.lists(seeds, min_size=1, max_size=6))
+    @settings(max_examples=15)
+    def test_draws_match_serial_streams(self, seed_list):
+        bank = CAStreamBank(seed_list)
+        rngs = [CellularAutomatonPRNG(s) for s in seed_list]
+        for _ in range(20):
+            words = bank.draw()
+            assert words.tolist() == [r.next_word() for r in rngs]
+        assert bank.states.tolist() == [r.state for r in rngs]
+        assert bank.draws.tolist() == [r.draws for r in rngs]
+
+    def test_masked_draw_peeks_unselected_streams(self):
+        # a stream outside the mask must see the same word again — the
+        # serial analogue of a replica skipping an RNG-consuming branch
+        bank = CAStreamBank([45890, 10593])
+        first = bank.draw(advance=np.array([True, False]))
+        second = bank.draw()
+        rng = CellularAutomatonPRNG(45890)
+        assert first[1] == second[1] == 10593
+        assert first[0] == rng.next_word()
+        assert second[0] == rng.next_word()
+        assert bank.draws.tolist() == [2, 1]
+
+    @given(st.lists(seeds, min_size=1, max_size=4))
+    @settings(max_examples=10)
+    def test_block2d_rows_match_block(self, seed_list):
+        bank = CAStreamBank(seed_list)
+        words = bank.block2d(33)
+        for i, s in enumerate(seed_list):
+            rng = CellularAutomatonPRNG(s)
+            assert words[i].tolist() == rng.block(33).tolist()
+            assert int(bank.states[i]) == rng.state
+
+    def test_block2d_classmethod_one_shot(self):
+        words, end_states = CellularAutomatonPRNG.block2d([45890, 1567], 16)
+        for i, s in enumerate((45890, 1567)):
+            rng = CellularAutomatonPRNG(s)
+            assert words[i].tolist() == rng.block(16).tolist()
+            assert int(end_states[i]) == rng.state
+
+    def test_stream_bank_continues_generator(self):
+        rng = CellularAutomatonPRNG(45890)
+        rng.block(7)  # advance mid-stream
+        bank = rng.stream_bank()
+        twin = CellularAutomatonPRNG(45890)
+        twin.block(7)
+        assert bank.block2d(10)[0].tolist() == twin.block(10).tolist()
+
+    def test_spacing_respected(self):
+        bank = CAStreamBank([45890], spacing=3)
+        rng = CellularAutomatonPRNG(45890, spacing=3)
+        assert bank.block2d(20)[0].tolist() == rng.block(20).tolist()
