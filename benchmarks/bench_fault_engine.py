@@ -1,0 +1,115 @@
+"""Fault-engine shoot-out: packed PPSFP/fault-parallel vs the serial oracle.
+
+PR 1 vectorized the behavioural sweeps; this bench quantifies the same move
+applied to the gate-level sign-off substrate (`repro.hdl.bitsim` +
+`repro.hdl.faults`):
+
+* random-pattern ATPG (`generate_tests`) on every 16-bit rtlib datapath
+  block, serial vs packed, asserting a >= 10x speedup AND bit-identical
+  kept vectors + coverage reports;
+* full-universe (unsampled) fault simulation of the flattened GA core —
+  ~10k stuck-at faults, which the serial engine could only estimate by
+  fault sampling.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.hdl import rtlib
+from repro.hdl.faults import fault_simulate, generate_tests, random_vectors
+from repro.hdl.flatten import flatten_ga_datapath
+from repro.hdl.scan import insert_scan_chain
+
+
+BLOCKS = [
+    ("adder16", lambda: rtlib.build_adder(16)),
+    ("comparator16", lambda: rtlib.build_comparator(16)),
+    ("crossover", lambda: rtlib.build_crossover_unit(16)),
+    ("mutation", lambda: rtlib.build_mutation_unit(16)),
+    ("ca_rng", lambda: rtlib.build_ca_rng(16)),
+]
+
+#: One ATPG configuration for both engines (trimmed budget keeps the serial
+#: oracle's leg of the shoot-out to a few seconds).
+ATPG = dict(target_coverage=0.95, batch=32, max_vectors=48, seed=9)
+
+
+def _report_tuple(report):
+    return (report.total_faults, report.detected, report.vectors_used,
+            report.undetected)
+
+
+@pytest.mark.benchmark(group="fault-engine")
+def test_ppsfp_atpg_speedup_and_parity(benchmark):
+    def shootout():
+        rows = []
+        serial_total = packed_total = 0.0
+        for name, build in BLOCKS:
+            netlist = build()
+            t0 = time.perf_counter()
+            kept_s, rep_s = generate_tests(netlist, engine="serial", **ATPG)
+            serial_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            kept_p, rep_p = generate_tests(netlist, engine="packed", **ATPG)
+            packed_s = time.perf_counter() - t0
+            # identical vectors and identical coverage reports, always
+            assert kept_s == kept_p, f"{name}: engines kept different vectors"
+            assert _report_tuple(rep_s) == _report_tuple(rep_p), (
+                f"{name}: engines disagree on the coverage report"
+            )
+            serial_total += serial_s
+            packed_total += packed_s
+            rows.append(
+                {
+                    "block": name,
+                    "faults": rep_p.total_faults,
+                    "coverage%": round(100 * rep_p.coverage, 1),
+                    "vectors": rep_p.vectors_used,
+                    "serial_ms": round(1e3 * serial_s, 1),
+                    "packed_ms": round(1e3 * packed_s, 1),
+                    "speedup": round(serial_s / packed_s, 1),
+                }
+            )
+        rows.append(
+            {
+                "block": "TOTAL",
+                "serial_ms": round(1e3 * serial_total, 1),
+                "packed_ms": round(1e3 * packed_total, 1),
+                "speedup": round(serial_total / packed_total, 1),
+            }
+        )
+        return rows, serial_total / packed_total
+
+    rows, speedup = benchmark.pedantic(shootout, rounds=1, iterations=1)
+    print_table(
+        "ATPG engine shoot-out: serial oracle vs packed fault-parallel", rows
+    )
+    assert speedup >= 10, f"packed ATPG only {speedup:.1f}x faster than serial"
+
+
+@pytest.mark.benchmark(group="fault-engine")
+def test_full_universe_flattened_core(benchmark):
+    def full_universe():
+        core = flatten_ga_datapath()
+        insert_scan_chain(core)
+        vectors = random_vectors(core, 256, seed=7)
+        return fault_simulate(core, vectors)  # every fault, no sampling
+
+    report = benchmark.pedantic(full_universe, rounds=1, iterations=1)
+    print_table(
+        "Full-universe PPSFP fault simulation of the flattened GA core",
+        [
+            {
+                "faults": report.total_faults,
+                "vectors": report.vectors_used,
+                "coverage%": round(100 * report.coverage, 1),
+                "undetected": len(report.undetected),
+            }
+        ],
+    )
+    # the whole ~10k-fault universe is simulated, not a sample
+    assert report.total_faults > 9000
+    assert report.vectors_used == 256
+    assert 0.5 < report.coverage < 1.0

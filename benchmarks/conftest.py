@@ -4,9 +4,19 @@ Each ``bench_*.py`` regenerates one table or figure of the paper.  The
 pytest-benchmark plugin times the regeneration; the printed report is the
 reproduced artefact itself (rows or an ASCII plot) with the paper's values
 alongside, mirroring EXPERIMENTS.md.
+
+At session end the collected timings are also dumped to
+``BENCH_results.json`` in the repo root, so the performance trajectory
+stays machine-readable across PRs (the CI smoke job runs the suite with
+``--benchmark-disable``, which still exercises every bench body once and
+records the run with empty timing stats).
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
 
 
 def print_table(title: str, rows: list[dict], keys: list[str] | None = None) -> None:
@@ -23,3 +33,46 @@ def print_table(title: str, rows: list[dict], keys: list[str] | None = None) -> 
     print("-+-".join("-" * widths[k] for k in keys))
     for r in rows:
         print(" | ".join(str(r.get(k, "")).ljust(widths[k]) for k in keys))
+
+
+def _maybe(getter):
+    try:
+        value = getter()
+    except Exception:
+        return None
+    return float(value) if isinstance(value, (int, float)) else value
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump per-bench timings to ``BENCH_results.json`` (repo root)."""
+    bsession = getattr(session.config, "_benchmarksession", None)
+    if bsession is None:
+        return
+    rows = []
+    for bench in getattr(bsession, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        rows.append(
+            {
+                "name": getattr(bench, "name", None),
+                "fullname": getattr(bench, "fullname", None),
+                "group": getattr(bench, "group", None),
+                "rounds": _maybe(lambda: stats.rounds),
+                "mean_s": _maybe(lambda: stats.mean),
+                "min_s": _maybe(lambda: stats.min),
+                "max_s": _maybe(lambda: stats.max),
+                "stddev_s": _maybe(lambda: stats.stddev),
+            }
+        )
+    payload = {
+        "generated_unix": time.time(),
+        "pytest_exitstatus": int(exitstatus),
+        "benchmarks_disabled": bool(getattr(bsession, "disabled", False)),
+        "benchmarks": sorted(rows, key=lambda r: str(r["fullname"])),
+    }
+    path = os.path.join(str(session.config.rootdir), "BENCH_results.json")
+    try:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:  # never fail a bench run over the artefact dump
+        pass

@@ -14,6 +14,11 @@ integrator side:
     parse the delivered netlist -> re-lint -> verify the scan chain
     round-trips -> re-run the delivered test vectors and confirm the
     coverage claim.
+
+Both sides fault-simulate the FULL ~10k stuck-at fault universe of the
+flattened core — no sampling.  The bit-parallel PPSFP engine
+(`repro.hdl.bitsim` + `repro.hdl.faults`) makes the unsampled run cheaper
+than the old 400-fault sampled estimate was on the serial simulator.
 """
 
 import numpy as np
@@ -21,7 +26,7 @@ import numpy as np
 from repro.analysis.power import estimate_power
 from repro.analysis.resources import estimate_netlist
 from repro.hdl.export import lint, read_netlist, write_netlist
-from repro.hdl.faults import fault_simulate, generate_tests, sample_faults
+from repro.hdl.faults import enumerate_faults, fault_simulate, generate_tests
 from repro.hdl.flatten import flatten_ga_datapath
 from repro.hdl.scan import Stepper, insert_scan_chain, scan_dump, scan_load
 
@@ -35,15 +40,13 @@ def vendor_side() -> tuple[str, list, float]:
     print(f"flattened: {core.stats()['gates']} gates, "
           f"{core.stats()['dff']} registers, scan chain {chain} bits, lint clean")
 
-    # Fault *sampling*: the standard estimate on designs too large for full
-    # serial fault simulation (the full datapath enumerates ~10k faults).
-    fault_sample = sample_faults(core, 400, seed=5)
+    # Full-universe ATPG: every enumerable stuck-at fault is targeted.
+    universe = len(enumerate_faults(core))
     vectors, coverage = generate_tests(core, target_coverage=0.70,
-                                       max_vectors=64, seed=5,
-                                       faults=fault_sample)
+                                       max_vectors=64, seed=5)
     print(f"scan test set: {coverage.vectors_used} vectors, "
           f"{100 * coverage.coverage:.1f}% stuck-at coverage "
-          f"(sampled {coverage.total_faults} of ~10k faults)")
+          f"over the full {universe}-fault universe (unsampled)")
 
     est = estimate_netlist(core)
     rng = np.random.default_rng(2)
@@ -55,11 +58,10 @@ def vendor_side() -> tuple[str, list, float]:
     print(f"datasheet: ~{est.luts} LUTs, Fmax {est.max_frequency_mhz:.1f} MHz, "
           f"{power.total_mw:.2f} mW at 50 MHz\n")
 
-    return write_netlist(core), vectors, fault_sample, coverage.coverage
+    return write_netlist(core), vectors, coverage.coverage
 
 
-def integrator_side(netlist_text: str, vectors, fault_sample,
-                    claimed_coverage: float) -> None:
+def integrator_side(netlist_text: str, vectors, claimed_coverage: float) -> None:
     print("== integrator: incoming inspection ==")
     core = read_netlist(netlist_text)
     print(f"parsed delivery: {len(netlist_text.splitlines())} netlist lines, "
@@ -74,13 +76,14 @@ def integrator_side(netlist_text: str, vectors, fault_sample,
     assert scan_dump(stepper, **held) == image
     print(f"scan chain: {len(core.dffs)}-bit load/dump round-trip OK")
 
-    report = fault_simulate(core, vectors, faults=fault_sample)
+    report = fault_simulate(core, vectors)
     print(f"replayed vendor vectors: {100 * report.coverage:.1f}% coverage "
-          f"on the delivered fault sample (claimed {100 * claimed_coverage:.1f}%)")
+          f"on the full {report.total_faults}-fault universe "
+          f"(claimed {100 * claimed_coverage:.1f}%)")
     assert report.coverage >= claimed_coverage - 1e-9
     print("\nIP accepted.")
 
 
 if __name__ == "__main__":
-    text, vectors, fault_sample, coverage = vendor_side()
-    integrator_side(text, vectors, fault_sample, coverage)
+    text, vectors, coverage = vendor_side()
+    integrator_side(text, vectors, coverage)

@@ -32,9 +32,23 @@ from repro.hdl.memory import SinglePortRAM, BlockROM
 from repro.hdl.fsm import MooreFSM
 from repro.hdl.gates import GateType, Gate
 from repro.hdl.netlist import Netlist, NetlistError
-from repro.hdl.scan import Stepper, insert_scan_chain, scan_dump, scan_load
+from repro.hdl.bitsim import (
+    CompiledNetlist,
+    PackedStepper,
+    compiled,
+    packed_evaluate,
+    simulate_many,
+)
+from repro.hdl.scan import (
+    Stepper,
+    insert_scan_chain,
+    scan_dump,
+    scan_dump_many,
+    scan_load,
+    scan_load_many,
+)
 from repro.hdl.export import lint, read_netlist, write_netlist
-from repro.hdl.optimize import optimize
+from repro.hdl.optimize import equivalent, optimize
 from repro.hdl.vcd import VCDRecorder
 
 __all__ = [
@@ -52,13 +66,21 @@ __all__ = [
     "Gate",
     "Netlist",
     "NetlistError",
+    "CompiledNetlist",
+    "PackedStepper",
+    "compiled",
+    "packed_evaluate",
+    "simulate_many",
     "Stepper",
     "insert_scan_chain",
     "scan_dump",
+    "scan_dump_many",
     "scan_load",
+    "scan_load_many",
     "lint",
     "read_netlist",
     "write_netlist",
+    "equivalent",
     "optimize",
     "VCDRecorder",
 ]

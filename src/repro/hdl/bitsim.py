@@ -1,0 +1,403 @@
+"""Bit-parallel levelized gate-level simulation engine.
+
+The scalar :class:`~repro.hdl.netlist.Netlist` simulator walks the topo
+order one Boolean per net per pattern — the right oracle, but O(gates) of
+Python interpreter work for every single test pattern.  This module is the
+gate-level counterpart of the batched behavioural engine: a netlist is
+*compiled once* into a flat, levelized op program over numpy ``uint64``
+words, and 64 test patterns (or 64 fault machines — see
+:mod:`repro.hdl.faults`) ride in the bit lanes of each word.  Wider batches
+add word lanes, so a sweep over *P* patterns costs one vectorized
+gather/op/scatter per (level, cell type) instead of ``gates * P`` Python
+gate evaluations.
+
+Layout conventions
+------------------
+* A *values* array has shape ``(net_count, lanes)`` and dtype ``uint64``;
+  packed item ``p`` lives in bit ``p % 64`` of lane ``p // 64``.
+* Levelization: gates whose inputs are all primary inputs / flop outputs
+  are level 0; every other gate sits one level above its deepest driver.
+  Within a level, gates are grouped by cell type so each group evaluates
+  in a single numpy expression.
+* Fault injection is an optional ``force(values)`` callback applied before
+  level 0 and after every level, which reproduces exactly the scalar
+  fault-simulation semantics (a forced net overrides its driver, and every
+  consumer — always in a deeper level — sees the forced word).
+
+The engine is bit-identical to the scalar simulator by construction and by
+the property suite in ``tests/hdl/test_bitsim.py``; the scalar path remains
+the oracle everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.hdl.gates import GateType
+from repro.hdl.netlist import Netlist, NetlistError
+
+WORD_BITS = 64
+ALL_ONES = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+_SHIFTS = np.arange(WORD_BITS, dtype=np.uint64)
+_ONE = np.uint64(1)
+
+
+def lane_count(items: int) -> int:
+    """Number of 64-bit word lanes needed to pack ``items`` bit positions."""
+    return max(1, -(-items // WORD_BITS))
+
+
+def tail_mask(items: int) -> np.ndarray:
+    """Per-lane validity mask for ``items`` packed positions."""
+    lanes = lane_count(items)
+    mask = np.full(lanes, ALL_ONES, dtype=np.uint64)
+    rem = items % WORD_BITS
+    if items and rem:
+        mask[-1] = np.uint64((1 << rem) - 1)
+    return mask
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack 0/1 values along the last axis into uint64 words, LSB first."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    n = bits.shape[-1]
+    lanes = lane_count(n)
+    pad = lanes * WORD_BITS - n
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint64)], axis=-1
+        )
+    words = bits.reshape(bits.shape[:-1] + (lanes, WORD_BITS)) << _SHIFTS
+    return np.bitwise_or.reduce(words, axis=-1)
+
+
+def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: last axis becomes ``n`` 0/1 values."""
+    words = np.asarray(words, dtype=np.uint64)
+    bits = (words[..., :, None] >> _SHIFTS) & _ONE
+    return bits.reshape(words.shape[:-1] + (-1,))[..., :n]
+
+
+Force = Callable[[np.ndarray], None]
+
+
+class CompiledNetlist:
+    """A netlist compiled into a levelized word-parallel op program."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.net_count = netlist.net_count
+        order = netlist.topo_order()
+        self._order_ref = order
+        self._fingerprint = _fingerprint(netlist)
+
+        for name, nets in netlist.inputs.items():
+            if len(nets) > WORD_BITS:
+                raise NetlistError(
+                    f"input port {name!r} is {len(nets)} bits wide; the packed "
+                    f"engine supports at most {WORD_BITS}-bit ports"
+                )
+
+        # --- levelize and group by (level, cell type) -----------------
+        level_of: dict[int, int] = {}
+        grouped: list[dict[GateType, list]] = []
+        for gate in order:
+            lv = 0
+            for nid in gate.inputs:
+                src = level_of.get(nid)
+                if src is not None and src >= lv:
+                    lv = src + 1
+            level_of[gate.output] = lv
+            if lv == len(grouped):
+                grouped.append({})
+            grouped[lv].setdefault(gate.type, []).append(gate)
+
+        self.program: list[list[tuple]] = []
+        for groups in grouped:
+            ops = []
+            for gtype, gates in groups.items():
+                out = np.array([g.output for g in gates], dtype=np.intp)
+                if gtype in (GateType.CONST0, GateType.CONST1):
+                    ops.append((gtype, out, None, None))
+                elif gtype in (GateType.NOT, GateType.BUF):
+                    a = np.array([g.inputs[0] for g in gates], dtype=np.intp)
+                    ops.append((gtype, out, a, None))
+                else:
+                    a = np.array([g.inputs[0] for g in gates], dtype=np.intp)
+                    b = np.array([g.inputs[1] for g in gates], dtype=np.intp)
+                    ops.append((gtype, out, a, b))
+            self.program.append(ops)
+
+        # --- port / flop index tables ---------------------------------
+        self.in_port_nets = {
+            name: np.array(nets, dtype=np.intp) for name, nets in netlist.inputs.items()
+        }
+        self.out_port_nets = {
+            name: np.array(nets, dtype=np.intp) for name, nets in netlist.outputs.items()
+        }
+        dffs = netlist.dffs
+        self.dff_d = np.array([f.d for f in dffs], dtype=np.intp)
+        self.dff_q = np.array([f.q for f in dffs], dtype=np.intp)
+        init_bits = np.array([f.init for f in dffs], dtype=bool)
+        self.dff_init = np.where(init_bits, ALL_ONES, np.uint64(0))
+        chain = sorted(
+            ((f.scan_index, i) for i, f in enumerate(dffs) if f.scan_index >= 0)
+        )
+        self.chain_dff_pos = np.array([i for _s, i in chain], dtype=np.intp)
+        self.chain_q = self.dff_q[self.chain_dff_pos]
+
+        # Observables under the scan-test model: primary outputs in port
+        # declaration order, then every flop D net (pseudo-outputs) —
+        # exactly the response tuple of the scalar ``faults._observe``.
+        obs = [n for nets in netlist.outputs.values() for n in nets]
+        obs.extend(f.d for f in dffs)
+        self.observables = np.array(obs, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # state construction
+    # ------------------------------------------------------------------
+    def blank(self, lanes: int) -> np.ndarray:
+        """Fresh values array with flops at their init values."""
+        values = np.zeros((self.net_count, lanes), dtype=np.uint64)
+        if self.dff_q.size:
+            values[self.dff_q] = self.dff_init[:, None]
+        return values
+
+    def load_inputs(self, values: np.ndarray, vectors: Sequence[dict[str, int]]) -> None:
+        """Pack per-pattern input-bus words into the input nets (pattern
+        ``p`` -> bit ``p``).  Unknown port names raise NetlistError."""
+        self._check_input_names(vectors)
+        count = len(vectors)
+        for name, nets in self.in_port_nets.items():
+            words = np.fromiter(
+                (int(v.get(name, 0)) for v in vectors), dtype=np.uint64, count=count
+            )
+            bits = (words[None, :] >> _SHIFTS[: nets.size, None]) & _ONE
+            values[nets] = pack_bits(bits)
+
+    def load_inputs_broadcast(self, values: np.ndarray, input_values: dict[str, int]) -> None:
+        """Apply ONE input vector to every packed position (all-lanes 0 or
+        all-lanes 1 per net) — the fault-parallel layout."""
+        self._check_input_names((input_values,))
+        for name, nets in self.in_port_nets.items():
+            word = int(input_values.get(name, 0))
+            bits = (np.uint64(word) >> _SHIFTS[: nets.size]) & _ONE
+            values[nets] = np.where(bits.astype(bool), ALL_ONES, np.uint64(0))[:, None]
+
+    def load_flops(self, values: np.ndarray, flop_states: Sequence[Sequence[int]]) -> None:
+        """Pack per-pattern flop states onto the flop Q nets."""
+        if not self.dff_q.size:
+            return
+        arr = np.asarray(flop_states, dtype=np.uint64)
+        values[self.dff_q] = pack_bits(arr.T)
+
+    def load_flops_broadcast(self, values: np.ndarray, flops: Sequence[int]) -> None:
+        """Apply ONE flop-state image to every packed position."""
+        if not self.dff_q.size:
+            return
+        arr = np.asarray(flops, dtype=bool)
+        values[self.dff_q] = np.where(arr, ALL_ONES, np.uint64(0))[:, None]
+
+    def _check_input_names(self, vectors: Sequence[dict[str, int]]) -> None:
+        declared = self.netlist.inputs
+        unknown = {k for vec in vectors for k in vec if k not in declared}
+        if unknown:
+            raise NetlistError(
+                f"netlist {self.netlist.name!r} has no input port(s) "
+                f"{sorted(unknown)}; declared inputs: {sorted(declared)}"
+            )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def sweep(self, values: np.ndarray, force: Force | None = None) -> np.ndarray:
+        """One combinational settle: evaluate every level in order.
+
+        ``force`` (fault injection) runs before level 0 and after every
+        level, so a forced net always overrides its driver.
+        """
+        if force is not None:
+            force(values)
+        for ops in self.program:
+            for gtype, out, a, b in ops:
+                if gtype is GateType.AND:
+                    values[out] = values[a] & values[b]
+                elif gtype is GateType.OR:
+                    values[out] = values[a] | values[b]
+                elif gtype is GateType.NAND:
+                    values[out] = ~(values[a] & values[b])
+                elif gtype is GateType.NOR:
+                    values[out] = ~(values[a] | values[b])
+                elif gtype is GateType.XOR:
+                    values[out] = values[a] ^ values[b]
+                elif gtype is GateType.XNOR:
+                    values[out] = ~(values[a] ^ values[b])
+                elif gtype is GateType.NOT:
+                    values[out] = ~values[a]
+                elif gtype is GateType.BUF:
+                    values[out] = values[a]
+                elif gtype is GateType.CONST0:
+                    values[out] = 0
+                else:  # CONST1
+                    values[out] = ALL_ONES
+            if force is not None:
+                force(values)
+        return values
+
+    def read_outputs(self, values: np.ndarray, count: int) -> list[dict[str, int]]:
+        """Unpack the output ports back into one value dict per pattern."""
+        result: list[dict[str, int]] = [{} for _ in range(count)]
+        for name, nets in self.out_port_nets.items():
+            bits = unpack_bits(values[nets], count)  # (width, count)
+            words = np.bitwise_or.reduce(bits << _SHIFTS[: nets.size, None], axis=0)
+            for i, out in enumerate(result):
+                out[name] = int(words[i])
+        return result
+
+    def observe_packed(
+        self,
+        input_vectors: Sequence[dict[str, int]],
+        flop_states: Sequence[Sequence[int]],
+        force: Force | None = None,
+    ) -> np.ndarray:
+        """Packed scan-test-model responses: ``(n_observables, lanes)``.
+
+        Matches the scalar ``faults._observe`` bit for bit: nets start at 0
+        (NOT flop init), flop Q nets take the scanned-in state, and the
+        response rows are primary outputs then flop D nets.
+        """
+        values = np.zeros((self.net_count, lane_count(len(input_vectors))), dtype=np.uint64)
+        self.load_inputs(values, input_vectors)
+        self.load_flops(values, flop_states)
+        self.sweep(values, force=force)
+        return values[self.observables]
+
+    # ------------------------------------------------------------------
+    # clocking
+    # ------------------------------------------------------------------
+    def clock(self, values: np.ndarray) -> None:
+        """Packed flop clocking with per-bit scan blending.
+
+        Each packed position is an independent machine; its ``test`` bit
+        selects, per machine, between a normal D-input capture and a scan
+        shift (chain flops) / hold (unchained flops) — the word-parallel
+        version of ``Netlist._clock_flops``.
+        """
+        if not self.dff_q.size:
+            return
+        normal = values[self.dff_d]  # gather -> copy (pre-clock snapshot)
+        scan_ports = self.netlist.scan_ports
+        if scan_ports is None:
+            values[self.dff_q] = normal
+            return
+        test = values[scan_ports[0]]
+        test_side = values[self.dff_q]  # hold for unchained flops
+        if self.chain_dff_pos.size:
+            shifted = np.concatenate(
+                [values[scan_ports[1]][None, :], values[self.chain_q[:-1]]], axis=0
+            )
+            test_side[self.chain_dff_pos] = shifted
+        values[self.dff_q] = (test[None, :] & test_side) | (~test[None, :] & normal)
+
+
+def _fingerprint(netlist: Netlist) -> tuple:
+    return (
+        netlist.net_count,
+        len(netlist.gates),
+        len(netlist.dffs),
+        len(netlist.inputs),
+        len(netlist.outputs),
+        netlist.scan_ports,
+    )
+
+
+def compiled(netlist: Netlist) -> CompiledNetlist:
+    """Compile ``netlist`` (cached on the netlist, invalidated on edits)."""
+    order = netlist.topo_order()
+    cached = getattr(netlist, "_compiled", None)
+    if (
+        cached is not None
+        and cached._order_ref is order
+        and cached._fingerprint == _fingerprint(netlist)
+    ):
+        return cached
+    comp = CompiledNetlist(netlist)
+    netlist._compiled = comp
+    return comp
+
+
+# ----------------------------------------------------------------------
+# pattern-parallel front ends
+# ----------------------------------------------------------------------
+def packed_evaluate(
+    netlist: Netlist,
+    vectors: Sequence[dict[str, int]],
+    states: Sequence[Sequence[int]] | None = None,
+) -> list[dict[str, int]]:
+    """Word-parallel ``Netlist.evaluate`` over many independent patterns.
+
+    ``states``, when given, holds one full net-value snapshot per pattern
+    (the scalar ``state`` argument); otherwise flops start at their init
+    values, exactly like the scalar path.
+    """
+    if not vectors:
+        return []
+    comp = compiled(netlist)
+    if states is None:
+        values = comp.blank(lane_count(len(vectors)))
+    else:
+        arr = np.asarray(states, dtype=np.uint64)  # (patterns, net_count)
+        values = pack_bits(arr.T)
+    comp.load_inputs(values, vectors)
+    comp.sweep(values)
+    return comp.read_outputs(values, len(vectors))
+
+
+class PackedStepper:
+    """Word-parallel :class:`~repro.hdl.scan.Stepper`: machine ``m`` lives
+    in packed bit position ``m``; scan shifting, normal capture, and hold
+    are blended per bit on every clock."""
+
+    def __init__(self, netlist: Netlist, machines: int):
+        self.comp = compiled(netlist)
+        self.machines = machines
+        self.values = self.comp.blank(lane_count(machines))
+
+    def step(self, inputs: Sequence[dict[str, int]]) -> list[dict[str, int]]:
+        """One clock for every machine: apply per-machine inputs, settle,
+        sample outputs, clock flops.  Returns one output dict per machine."""
+        if len(inputs) != self.machines:
+            raise NetlistError(
+                f"expected {self.machines} input dicts, got {len(inputs)}"
+            )
+        comp = self.comp
+        comp.load_inputs(self.values, inputs)
+        comp.sweep(self.values)
+        outputs = comp.read_outputs(self.values, self.machines)
+        comp.clock(self.values)
+        return outputs
+
+    def peek_flops(self) -> list[list[int]]:
+        """Per-machine flop values in scan-chain order (oracle access)."""
+        bits = unpack_bits(self.values[self.comp.chain_q], self.machines)
+        return [list(map(int, bits[:, m])) for m in range(self.machines)]
+
+
+def simulate_many(
+    netlist: Netlist, runs: Sequence[Sequence[dict[str, int]]]
+) -> list[list[dict[str, int]]]:
+    """Clocked simulation of many machines in lock-step — the word-parallel
+    ``Netlist.simulate``.  All runs must have the same cycle count."""
+    if not runs:
+        return []
+    cycles = len(runs[0])
+    if any(len(r) != cycles for r in runs):
+        raise NetlistError("simulate_many requires equal-length input streams")
+    stepper = PackedStepper(netlist, len(runs))
+    results: list[list[dict[str, int]]] = [[] for _ in runs]
+    for c in range(cycles):
+        for m, out in enumerate(stepper.step([run[c] for run in runs])):
+            results[m].append(out)
+    return results

@@ -6,12 +6,27 @@ chip reduces to testing the *combinational* logic between flops.  This
 module provides that manufacturing-test substrate:
 
 * the single stuck-at-0/1 fault model over all driven nets;
-* serial fault simulation under the scan-test model (flop outputs are
-  pseudo-inputs, flop inputs are pseudo-outputs);
-* random-pattern test generation with plateau detection — the standard way
-  scan vectors for a datapath like this are produced;
-* coverage reporting for the full flattened GA core (exercised by the
-  example and the test suite).
+* fault simulation under the scan-test model (flop outputs are
+  pseudo-inputs, flop inputs are pseudo-outputs) with fault dropping, in
+  two engines:
+
+  - ``engine="serial"`` — the original one-Boolean-at-a-time oracle;
+  - ``engine="packed"`` (default via ``"auto"``) — PPSFP
+    (parallel-pattern single-fault propagation) on the bit-parallel
+    levelized engine of :mod:`repro.hdl.bitsim`: 64 test patterns ride
+    the bit lanes of each ``uint64`` word and a chunk of single-fault
+    machines rides the word lanes, so one levelized sweep fault-simulates
+    thousands of (fault, pattern) pairs;
+
+* random-pattern test generation with compaction; its inner loop uses the
+  *fault-parallel* packed mode — 64 remaining faults per word (plus the
+  fault-free machine in bit 0) against one candidate vector per sweep —
+  which is the shape ATPG wants: many live faults, one new vector;
+* coverage reporting for the full flattened GA core.  The packed engines
+  made the full ~10k-fault universe of the flattened core simulable
+  without sampling (see ``benchmarks/bench_fault_engine.py``); both
+  engines produce bit-identical :class:`CoverageReport`\\ s, locked in by
+  ``tests/hdl/test_faults.py``.
 """
 
 from __future__ import annotations
@@ -21,7 +36,13 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.hdl import bitsim
 from repro.hdl.netlist import Netlist
+
+#: Patterns per PPSFP pass (one uint64 bit lane).
+_PPSFP_BATCH = 64
+#: Single-fault machines propagated per levelized sweep (word lanes).
+_PPSFP_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -82,7 +103,7 @@ def enumerate_faults(netlist: Netlist) -> list[Fault]:
 
 
 def _observe(netlist: Netlist, vector: TestVector, fault: Fault | None) -> tuple:
-    """Combinational response under the scan-test model.
+    """Combinational response under the scan-test model (scalar oracle).
 
     Returns (primary output values..., flop D values...) with the optional
     fault injected.  Flop Q nets take the scanned-in state.
@@ -109,8 +130,9 @@ def sample_faults(netlist: Netlist, n: int, seed: int = 1) -> list[Fault]:
     """A uniform random sample of the fault universe.
 
     Fault *sampling* is the standard industry technique for estimating
-    coverage on designs too large for full serial fault simulation: the
-    sampled coverage is an unbiased estimate of the true coverage.
+    coverage on designs too large for full serial fault simulation (the
+    packed engine now handles this repo's designs unsampled, but sampling
+    mode is kept for oracle duty and very large merged netlists).
     """
     universe = enumerate_faults(netlist)
     if n >= len(universe):
@@ -120,10 +142,70 @@ def sample_faults(netlist: Netlist, n: int, seed: int = 1) -> list[Fault]:
     return [universe[i] for i in sorted(picks)]
 
 
-def detects(netlist: Netlist, vector: TestVector, fault: Fault) -> bool:
+def _resolve_engine(engine: str) -> str:
+    if engine == "auto":
+        return "packed"
+    if engine in ("packed", "serial"):
+        return engine
+    raise ValueError(f"unknown fault-simulation engine {engine!r}")
+
+
+# ----------------------------------------------------------------------
+# PPSFP: parallel-pattern single-fault propagation
+# ----------------------------------------------------------------------
+def _ppsfp_first_detections(
+    comp: bitsim.CompiledNetlist,
+    vectors: list[TestVector],
+    faults: Iterable[Fault],
+) -> dict[Fault, int]:
+    """For a batch of <= 64 patterns, map each detected fault to the index
+    of the first vector in ``vectors`` that detects it.
+
+    Patterns ride bit lanes; a chunk of single-fault machines rides word
+    lanes, each column re-sweeping the whole program with its own fault
+    forced — single-fault propagation, vectorized both ways.
+    """
+    count = len(vectors)
+    base = np.zeros((comp.net_count, 1), dtype=np.uint64)
+    comp.load_inputs(base, [v.inputs for v in vectors])
+    comp.load_flops(base, [v.flops for v in vectors])
+    good_obs = comp.sweep(base.copy())[comp.observables]  # (n_obs, 1)
+    mask = bitsim.tail_mask(count)[0]
+
+    found: dict[Fault, int] = {}
+    faults = list(faults)
+    for start in range(0, len(faults), _PPSFP_CHUNK):
+        chunk = faults[start : start + _PPSFP_CHUNK]
+        rows = np.array([f.net for f in chunk], dtype=np.intp)
+        cols = np.arange(len(chunk))
+        stuck = np.where(
+            np.array([f.stuck_at for f in chunk], dtype=bool),
+            bitsim.ALL_ONES,
+            np.uint64(0),
+        )
+
+        def force(v, rows=rows, cols=cols, stuck=stuck):
+            v[rows, cols] = stuck
+
+        values = np.repeat(base, len(chunk), axis=1)
+        comp.sweep(values, force=force)
+        diff = (values[comp.observables] ^ good_obs) & mask
+        detect_words = np.bitwise_or.reduce(diff, axis=0)  # (chunk,)
+        for j in np.nonzero(detect_words)[0]:
+            word = int(detect_words[j])
+            found[chunk[j]] = (word & -word).bit_length() - 1
+    return found
+
+
+def detects(
+    netlist: Netlist, vector: TestVector, fault: Fault, engine: str = "auto"
+) -> bool:
     """True when the vector's observed response differs from the fault-free
     machine's — the fault is detected."""
-    return _observe(netlist, vector, None) != _observe(netlist, vector, fault)
+    if _resolve_engine(engine) == "serial":
+        return _observe(netlist, vector, None) != _observe(netlist, vector, fault)
+    comp = bitsim.compiled(netlist)
+    return fault in _ppsfp_first_detections(comp, [vector], [fault])
 
 
 @dataclass
@@ -144,9 +226,48 @@ def fault_simulate(
     netlist: Netlist,
     vectors: Iterable[TestVector],
     faults: list[Fault] | None = None,
+    engine: str = "auto",
 ) -> CoverageReport:
-    """Serial fault simulation with fault dropping."""
-    faults = faults if faults is not None else enumerate_faults(netlist)
+    """Fault simulation with fault dropping.
+
+    ``engine="serial"`` is the scalar oracle; ``engine="packed"`` (the
+    ``"auto"`` default) runs PPSFP batches of 64 patterns and produces an
+    identical report, including ``vectors_used`` (the number of vectors a
+    serial simulator would consume before every fault dropped).
+    """
+    faults = list(faults) if faults is not None else enumerate_faults(netlist)
+    if _resolve_engine(engine) == "serial":
+        return _fault_simulate_serial(netlist, vectors, faults)
+
+    vectors = list(vectors)
+    comp = bitsim.compiled(netlist)
+    remaining = set(faults)
+    last_drop = -1
+    for start in range(0, len(vectors), _PPSFP_BATCH):
+        if not remaining:
+            break
+        batch = vectors[start : start + _PPSFP_BATCH]
+        for fault, index in _ppsfp_first_detections(comp, batch, remaining).items():
+            remaining.discard(fault)
+            if start + index > last_drop:
+                last_drop = start + index
+    if faults and not remaining:
+        used = last_drop + 1
+    elif not faults:
+        used = min(1, len(vectors))  # serial loop still consumes one vector
+    else:
+        used = len(vectors)
+    return CoverageReport(
+        total_faults=len(faults),
+        detected=len(faults) - len(remaining),
+        vectors_used=used,
+        undetected=sorted(remaining, key=lambda f: (f.net, f.stuck_at)),
+    )
+
+
+def _fault_simulate_serial(
+    netlist: Netlist, vectors: Iterable[TestVector], faults: list[Fault]
+) -> CoverageReport:
     remaining = set(faults)
     used = 0
     for vector in vectors:
@@ -182,6 +303,72 @@ def random_vectors(
     return vectors
 
 
+class _FaultParallelSim:
+    """Fault-parallel packed simulation: 64 faults per word, one vector.
+
+    Packed position 0 is the fault-free machine; position ``j`` (j >= 1)
+    runs with fault ``packed[j - 1]`` forced.  One levelized sweep then
+    answers "which remaining faults does this vector detect?" — the ATPG
+    inner-loop question.  The fault list is re-packed once most of it has
+    been dropped, so sweeps shrink as coverage grows.
+    """
+
+    def __init__(self, netlist: Netlist, faults: Iterable[Fault]):
+        self.comp = bitsim.compiled(netlist)
+        self._pack(list(faults))
+
+    def _pack(self, faults: list[Fault]) -> None:
+        self.packed = faults
+        slots = len(faults) + 1  # slot 0 = fault-free machine
+        self.lanes = bitsim.lane_count(slots)
+        valid = bitsim.tail_mask(slots)
+        valid[0] &= ~np.uint64(1)  # bit 0 is the good machine
+        self.valid = valid
+        by_net: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for j, fault in enumerate(faults, start=1):
+            lane, bit = divmod(j, bitsim.WORD_BITS)
+            masks, vals = by_net.setdefault(
+                fault.net,
+                (np.zeros(self.lanes, np.uint64), np.zeros(self.lanes, np.uint64)),
+            )
+            masks[lane] |= np.uint64(1) << np.uint64(bit)
+            if fault.stuck_at:
+                vals[lane] |= np.uint64(1) << np.uint64(bit)
+        self.rows = np.array(sorted(by_net), dtype=np.intp)
+        self.masks = np.array([by_net[n][0] for n in sorted(by_net)], dtype=np.uint64)
+        self.vals = np.array([by_net[n][1] for n in sorted(by_net)], dtype=np.uint64)
+
+    def detect(self, vector: TestVector, remaining: set[Fault]) -> list[Fault]:
+        """Faults from ``remaining`` that ``vector`` detects."""
+        if 2 * len(remaining) < len(self.packed):
+            self._pack([f for f in self.packed if f in remaining])
+        comp = self.comp
+        values = np.zeros((comp.net_count, self.lanes), dtype=np.uint64)
+        comp.load_inputs_broadcast(values, vector.inputs)
+        comp.load_flops_broadcast(values, vector.flops)
+        if self.rows.size:
+
+            def force(v):
+                v[self.rows] = (v[self.rows] & ~self.masks) | self.vals
+
+            comp.sweep(values, force=force)
+        else:
+            comp.sweep(values)
+        obs = values[comp.observables]  # (n_obs, lanes)
+        good = np.where((obs[:, 0] & np.uint64(1)).astype(bool), bitsim.ALL_ONES, np.uint64(0))
+        detect_words = np.bitwise_or.reduce(obs ^ good[:, None], axis=0) & self.valid
+        dropped = []
+        for lane in np.nonzero(detect_words)[0]:
+            word = int(detect_words[lane])
+            while word:
+                bit = (word & -word).bit_length() - 1
+                fault = self.packed[lane * bitsim.WORD_BITS + bit - 1]
+                if fault in remaining:
+                    dropped.append(fault)
+                word &= word - 1
+        return dropped
+
+
 def generate_tests(
     netlist: Netlist,
     target_coverage: float = 0.95,
@@ -189,33 +376,44 @@ def generate_tests(
     max_vectors: int = 2048,
     seed: int = 1,
     faults: list[Fault] | None = None,
+    engine: str = "auto",
 ) -> tuple[list[TestVector], CoverageReport]:
     """Random-pattern ATPG: grow the vector set until the coverage target
     or the budget is reached.  Returns (kept vectors, final report).
 
     Only vectors that detect at least one new fault are kept (test
-    compaction), mirroring production scan-vector generation.  Pass a
-    ``faults`` subset (e.g. from :func:`sample_faults`) to run in
-    fault-sampling mode on large designs.
+    compaction), and the coverage target is re-checked after every kept
+    vector, so no budget is burned once the target is met mid-batch.
+    Pass a ``faults`` subset (e.g. from :func:`sample_faults`) to run in
+    fault-sampling mode; both engines keep identical vectors and produce
+    identical reports.
     """
-    faults = faults if faults is not None else enumerate_faults(netlist)
+    faults = list(faults) if faults is not None else enumerate_faults(netlist)
+    packed = _resolve_engine(engine) == "packed"
+    sim = _FaultParallelSim(netlist, faults) if packed else None
     remaining = set(faults)
     kept: list[TestVector] = []
     produced = 0
     batch_seed = seed
-    while remaining and produced < max_vectors:
-        coverage = 1 - len(remaining) / len(faults)
-        if coverage >= target_coverage:
-            break
+
+    def coverage_met() -> bool:
+        return 1 - len(remaining) / len(faults) >= target_coverage
+
+    while remaining and produced < max_vectors and not coverage_met():
         for vector in random_vectors(netlist, batch, seed=batch_seed):
             produced += 1
-            good = _observe(netlist, vector, None)
-            dropped = [
-                f for f in remaining if _observe(netlist, vector, f) != good
-            ]
+            if packed:
+                dropped = sim.detect(vector, remaining)
+            else:
+                good = _observe(netlist, vector, None)
+                dropped = [
+                    f for f in remaining if _observe(netlist, vector, f) != good
+                ]
             if dropped:
                 remaining.difference_update(dropped)
                 kept.append(vector)
+                if coverage_met():
+                    break
             if not remaining or produced >= max_vectors:
                 break
         batch_seed += 1

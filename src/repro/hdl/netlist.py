@@ -153,6 +153,12 @@ class Netlist:
         return self._read_outputs(values)
 
     def _apply_inputs(self, values: list[int], input_values: dict[str, int]) -> None:
+        unknown = [k for k in input_values if k not in self.inputs]
+        if unknown:
+            raise NetlistError(
+                f"netlist {self.name!r} has no input port(s) {sorted(unknown)}; "
+                f"declared inputs: {sorted(self.inputs)}"
+            )
         for name, nets in self.inputs.items():
             word = input_values.get(name, 0)
             for i, nid in enumerate(nets):

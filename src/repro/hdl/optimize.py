@@ -21,7 +21,7 @@ stimulus on every rtlib block).
 from __future__ import annotations
 
 from repro.hdl.gates import DFF, Gate, GateType
-from repro.hdl.netlist import Netlist
+from repro.hdl.netlist import Netlist, NetlistError
 
 #: Folding rules for a gate with one constant input: (gate, const_value) ->
 #: "const0" / "const1" / "pass" (the other input) / "invert" (the other).
@@ -185,3 +185,34 @@ def optimize(netlist: Netlist, max_rounds: int = 8) -> Netlist:
             return folded
         current = folded
     return current
+
+
+def equivalent(
+    a: Netlist, b: Netlist, patterns: int = 256, seed: int = 0
+) -> bool:
+    """Random-stimulus equivalence check between two netlists.
+
+    Compares the scan-test-model responses (primary outputs + flop D
+    inputs, with flop states treated as free pseudo-inputs) of both
+    netlists over ``patterns`` random vectors, all evaluated in one pass
+    on the bit-parallel engine.  This is the check every optimization pass
+    here must survive; it requires matching port/flop interfaces.
+    """
+    from repro.hdl import bitsim
+    from repro.hdl.faults import random_vectors
+
+    if (
+        {k: len(v) for k, v in a.inputs.items()} != {k: len(v) for k, v in b.inputs.items()}
+        or {k: len(v) for k, v in a.outputs.items()} != {k: len(v) for k, v in b.outputs.items()}
+        or len(a.dffs) != len(b.dffs)
+    ):
+        raise NetlistError(
+            f"cannot compare {a.name!r} and {b.name!r}: port/flop interfaces differ"
+        )
+    vectors = random_vectors(a, patterns, seed=seed)
+    inputs = [v.inputs for v in vectors]
+    flops = [v.flops for v in vectors]
+    obs_a = bitsim.compiled(a).observe_packed(inputs, flops)
+    obs_b = bitsim.compiled(b).observe_packed(inputs, flops)
+    mask = bitsim.tail_mask(patterns)
+    return bool(((obs_a ^ obs_b) & mask).max(initial=0) == 0)

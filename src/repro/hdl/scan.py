@@ -8,12 +8,20 @@ signal and feeding the user test pattern in the scanin port."
 SCAN_REGISTER threaded into one chain with ``test``/``scanin``/``scanout``
 ports.  :class:`Stepper` provides stateful clocked simulation, and
 :func:`scan_load` / :func:`scan_dump` shift full register states in and out
-exactly as an ATE would.
+exactly as an ATE would.  :func:`scan_load_many` / :func:`scan_dump_many`
+do the same for a whole rack of virtual testers at once on the
+bit-parallel engine (:class:`repro.hdl.bitsim.PackedStepper`): machine
+``m`` lives in packed bit position ``m`` and shifts its own image.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.hdl.netlist import Netlist, NetlistError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hdl import bitsim
 
 
 class Stepper:
@@ -88,3 +96,51 @@ def scan_dump(stepper: Stepper, **held_inputs: int) -> list[int]:
         out.append(result["scanout"])
     out.reverse()
     return out
+
+
+# ----------------------------------------------------------------------
+# word-parallel scan access (bit-parallel engine)
+# ----------------------------------------------------------------------
+def scan_load_many(
+    stepper: "bitsim.PackedStepper",
+    images: list[list[int]],
+    held_inputs: list[dict] | None = None,
+) -> None:
+    """Shift one full register image per machine into the chain, all
+    machines in parallel (machine ``m`` rides packed bit ``m``)."""
+    nl = stepper.comp.netlist
+    if nl.scan_ports is None:
+        raise NetlistError("no scan chain inserted")
+    if len(images) != stepper.machines:
+        raise NetlistError(f"expected {stepper.machines} images, got {len(images)}")
+    if any(len(image) != len(nl.dffs) for image in images):
+        raise NetlistError(f"images must each hold {len(nl.dffs)} bits")
+    held_inputs = held_inputs or [{} for _ in range(stepper.machines)]
+    for pos in reversed(range(len(nl.dffs))):
+        stepper.step(
+            [
+                dict(held, test=1, scanin=image[pos])
+                for held, image in zip(held_inputs, images)
+            ]
+        )
+
+
+def scan_dump_many(
+    stepper: "bitsim.PackedStepper", held_inputs: list[dict] | None = None
+) -> list[list[int]]:
+    """Shift every machine's register state out of the chain in parallel
+    (destructive: zeros shift in behind).  Returns one image per machine."""
+    nl = stepper.comp.netlist
+    if nl.scan_ports is None:
+        raise NetlistError("no scan chain inserted")
+    held_inputs = held_inputs or [{} for _ in range(stepper.machines)]
+    images: list[list[int]] = [[] for _ in range(stepper.machines)]
+    for _ in range(len(nl.dffs)):
+        results = stepper.step(
+            [dict(held, test=1, scanin=0) for held in held_inputs]
+        )
+        for machine, result in enumerate(results):
+            images[machine].append(result["scanout"])
+    for image in images:
+        image.reverse()
+    return images

@@ -1,0 +1,245 @@
+"""Property tests: the packed engine is bit-identical to the scalar oracle.
+
+Every public entry point of :mod:`repro.hdl.bitsim` is checked against the
+corresponding scalar ``Netlist`` path on randomized netlists — random gate
+graphs with flops (including genuine sequential feedback), optional scan
+chains, and pattern counts deliberately not divisible by 64 so the tail
+lanes are exercised.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import bitsim, rtlib
+from repro.hdl.bitsim import (
+    PackedStepper,
+    compiled,
+    pack_bits,
+    packed_evaluate,
+    simulate_many,
+    tail_mask,
+    unpack_bits,
+)
+from repro.hdl.faults import TestVector, _observe
+from repro.hdl.gates import GateType
+from repro.hdl.netlist import Netlist, NetlistError
+from repro.hdl.scan import (
+    Stepper,
+    insert_scan_chain,
+    scan_dump,
+    scan_dump_many,
+    scan_load,
+    scan_load_many,
+)
+
+TWO_INPUT = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+ONE_INPUT = [GateType.NOT, GateType.BUF]
+CONST = [GateType.CONST0, GateType.CONST1]
+
+
+@st.composite
+def random_netlists(draw):
+    """A random netlist: gates in two phases around two flop batches, so
+    flop outputs feed logic that feeds other flops (sequential feedback)."""
+    nl = Netlist("rand")
+    pool: list[int] = []
+    for i in range(draw(st.integers(1, 3))):
+        pool.extend(nl.add_input(f"in{i}", draw(st.integers(1, 8))))
+
+    def grow(n_gates):
+        for _ in range(n_gates):
+            kind = draw(st.integers(0, 9))
+            if kind < 6:
+                gtype = TWO_INPUT[kind]
+                a = pool[draw(st.integers(0, len(pool) - 1))]
+                b = pool[draw(st.integers(0, len(pool) - 1))]
+                pool.append(nl.add_gate(gtype, a, b))
+            elif kind < 8:
+                gtype = ONE_INPUT[kind - 6]
+                a = pool[draw(st.integers(0, len(pool) - 1))]
+                pool.append(nl.add_gate(gtype, a))
+            else:
+                pool.append(nl.add_gate(CONST[kind - 8]))
+
+    grow(draw(st.integers(1, 12)))
+    for _ in range(draw(st.integers(0, 4))):  # flop batch 1
+        d = pool[draw(st.integers(0, len(pool) - 1))]
+        pool.append(nl.add_dff(d, init=draw(st.integers(0, 1))))
+    grow(draw(st.integers(1, 12)))
+    for _ in range(draw(st.integers(0, 3))):  # flop batch 2: d may see batch-1 q
+        d = pool[draw(st.integers(0, len(pool) - 1))]
+        pool.append(nl.add_dff(d, init=draw(st.integers(0, 1))))
+
+    for i in range(draw(st.integers(1, 2))):
+        width = draw(st.integers(1, 4))
+        nets = [pool[draw(st.integers(0, len(pool) - 1))] for _ in range(width)]
+        nl.add_output(f"out{i}", nets)
+
+    if nl.dffs and draw(st.booleans()):
+        insert_scan_chain(nl)
+    return nl
+
+
+def _random_vectors(nl, count, rng):
+    return [
+        {name: int(rng.integers(0, 1 << len(nets)))
+         for name, nets in nl.inputs.items()}
+        for _ in range(count)
+    ]
+
+
+class TestPacking:
+    @given(st.integers(1, 200), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pack_unpack_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(3, n))
+        assert np.array_equal(unpack_bits(pack_bits(bits), n), bits)
+
+    def test_tail_mask_shapes(self):
+        assert list(tail_mask(64)) == [bitsim.ALL_ONES]
+        assert list(tail_mask(65)) == [bitsim.ALL_ONES, np.uint64(1)]
+        assert list(tail_mask(3)) == [np.uint64(0b111)]
+
+
+class TestCombinationalParity:
+    # pattern counts straddle the 64-bit lane boundary on purpose
+    @given(random_netlists(), st.integers(1, 130), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_packed_evaluate_matches_scalar(self, nl, patterns, seed):
+        rng = np.random.default_rng(seed)
+        vectors = _random_vectors(nl, patterns, rng)
+        assert packed_evaluate(nl, vectors) == [nl.evaluate(v) for v in vectors]
+
+    @given(random_netlists(), st.integers(1, 70), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_observe_packed_matches_scalar_observe(self, nl, patterns, seed):
+        rng = np.random.default_rng(seed)
+        vectors = [
+            TestVector(
+                _random_vectors(nl, 1, rng)[0],
+                [int(rng.integers(0, 2)) for _ in nl.dffs],
+            )
+            for _ in range(patterns)
+        ]
+        comp = compiled(nl)
+        packed = comp.observe_packed(
+            [v.inputs for v in vectors], [v.flops for v in vectors]
+        )
+        got = unpack_bits(packed, patterns)  # (n_observables, patterns)
+        for p, vec in enumerate(vectors):
+            scalar = _observe(nl, vec, None)
+            flat = [b for part in scalar for b in part]
+            assert list(map(int, got[:, p])) == flat
+
+
+class TestSequentialParity:
+    @given(
+        random_netlists(),
+        st.integers(1, 70),
+        st.integers(1, 6),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_simulate_many_matches_scalar_simulate(self, nl, machines, cycles, seed):
+        # random stimulus includes test/scanin when a chain was inserted,
+        # so packed scan shifting and hold blending are exercised too
+        rng = np.random.default_rng(seed)
+        runs = [_random_vectors(nl, cycles, rng) for _ in range(machines)]
+        assert simulate_many(nl, runs) == [nl.simulate(run) for run in runs]
+
+    def test_stepper_flop_peek_matches_scalar(self):
+        nl = rtlib.build_counter(6)
+        insert_scan_chain(nl)
+        packed = PackedStepper(nl, 3)
+        serial = [Stepper(nl) for _ in range(3)]
+        stim = [dict(en=m % 2, test=0, scanin=0) for m in range(3)]
+        for _ in range(5):
+            got = packed.step(stim)
+            want = [s.step(**v) for s, v in zip(serial, stim)]
+            assert got == want
+        assert packed.peek_flops() == [s.peek_flops() for s in serial]
+
+
+class TestScanParity:
+    def test_scan_load_dump_many_matches_serial(self):
+        nl = rtlib.build_counter(8)
+        insert_scan_chain(nl)
+        rng = np.random.default_rng(4)
+        images = [[int(b) for b in rng.integers(0, 2, 8)] for _ in range(5)]
+        held = [{"en": 0} for _ in images]
+
+        packed = PackedStepper(nl, len(images))
+        scan_load_many(packed, images, held_inputs=held)
+        packed_out = scan_dump_many(packed, held_inputs=held)
+
+        serial_out = []
+        for image in images:
+            stepper = Stepper(nl)
+            scan_load(stepper, image, en=0)
+            serial_out.append(scan_dump(stepper, en=0))
+
+        assert packed_out == serial_out == images
+
+
+class TestInputValidation:
+    def test_scalar_evaluate_rejects_unknown_port(self):
+        nl = rtlib.build_adder(4)
+        with pytest.raises(NetlistError, match="no input port"):
+            nl.evaluate({"a": 1, "bb": 2})
+
+    def test_scalar_simulate_rejects_unknown_port(self):
+        nl = rtlib.build_counter(4)
+        with pytest.raises(NetlistError, match="no input port"):
+            nl.simulate([{"en": 1}, {"enable": 1}])
+
+    def test_packed_evaluate_rejects_unknown_port(self):
+        nl = rtlib.build_adder(4)
+        with pytest.raises(NetlistError, match="no input port"):
+            packed_evaluate(nl, [{"a": 1}, {"typo": 2}])
+
+    def test_broadcast_load_rejects_unknown_port(self):
+        nl = rtlib.build_adder(4)
+        comp = compiled(nl)
+        values = comp.blank(1)
+        with pytest.raises(NetlistError, match="no input port"):
+            comp.load_inputs_broadcast(values, {"nope": 1})
+
+    def test_known_ports_may_be_omitted(self):
+        # omitted ports default to 0, same as the scalar engine always did
+        nl = rtlib.build_adder(4)
+        assert nl.evaluate({"a": 3}) == nl.evaluate({"a": 3, "b": 0})
+        assert packed_evaluate(nl, [{"a": 3}]) == [nl.evaluate({"a": 3})]
+
+
+class TestCompileCache:
+    def test_cache_hit_until_netlist_edited(self):
+        nl = rtlib.build_adder(4)
+        first = compiled(nl)
+        assert compiled(nl) is first
+        nl.add_output("carry_probe", [nl.outputs["sum"][3]])
+        assert compiled(nl) is not first
+
+    def test_scan_insertion_invalidates_cache(self):
+        nl = rtlib.build_counter(4)
+        before = compiled(nl)
+        insert_scan_chain(nl)
+        after = compiled(nl)
+        assert after is not before
+        assert after.chain_dff_pos.size == len(nl.dffs)
+
+    def test_wide_port_rejected(self):
+        nl = Netlist("wide")
+        nets = nl.add_input("a", 65)
+        nl.add_output("y", [nets[0]])
+        with pytest.raises(NetlistError, match="at most 64"):
+            compiled(nl)

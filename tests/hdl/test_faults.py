@@ -128,3 +128,93 @@ class TestATPG:
         )
         # with such a tiny budget we stop early but report honestly
         assert report.coverage <= 1.0
+
+    def test_stops_at_first_vector_crossing_target(self):
+        # target coverage is re-checked after every kept vector, not just at
+        # batch boundaries: dropping the final kept vector must fall below
+        # the target, so no vector past the crossing point was kept.
+        nl = rtlib.build_adder(8)
+        for engine in ("serial", "packed"):
+            vectors, report = generate_tests(
+                nl, target_coverage=0.90, batch=32, seed=3, engine=engine
+            )
+            assert report.coverage >= 0.90
+            partial = fault_simulate(nl, vectors[:-1], engine=engine)
+            assert partial.coverage < 0.90
+
+
+# every rtlib block, at a width where the serial oracle stays fast
+ORACLE_BLOCKS = [
+    ("adder8", lambda: rtlib.build_adder(8)),
+    ("comparator8", lambda: rtlib.build_comparator(8)),
+    ("crossover8", lambda: rtlib.build_crossover_unit(8, cut_bits=3)),
+    ("mutation8", lambda: rtlib.build_mutation_unit(8, point_bits=3)),
+    ("ca_rng8", lambda: rtlib.build_ca_rng(8, rule_vector=0x6C)),
+    ("param_reg8", lambda: rtlib.build_parameter_register(8)),
+    ("counter8", lambda: rtlib.build_counter(8)),
+]
+
+
+class TestEngineParity:
+    """PPSFP / fault-parallel packed engines vs the serial oracle."""
+
+    def _reports_equal(self, a, b):
+        return (
+            (a.total_faults, a.detected, a.vectors_used) ==
+            (b.total_faults, b.detected, b.vectors_used)
+            and sorted(map(str, a.undetected)) == sorted(map(str, b.undetected))
+        )
+
+    def test_fault_simulate_parity_on_every_block(self):
+        for name, build in ORACLE_BLOCKS:
+            nl = build()
+            # 70 vectors straddles the 64-pattern PPSFP batch boundary
+            vectors = random_vectors(nl, 70, seed=2)
+            serial = fault_simulate(nl, vectors, engine="serial")
+            packed = fault_simulate(nl, vectors, engine="packed")
+            assert self._reports_equal(serial, packed), (
+                f"{name}: packed report diverges from the serial oracle"
+            )
+
+    def test_generate_tests_parity_on_every_block(self):
+        for name, build in ORACLE_BLOCKS:
+            nl = build()
+            kept_s, rep_s = generate_tests(
+                nl, target_coverage=0.9, max_vectors=48, seed=9, engine="serial"
+            )
+            kept_p, rep_p = generate_tests(
+                nl, target_coverage=0.9, max_vectors=48, seed=9, engine="packed"
+            )
+            assert kept_s == kept_p, f"{name}: engines kept different vectors"
+            assert self._reports_equal(rep_s, rep_p), name
+
+    def test_detects_parity(self):
+        nl = rtlib.build_mutation_unit(8, point_bits=3)
+        vectors = random_vectors(nl, 4, seed=5)
+        for fault in enumerate_faults(nl):
+            for vector in vectors:
+                assert detects(nl, vector, fault, engine="packed") == detects(
+                    nl, vector, fault, engine="serial"
+                )
+
+    def test_parity_with_fault_subset_and_empty_sets(self):
+        from repro.hdl.faults import sample_faults
+
+        nl = rtlib.build_adder(8)
+        vectors = random_vectors(nl, 10, seed=1)
+        sample = sample_faults(nl, 25, seed=4)
+        serial = fault_simulate(nl, vectors, faults=sample, engine="serial")
+        packed = fault_simulate(nl, vectors, faults=sample, engine="packed")
+        assert self._reports_equal(serial, packed)
+        # degenerate corners must agree too
+        for faults, vecs in ([], vectors), (sample, []):
+            serial = fault_simulate(nl, vecs, faults=faults, engine="serial")
+            packed = fault_simulate(nl, vecs, faults=faults, engine="packed")
+            assert self._reports_equal(serial, packed)
+
+    def test_unknown_engine_rejected(self):
+        import pytest
+
+        nl = xor_cell()
+        with pytest.raises(ValueError, match="unknown fault-simulation engine"):
+            fault_simulate(nl, [], engine="gpu")

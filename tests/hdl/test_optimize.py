@@ -6,8 +6,8 @@ from hypothesis import strategies as st
 
 from repro.hdl import rtlib
 from repro.hdl.gates import GateType
-from repro.hdl.netlist import Netlist
-from repro.hdl.optimize import optimize, strip_dead
+from repro.hdl.netlist import Netlist, NetlistError
+from repro.hdl.optimize import equivalent, optimize, strip_dead
 
 
 class TestConstantFolding:
@@ -128,6 +128,33 @@ class TestEquivalencePreservation:
         once = optimize(rtlib.build_crossover_unit(16))
         twice = optimize(once)
         assert once.stats() == twice.stats()
+
+    def test_every_rtlib_block_equivalent_after_optimize(self):
+        # the packed-engine equivalence check sweeps 256 random scan-model
+        # patterns per block in one pass — the miter the optimizer must pass
+        builders = [
+            rtlib.build_adder,
+            rtlib.build_comparator,
+            rtlib.build_crossover_unit,
+            rtlib.build_mutation_unit,
+            rtlib.build_ca_rng,
+            rtlib.build_parameter_register,
+        ]
+        for build in builders:
+            raw = build()
+            assert equivalent(raw, optimize(raw), patterns=256, seed=1), raw.name
+
+    def test_equivalent_flags_functional_difference(self):
+        good = rtlib.build_adder(8)
+        broken = rtlib.build_adder(8)
+        # swap the top sum bit for its complement
+        top = broken.outputs["sum"][-1]
+        broken.outputs["sum"][-1] = broken.add_gate(GateType.NOT, top)
+        assert not equivalent(good, broken, patterns=64, seed=2)
+
+    def test_equivalent_requires_matching_interfaces(self):
+        with pytest.raises(NetlistError, match="interfaces differ"):
+            equivalent(rtlib.build_adder(8), rtlib.build_adder(16))
 
 
 class TestSmartGA:
