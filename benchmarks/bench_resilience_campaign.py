@@ -1,0 +1,54 @@
+"""SEU campaign throughput and the protection stack's headline numbers.
+
+Runs the MEDIUM-preset fault-injection campaign (unprotected vs fully
+hardened, fault-free and 2e-4 upset rates, batched replicas) and prints the
+campaign report table — the measured counterpart of the resilience section
+in EXPERIMENTS.md.  Asserts the campaign is deterministic and that the
+hardened config beats unprotected where it claims to.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core.params import PRESET_MODES, PresetMode
+from repro.fitness import MBF6_2
+from repro.resilience import ResilienceCampaign, report_rows
+
+N_REPLICAS = 6
+RATE = 2e-4
+
+
+def make_campaign():
+    return ResilienceCampaign(
+        params=PRESET_MODES[PresetMode.MEDIUM],
+        fitness=MBF6_2(),
+        rates=(0.0, RATE),
+        configs=("unprotected", "hardened"),
+        n_replicas=N_REPLICAS,
+        seed=2026,
+    )
+
+
+@pytest.mark.benchmark(group="resilience-campaign")
+def test_campaign_medium_preset(benchmark):
+    MBF6_2().table()  # warm the fitness table cache
+    report = benchmark.pedantic(
+        lambda: make_campaign().run(), rounds=1, iterations=1
+    )
+
+    print_table(
+        f"MEDIUM-preset SEU campaign ({N_REPLICAS} replicas, "
+        f"baseline best {report['baseline_best']})",
+        report_rows(report),
+    )
+
+    assert report == make_campaign().run()  # same seed, same report
+
+    by = {(c["config"], c["rate"]): c for c in report["cells"]}
+    assert by[("unprotected", 0.0)]["recovery_rate"] == 1.0
+    assert by[("hardened", 0.0)]["recovery_rate"] == 1.0
+    hardened = by[("hardened", RATE)]
+    unprotected = by[("unprotected", RATE)]
+    assert hardened["recovery_rate"] > unprotected["recovery_rate"]
+    assert hardened["degradation_pct"] < unprotected["degradation_pct"]
+    assert hardened["corrected"] > 0

@@ -21,8 +21,12 @@ function on a second chip would.
 
 from __future__ import annotations
 
+import os
+
 from repro import GAParameters, GASystem
 from repro.fitness.mux import ExternalFEMPort
+
+FAST = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
 
 #: Target per-stage gains (arbitrary units) the healed circuit must hit.
 TARGET_RESPONSE = [9.0, 13.0, 6.0, 11.0]
@@ -70,7 +74,7 @@ def heal(temperature_c: float, seed: int) -> tuple[int, int]:
     """Evolve a compensating configuration at the given temperature."""
     circuit = DriftingAmplifier(temperature_c)
     params = GAParameters(
-        n_generations=48,
+        n_generations=12 if FAST else 48,
         population_size=32,
         crossover_threshold=12,
         mutation_threshold=2,

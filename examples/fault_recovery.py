@@ -1,62 +1,120 @@
 #!/usr/bin/env python3
-"""Evolutionary fault recovery on a virtual reconfigurable fabric.
+"""Fault recovery scenarios: plant damage, engine SEUs, dead FEM failover.
 
-The space-applications scenario of Sec. II-D / Stoica et al. [27]:
-radiation breaks a resource inside the evolved circuit; the on-board GA
-core re-evolves the configuration *around* the damage.
+The space-applications scenario of Sec. II-D / Stoica et al. [27], now run
+through the resilience layer (``repro.resilience``).  Radiation threatens
+an on-board evolvable system in three distinct places, and each one is an
+injection scenario here:
 
-1. evolve a 4-input majority voter on the healthy fabric;
-2. inject a stuck-at fault into one logic cell — the deployed
-   configuration degrades immediately;
-3. rerun the same GA core against the damaged fabric (a different seed —
-   the programmable-seed feature — to escape the now-poisoned basin);
-4. the recovered configuration routes around the dead cell.
+1. **The evolved circuit (the plant).**  A stuck-at fault breaks a cell of
+   the virtual reconfigurable fabric; the GA core re-evolves the
+   configuration *around* the damage (the classic Stoica healing loop).
+2. **The GA engine itself.**  Single-event upsets flip bits in the GA
+   memory, the CA-PRNG state, and the best register mid-search.  The same
+   workload runs unprotected and fully hardened (SECDED-scrubbed memory,
+   elite guard, checkpointed rollback) under identical upset streams.
+3. **The fitness path.**  The active FEM dies mid-run on the
+   cycle-accurate system; the handshake watchdog times out, retries, and
+   fails over to a spare FEM slot through the 8-way mux.
+
+Set ``REPRO_EXAMPLES_FAST=1`` to run a reduced (smoke-test) workload.
 """
 
-from repro import BehavioralGA, GAParameters
+import os
+
+from repro import BehavioralGA, GAParameters, GASystem
 from repro.ehw import FabricFitness, VirtualFabric
+from repro.resilience import (
+    HARDENED,
+    UNPROTECTED,
+    CycleResilienceOptions,
+    CycleSEUEvent,
+    CycleSEUInjector,
+    ResilienceHarness,
+    UpsetRates,
+)
+
+FAST = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
 
 
 def rows(fitness_value: int) -> str:
     return f"{fitness_value // 4095}/16 truth-table rows"
 
 
-def main() -> None:
+def scenario_plant_damage(params: GAParameters) -> None:
+    print("== scenario 1: stuck-at fault in the evolved circuit ==")
     fabric = VirtualFabric()
     fitness = FabricFitness("majority", fabric)
-    params = GAParameters(
-        n_generations=128,
-        population_size=64,
-        crossover_threshold=10,
-        mutation_threshold=4,
-        rng_seed=45890,
-    )
 
-    print("== phase 1: evolve the majority voter on healthy hardware ==")
     healthy = BehavioralGA(params, fitness).run()
     print(f"evolved config {healthy.best_individual:04X}: "
           f"{rows(healthy.best_fitness)} "
           f"(fabric optimum is 14/16 for this cell library)")
 
-    print("\n== phase 2: radiation strike — cell 0 output stuck high ==")
-    fabric.inject_fault(0, 1)
+    fabric.inject_fault(0, 1)  # radiation strike: cell 0 output stuck high
     fitness.invalidate()
     degraded = fitness(healthy.best_individual)
-    print(f"deployed config now scores {rows(degraded)}")
+    print(f"after the strike the deployed config scores {rows(degraded)}")
 
-    print("\n== phase 3: re-evolve in place (new RNG seed) ==")
-    recovered = BehavioralGA(
-        params.with_(rng_seed=10593), fitness
-    ).run()
-    print(f"recovered config {recovered.best_individual:04X}: "
-          f"{rows(recovered.best_fitness)} "
-          f"(13/16 is the damaged fabric's optimum)")
+    recovered = BehavioralGA(params.with_(rng_seed=10593), fitness).run()
+    print(f"re-evolved config {recovered.best_individual:04X}: "
+          f"{rows(recovered.best_fitness)} — routed around the dead cell "
+          f"(13/16 is the damaged fabric's optimum)\n")
 
-    regained = recovered.best_fitness - degraded
-    print(f"\nrecovery regained {regained // 4095} rows; the GA found a "
-          "configuration that avoids the dead cell,")
-    print("exactly the adaptive-healing role the IP core plays in the "
-          "self-reconfigurable analog array [34,35].")
+
+def scenario_engine_seu(params: GAParameters) -> None:
+    print("== scenario 2: SEUs inside the GA engine ==")
+    fitness = FabricFitness("majority", VirtualFabric())
+    rate = 5e-4
+    baseline = BehavioralGA(params, fitness).run()
+    for config in (UNPROTECTED, HARDENED):
+        harness = ResilienceHarness(config, UpsetRates.uniform(rate), seed=42)
+        result = BehavioralGA(params, fitness, resilience=harness).run()
+        outcome = harness.outcomes([result])[0]
+        status = (
+            f"hung at generation {outcome['hang_gen']}"
+            if not outcome["completed"]
+            else "completed"
+        )
+        print(f"{config.name:>11}: {status}, best {outcome['final_best']} "
+              f"(fault-free {baseline.best_fitness}); corrected "
+              f"{outcome['corrected']}, rollbacks {outcome['rollbacks']}, "
+              f"elite repairs {outcome['elite_repairs']}")
+    print()
+
+
+def scenario_fem_failover(params: GAParameters) -> None:
+    print("== scenario 3: FEM dies mid-run, watchdog fails over ==")
+    fitness = FabricFitness("majority", VirtualFabric())
+    cycle_params = params.with_(n_generations=4, population_size=16)
+    strike = [CycleSEUEvent(tick=1_000, domain="fem_dead", addr=0)]
+    system = GASystem(
+        cycle_params,
+        {0: fitness, 1: fitness},  # slot 1 is the cold spare
+        resilience=CycleResilienceOptions(
+            injector=CycleSEUInjector(strike),
+            watchdog=True,
+            watchdog_timeout=32,
+        ),
+    )
+    result = system.run()
+    print(f"run completed with best {result.best_fitness}; watchdog "
+          f"timeouts {system.watchdog.timeouts}, failovers "
+          f"{system.watchdog.failovers}, now serving from slot "
+          f"{system.ports.fitfunc_select.value}")
+
+
+def main() -> None:
+    params = GAParameters(
+        n_generations=16 if FAST else 128,
+        population_size=64,
+        crossover_threshold=10,
+        mutation_threshold=4,
+        rng_seed=45890,
+    )
+    scenario_plant_damage(params)
+    scenario_engine_seu(params)
+    scenario_fem_failover(params)
 
 
 if __name__ == "__main__":

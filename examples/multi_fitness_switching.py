@@ -14,16 +14,20 @@ Demonstrates the two headline flexibility features:
    experimentation.
 """
 
+import os
+
 from repro import GAParameters, GASystem, PresetMode
 from repro.core.params import PRESET_MODES
 from repro.fitness import BF6, F2, F3, MBF6_2, MShubert2D
+
+FAST = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
 
 
 def main() -> None:
     # --- one system, many fitness functions -------------------------------
     functions = {0: BF6(), 1: F2(), 2: F3(), 3: MBF6_2(), 4: MShubert2D()}
     params = GAParameters(
-        n_generations=32,
+        n_generations=8 if FAST else 32,
         population_size=32,
         crossover_threshold=10,
         mutation_threshold=1,
@@ -62,10 +66,11 @@ def main() -> None:
     system = GASystem(None, MBF6_2(), preset=PresetMode.SMALL)
     # Trim the 512-generation preset run for the demo by observing the
     # per-generation best on the candidate bus and stopping early.
+    observe = 5 if FAST else 20
     system.start()
-    system.sim.run_until(lambda: len(system.core.history) >= 20, 50_000_000)
+    system.sim.run_until(lambda: len(system.core.history) >= observe, 50_000_000)
     best_so_far = system.core.best_fit
-    print(f"  after 20 of 512 generations: best fitness so far {best_so_far}")
+    print(f"  after {observe} of 512 generations: best fitness so far {best_so_far}")
     print("  (the best candidate of every generation is always output ")
     print("   to the application for emergency use, Sec. III-C.3c)")
 

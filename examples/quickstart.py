@@ -12,15 +12,19 @@ Then re-runs the same configuration on the vectorised behavioural twin and
 shows the two models agree bit for bit.
 """
 
+import os
+
 from repro import BehavioralGA, GAParameters, GASystem
 from repro.analysis.convergence import convergence_generation, first_hit_generation
 from repro.analysis.plots import render_convergence
 from repro.fitness import MBF6_2
 
+FAST = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
+
 
 def main() -> None:
     params = GAParameters(
-        n_generations=64,
+        n_generations=16 if FAST else 64,
         population_size=64,
         crossover_threshold=10,  # crossover rate 10/16 = 0.625
         mutation_threshold=1,  # mutation rate 1/16 = 0.0625

@@ -21,6 +21,8 @@ flattened core — no sampling.  The bit-parallel PPSFP engine
 than the old 400-fault sampled estimate was on the serial simulator.
 """
 
+import os
+
 import numpy as np
 
 from repro.analysis.power import estimate_power
@@ -29,6 +31,8 @@ from repro.hdl.export import lint, read_netlist, write_netlist
 from repro.hdl.faults import enumerate_faults, fault_simulate, generate_tests
 from repro.hdl.flatten import flatten_ga_datapath
 from repro.hdl.scan import Stepper, insert_scan_chain, scan_dump, scan_load
+
+FAST = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
 
 
 def vendor_side() -> tuple[str, list, float]:
@@ -42,8 +46,9 @@ def vendor_side() -> tuple[str, list, float]:
 
     # Full-universe ATPG: every enumerable stuck-at fault is targeted.
     universe = len(enumerate_faults(core))
-    vectors, coverage = generate_tests(core, target_coverage=0.70,
-                                       max_vectors=64, seed=5)
+    vectors, coverage = generate_tests(core,
+                                       target_coverage=0.30 if FAST else 0.70,
+                                       max_vectors=8 if FAST else 64, seed=5)
     print(f"scan test set: {coverage.vectors_used} vectors, "
           f"{100 * coverage.coverage:.1f}% stuck-at coverage "
           f"over the full {universe}-fault universe (unsampled)")

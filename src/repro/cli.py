@@ -143,6 +143,48 @@ def cmd_run(args) -> None:
     )
 
 
+def cmd_campaign(args) -> None:
+    import json
+
+    from repro import GAParameters, fitness_by_name
+    from repro.resilience import ResilienceCampaign, report_rows
+
+    params = GAParameters(
+        n_generations=args.gens,
+        population_size=args.pop,
+        crossover_threshold=args.xover,
+        mutation_threshold=args.mut,
+        rng_seed=int(args.seed, 0),
+    )
+    fn = fitness_by_name(args.fitness)
+    rates = [float(r) for r in args.rates.split(",")]
+    configs = [c.strip() for c in args.configs.split(",")]
+    campaign = ResilienceCampaign(
+        params=params,
+        fitness=fn,
+        rates=rates,
+        configs=configs,
+        n_replicas=args.replicas,
+        seed=args.campaign_seed,
+    )
+    cells = len(rates) * len(configs)
+    print(
+        f"running {cells} campaign cell(s) x {args.replicas} replicas "
+        f"({fn.name}, pop {args.pop}, {args.gens} gens)",
+        file=sys.stderr,
+    )
+    report = campaign.run()
+    _print_table(
+        f"SEU campaign (baseline best {report['baseline_best']}, "
+        f"seed {report['seed']})",
+        report_rows(report),
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.json}", file=sys.stderr)
+
+
 def cmd_list(_args) -> None:
     for name in sorted(COMMANDS):
         print(name)
@@ -160,6 +202,7 @@ COMMANDS = {
     "figs13-16": cmd_figs13_16,
     "speedup": cmd_speedup,
     "run": cmd_run,
+    "campaign": cmd_campaign,
     "list": cmd_list,
 }
 
@@ -179,6 +222,27 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--mut", type=int, default=1)
             p.add_argument("--seed", default="0x061F")
             p.add_argument("--cycle-accurate", action="store_true")
+        elif name == "campaign":
+            p.add_argument("--fitness", default="mBF6_2")
+            p.add_argument("--pop", type=int, default=32)
+            p.add_argument("--gens", type=int, default=64)
+            p.add_argument("--xover", type=int, default=10)
+            p.add_argument("--mut", type=int, default=1)
+            p.add_argument("--seed", default="0x2961")
+            p.add_argument(
+                "--rates",
+                default="0,1e-4,5e-4",
+                help="comma-separated per-bit per-generation upset rates",
+            )
+            p.add_argument(
+                "--configs",
+                default="unprotected,hardened",
+                help="comma-separated protection presets "
+                "(unprotected, secded, watchdog, guard, checkpoint, hardened)",
+            )
+            p.add_argument("--replicas", type=int, default=4)
+            p.add_argument("--campaign-seed", type=int, default=2026)
+            p.add_argument("--json", default="", help="also dump the report as JSON")
     return parser
 
 

@@ -146,6 +146,14 @@ class BatchBehavioralGA:
         Optional per-replica CA states to resume the streams from (the
         island model carries streams across migration epochs); defaults to
         each replica's ``params.rng_seed``.
+    resilience:
+        Optional :class:`~repro.resilience.harden.ResilienceHarness` with
+        ``n_replicas`` matching the batch width.  Its ``batch_boundary``
+        hook runs after every generation is recorded, injecting that
+        boundary's upsets per replica and applying the armed protections;
+        replica ``r`` behaves bit-identically to a serial
+        :class:`BehavioralGA` run carrying the same harness at
+        ``replica_offset=r``.
     """
 
     def __init__(
@@ -154,6 +162,7 @@ class BatchBehavioralGA:
         fitness: FitnessFunction | Sequence[FitnessFunction],
         record_members: bool = False,
         rng_states: Sequence[int] | None = None,
+        resilience=None,
     ):
         self.params_list = list(params_list)
         n = len(self.params_list)
@@ -173,6 +182,7 @@ class BatchBehavioralGA:
         self.n_generations = first.n_generations
         self.pop = first.population_size
         self.record_members = record_members
+        self.resilience = resilience
 
         if isinstance(fitness, FitnessFunction):
             self.fitnesses: list[FitnessFunction] = [fitness] * n
@@ -313,6 +323,10 @@ class BatchBehavioralGA:
         best_fit = fits[rows, best_idx]
         best_ind = inds[rows, best_idx]
         self._record(0, fits, best_fit, best_ind, fits.sum(axis=1))
+        if self.resilience is not None:
+            inds, fits, best_ind, best_fit, cur = self.resilience.batch_boundary(
+                self, 0, inds, fits, best_ind, best_fit, cur
+            )
 
         n_pairs = (pop - 1) // 2
         has_tail = (pop - 1) % 2 == 1
@@ -356,8 +370,12 @@ class BatchBehavioralGA:
             inds = new_inds
             # selection only reads the previous generation's fitness, so the
             # whole offspring generation is evaluated in one table gather
-            # (the elite in column 0 re-evaluates to its stored fitness)
             fits = self._eval(inds)
+            # column 0 stores the best *register* value, as the serial
+            # engine's elitism copy does; identical to the table gather on
+            # a healthy run, but a corrupted register must propagate the
+            # register value, not a fresh re-evaluation
+            fits[:, 0] = best_fit
             # the serial engine's running strict-improvement update equals
             # the first occurrence of the row max (the elite in column 0
             # carries the previous best, so ties keep the old champion)
@@ -369,6 +387,12 @@ class BatchBehavioralGA:
             self._record(
                 gen, fits, gen_best, inds[rows, best_idx], fits.sum(axis=1)
             )
+            if self.resilience is not None:
+                inds, fits, best_ind, best_fit, cur = (
+                    self.resilience.batch_boundary(
+                        self, gen, inds, fits, best_ind, best_fit, cur
+                    )
+                )
 
         # each generation evaluates pop - 1 new offspring (the elite is
         # copied with its stored fitness), exactly as the serial engine

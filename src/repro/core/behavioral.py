@@ -42,6 +42,12 @@ class BehavioralGA:
     record_members:
         Keep every member's fitness per generation (Figs. 8-12 scatter
         data).  Disable for large sweeps to save memory.
+    resilience:
+        Optional :class:`~repro.resilience.harden.ResilienceHarness`
+        (``n_replicas=1``).  Its ``serial_boundary`` hook runs after every
+        generation is recorded, injecting that boundary's upsets and
+        applying the armed protections; with zero upset rates the hook is
+        a no-op and the run stays bit-identical to an unhardened one.
     """
 
     def __init__(
@@ -50,11 +56,13 @@ class BehavioralGA:
         fitness: FitnessFunction,
         rng: RandomSource | None = None,
         record_members: bool = True,
+        resilience=None,
     ):
         self.params = params
         self.fitness = fitness
         self.rng = rng if rng is not None else CellularAutomatonPRNG(params.rng_seed)
         self.record_members = record_members
+        self.resilience = resilience
         self.table = fitness.table()
         self.history: list[GenerationStats] = []
         self.evaluations = 0
@@ -129,6 +137,10 @@ class BehavioralGA:
         best_idx = int(fits.argmax())
         best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])
         self._record(0, inds, fits)
+        if self.resilience is not None:
+            inds, fits, best_ind, best_fit = self.resilience.serial_boundary(
+                self, 0, inds, fits, best_ind, best_fit
+            )
 
         for gen in range(1, self.params.n_generations + 1):
             cum = np.cumsum(fits)
@@ -158,6 +170,10 @@ class BehavioralGA:
                         best_ind, best_fit = off2, f2
             inds, fits = new_inds, new_fits
             self._record(gen, inds, fits)
+            if self.resilience is not None:
+                inds, fits, best_ind, best_fit = self.resilience.serial_boundary(
+                    self, gen, inds, fits, best_ind, best_fit
+                )
 
         self.final_population = inds.copy()
         return GAResult(

@@ -155,7 +155,12 @@ class GACore(Component):
         if state not in self._WRITE_STATES:
             self.drive(p.mem_wr, 0)
 
-        handler = getattr(self, f"_state_{state}")
+        handler = getattr(self, f"_state_{state}", None)
+        if handler is None:
+            # A corrupted FSM state vector (SEU on the one-hot register)
+            # decodes to no active state: the core freezes until reset —
+            # run_until's timeout is the system-level symptom.
+            return
         handler()
 
     # -- idle / parameter initialization --------------------------------

@@ -30,10 +30,17 @@ def unpack_word(word: int) -> tuple[int, int]:
 
 
 def bank_address(bank: int, offset: int) -> int:
-    """Physical address of population slot ``offset`` in bank 0/1."""
+    """Physical address of population slot ``offset`` in bank 0/1.
+
+    ``bank`` must be exactly 0 or 1: the old ``bank & 1`` masking silently
+    aliased a corrupted bank-select value onto a valid bank, hiding e.g. an
+    SEU in the core's ``cur_bank`` register behind plausible-looking data.
+    """
+    if bank not in (0, 1):
+        raise ValueError(f"bank must be 0 or 1, got {bank}")
     if not 0 <= offset < BANK_SIZE:
         raise ValueError(f"population offset {offset} exceeds bank size {BANK_SIZE}")
-    return (bank & 1) * BANK_SIZE + offset
+    return bank * BANK_SIZE + offset
 
 
 class GAMemory(SinglePortRAM):
@@ -51,5 +58,5 @@ class GAMemory(SinglePortRAM):
 
     def population(self, bank: int, size: int) -> list[tuple[int, int]]:
         """Debug/verification view: (candidate, fitness) pairs of a bank."""
-        base = (bank & 1) * BANK_SIZE
+        base = bank_address(bank, 0)
         return [unpack_word(self.data[base + i]) for i in range(size)]

@@ -16,6 +16,24 @@ from dataclasses import dataclass, replace
 from repro.rng.cellular_automaton import PRESET_SEEDS
 
 
+class UnprogrammedParameterError(ValueError):
+    """A required Table III parameter was never loaded over the handshake.
+
+    Raised by :meth:`GAParameters.from_index_values` so a forgotten
+    initialization word surfaces by *name* instead of as a baffling
+    range-check failure on the zero default (e.g. "population_size out of
+    range: 0").
+    """
+
+    def __init__(self, missing: list["ParameterIndex"]):
+        self.missing = list(missing)
+        names = ", ".join(f"{m.name} (index {int(m)})" for m in self.missing)
+        super().__init__(
+            f"Table III parameter(s) never programmed: {names}; load them "
+            "over the index/value handshake or select a preset mode"
+        )
+
+
 class ParameterIndex(enum.IntEnum):
     """Table III: index values of the GA core's programmable parameters."""
 
@@ -95,10 +113,32 @@ class GAParameters:
         cls, words: dict[int, int], default_seed: int | None = None
     ) -> "GAParameters":
         """Reassemble parameters from handshake words (inverse of
-        :meth:`to_index_values`)."""
+        :meth:`to_index_values`).
+
+        Raises :class:`UnprogrammedParameterError` when a required Table
+        III word is absent — population size and both rate thresholds must
+        be programmed, as must at least one half of the generation count
+        (a single half is fine: the other half defaults to zero bits).
+        """
         seed = words.get(ParameterIndex.RNG_SEED, default_seed)
         if seed is None:
             raise ValueError("RNG seed neither programmed nor defaulted")
+        missing = [
+            index
+            for index in (
+                ParameterIndex.POPULATION_SIZE,
+                ParameterIndex.CROSSOVER_RATE,
+                ParameterIndex.MUTATION_RATE,
+            )
+            if index not in words
+        ]
+        if (
+            ParameterIndex.NUM_GENERATIONS_LO not in words
+            and ParameterIndex.NUM_GENERATIONS_HI not in words
+        ):
+            missing.insert(0, ParameterIndex.NUM_GENERATIONS_LO)
+        if missing:
+            raise UnprogrammedParameterError(missing)
         return cls(
             n_generations=(
                 words.get(ParameterIndex.NUM_GENERATIONS_LO, 0)

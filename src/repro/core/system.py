@@ -91,6 +91,12 @@ class GASystem:
         Optional callable ``(name, iface, fn) -> Component`` constructing
         each internal FEM; defaults to :class:`LookupFEM`.  Used e.g. by
         the EHW system-class models to install latency-accurate FEMs.
+    resilience:
+        Optional :class:`~repro.resilience.harden.CycleResilienceOptions`
+        arming the soft-error stack: SECDED-encoded GA memory, a
+        background scrubber, a FEM handshake watchdog with mux failover,
+        and/or a scheduled :class:`~repro.resilience.seu.CycleSEUInjector`
+        mutating committed state between clock edges.
     """
 
     def __init__(
@@ -103,6 +109,7 @@ class GASystem:
         dual_clock: bool = False,
         external: dict[int, ExternalFEMPort] | None = None,
         fem_factory=None,
+        resilience=None,
     ):
         if preset == PresetMode.USER and params is None:
             raise ValueError("user mode requires explicit GAParameters")
@@ -111,6 +118,7 @@ class GASystem:
         self.fns = fitness if isinstance(fitness, dict) else {0: fitness}
         self.select = select
         self.external = external or {}
+        self.resilience = resilience
 
         self.ports = GAPorts.create()
         if rng_source is None:
@@ -118,7 +126,13 @@ class GASystem:
             rng_source = CellularAutomatonPRNG(seed)
         self.rng_module = RNGModule(self.ports, rng_source)
         self.core = GACore(self.ports, rng_module=self.rng_module)
-        self.memory = GAMemory(self.ports)
+        if resilience is not None and resilience.secded:
+            # deferred import: repro.resilience.harden imports core modules
+            from repro.resilience.harden import SECDEDGAMemory
+
+            self.memory = SECDEDGAMemory(self.ports)
+        else:
+            self.memory = GAMemory(self.ports)
 
         ga_iface = FEMInterface(
             candidate=self.ports.candidate,
@@ -161,6 +175,34 @@ class GASystem:
 
         self.ports.preset.poke(int(preset))
         self.ports.fitfunc_select.poke(select)
+
+        self.scrubber = None
+        self.watchdog = None
+        if resilience is not None:
+            from repro.resilience.harden import FEMWatchdog, MemoryScrubber
+
+            if resilience.scrub_interval:
+                if not resilience.secded:
+                    raise ValueError("the memory scrubber requires secded=True")
+                self.scrubber = MemoryScrubber(
+                    self.memory, interval=resilience.scrub_interval
+                )
+                self.sim.add(self.scrubber, divider=ga_divider)
+            if resilience.watchdog:
+                fallback = resilience.fallback_order
+                if fallback is None:
+                    fallback = [s for s in sorted(self.fns) if s != select]
+                self.watchdog = FEMWatchdog(
+                    self.ports.fit_request,
+                    self.ports.fit_valid,
+                    self.ports.fitfunc_select,
+                    fallback_order=fallback,
+                    timeout=resilience.watchdog_timeout,
+                    max_retries=resilience.watchdog_retries,
+                )
+                self.sim.add(self.watchdog, divider=ga_divider)
+            if resilience.injector is not None:
+                resilience.injector.attach(self)
 
     # ------------------------------------------------------------------
     def initialize(self, max_ticks: int = 100_000) -> None:

@@ -62,15 +62,24 @@ class LookupFEM(Component):
         self.state = "IDLE"
         self.latched = 0
         self.evaluations = 0
+        #: Fault knobs for SEU campaigns (repro.resilience.seu): a dead
+        #: module stops answering entirely (its handshake drops); a
+        #: non-zero ``corrupt_next`` is XORed into exactly one response.
+        self.dead = False
+        self.corrupt_next = 0
 
     def clock(self) -> None:
+        if self.dead:
+            return
         io = self.iface
         if self.state == "IDLE":
             if io.fit_request.value:
                 # Latch the candidate; the ROM read takes the next cycle.
                 self.set_state(state="LOOKUP", latched=io.candidate.value)
         elif self.state == "LOOKUP":
-            self.drive(io.fit_value, self.rom[self.latched])
+            value = (self.rom[self.latched] ^ self.corrupt_next) & 0xFFFF
+            self.corrupt_next = 0
+            self.drive(io.fit_value, value)
             self.drive(io.fit_valid, 1)
             self.set_state(state="HOLD", evaluations=self.evaluations + 1)
         elif self.state == "HOLD":
@@ -83,5 +92,7 @@ class LookupFEM(Component):
         self.state = "IDLE"
         self.latched = 0
         self.evaluations = 0
+        self.dead = False
+        self.corrupt_next = 0
         self.iface.fit_valid.reset()
         self.iface.fit_value.reset()

@@ -1,0 +1,78 @@
+"""Soft-error resilience layer: SEU injection, hardening, campaigns.
+
+The space-deployment story of Sec. II-D made concrete: deterministic
+single-event-upset injection into both GA models
+(:mod:`repro.resilience.seu`), a protection stack — SECDED(39,32) memory
+with scrubbing, FEM handshake watchdog with mux failover, elite
+re-evaluation guard, checkpointed rollback (:mod:`repro.resilience.harden`)
+— and a campaign runner sweeping upset rates across protection configs
+over batched replicas (:mod:`repro.resilience.campaign`).
+"""
+
+from repro.resilience.campaign import (
+    REPORT_COLUMNS,
+    ResilienceCampaign,
+    report_rows,
+    run_campaign,
+)
+from repro.resilience.harden import (
+    HARDENED,
+    PROTECTION_PRESETS,
+    UNPROTECTED,
+    CycleResilienceOptions,
+    FEMWatchdog,
+    MemoryScrubber,
+    ProtectionConfig,
+    ResilienceHarness,
+    SECDEDGAMemory,
+)
+from repro.resilience.secded import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_DOUBLE,
+    secded_decode,
+    secded_encode,
+    secded_extract,
+    secded_scrub,
+)
+from repro.resilience.seu import (
+    CORE_REGISTER_TARGETS,
+    FSM_STATE_SPACE,
+    CycleSEUEvent,
+    CycleSEUInjector,
+    SEUInjector,
+    UpsetRates,
+)
+
+__all__ = [
+    "ResilienceCampaign",
+    "run_campaign",
+    "report_rows",
+    "REPORT_COLUMNS",
+    "ProtectionConfig",
+    "ResilienceHarness",
+    "CycleResilienceOptions",
+    "SECDEDGAMemory",
+    "MemoryScrubber",
+    "FEMWatchdog",
+    "PROTECTION_PRESETS",
+    "UNPROTECTED",
+    "HARDENED",
+    "SEUInjector",
+    "UpsetRates",
+    "CycleSEUInjector",
+    "CycleSEUEvent",
+    "CORE_REGISTER_TARGETS",
+    "FSM_STATE_SPACE",
+    "secded_encode",
+    "secded_decode",
+    "secded_extract",
+    "secded_scrub",
+    "CODEWORD_BITS",
+    "DATA_BITS",
+    "STATUS_CLEAN",
+    "STATUS_CORRECTED",
+    "STATUS_DOUBLE",
+]

@@ -1,0 +1,214 @@
+"""SEU campaign runner: upset rates x protection configs over replicas.
+
+A campaign answers the Sec. II-D deployment question — *how does the GA
+core degrade under soft errors, and what does each protection buy back?* —
+the same way radiation test campaigns do: run many replicas of the same
+workload, each with an independent random upset stream, under every
+(upset rate, protection config) cell, and compare against the fault-free
+run.  Replicas ride the batched engine
+(:class:`~repro.core.batch.BatchBehavioralGA`), so a whole cell evolves as
+one ``(replica, member)`` array pass per generation.
+
+The report is a plain dict of ints/floats (JSON-serialisable), and the
+whole campaign is deterministic: the same ``seed`` reproduces the report
+verbatim, because every replica's upset stream is
+``PCG64(SeedSequence([seed, replica]))`` and the GA itself is the
+bit-exact CA-PRNG engine.  Cells share the campaign seed, so configs are
+compared *paired* — the same upset times hit every config wherever the
+cross-sections coincide.
+
+Per-cell metrics:
+
+* ``recovery_rate``  — fraction of replicas that completed AND delivered
+  the fault-free best (fully recovered runs);
+* ``sdc_rate``       — silent data corruption: completed but delivered a
+  different answer than the fault-free run, with nothing flagged to the
+  application;
+* ``hang_rate``      — replicas that died mid-run (dropped handshake or
+  dead FEM with no watchdog/fallback left);
+* ``degradation_pct``— mean convergence degradation vs. fault-free,
+  ``(baseline - final) / baseline`` clamped at 0, hung replicas scored at
+  their hang-time best (Sec. III-C.3c: the best of every generation is
+  always output, so that is what the application keeps);
+* detection/correction/recovery counters summed over replicas, plus the
+  injector's per-domain upset totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.batch import BatchBehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness.base import FitnessFunction
+from repro.resilience.harden import (
+    PROTECTION_PRESETS,
+    ProtectionConfig,
+    ResilienceHarness,
+)
+from repro.resilience.seu import UpsetRates
+
+#: Counter columns summed over a cell's replicas into the report.
+_SUM_KEYS = (
+    "corrected",
+    "detected_double",
+    "accepted_uncorrectable",
+    "rollbacks",
+    "generations_lost",
+    "elite_repairs",
+    "shadow_restores",
+    "watchdog_retries",
+    "failovers",
+)
+
+
+@dataclass
+class ResilienceCampaign:
+    """One campaign: a workload, a rate axis, a config axis, N replicas.
+
+    ``configs`` accepts :class:`ProtectionConfig` instances or preset names
+    from :data:`~repro.resilience.harden.PROTECTION_PRESETS`.
+    """
+
+    params: GAParameters
+    fitness: FitnessFunction
+    rates: Sequence[float] = (0.0, 1e-4)
+    configs: Sequence[ProtectionConfig | str] = ("unprotected", "hardened")
+    n_replicas: int = 4
+    seed: int = 2026
+    upset_profile: object | None = None  # optional ``rate -> UpsetRates`` override
+
+    def _configs(self) -> list[ProtectionConfig]:
+        resolved = []
+        for c in self.configs:
+            if isinstance(c, str):
+                try:
+                    resolved.append(PROTECTION_PRESETS[c])
+                except KeyError:
+                    raise ValueError(
+                        f"unknown protection preset {c!r}; available: "
+                        f"{', '.join(sorted(PROTECTION_PRESETS))}"
+                    ) from None
+            else:
+                resolved.append(c)
+        return resolved
+
+    def _upsets(self, rate: float) -> UpsetRates:
+        if self.upset_profile is not None:
+            return self.upset_profile(rate)
+        return UpsetRates.uniform(rate)
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict:
+        """Execute every (rate, config) cell; returns the report dict."""
+        p = self.params
+        baseline = BatchBehavioralGA([p], self.fitness).run()[0]
+        baseline_best = int(baseline.best_fitness)
+
+        cells = []
+        for config in self._configs():
+            for rate in self.rates:
+                cells.append(self._run_cell(config, float(rate), baseline_best))
+
+        return {
+            "params": {
+                "n_generations": p.n_generations,
+                "population_size": p.population_size,
+                "crossover_threshold": p.crossover_threshold,
+                "mutation_threshold": p.mutation_threshold,
+                "rng_seed": p.rng_seed,
+            },
+            "fitness": self.fitness.name,
+            "seed": self.seed,
+            "n_replicas": self.n_replicas,
+            "baseline_best": baseline_best,
+            "cells": cells,
+        }
+
+    def _run_cell(self, config: ProtectionConfig, rate: float, baseline_best: int) -> dict:
+        n = self.n_replicas
+        harness = ResilienceHarness(
+            config, self._upsets(rate), seed=self.seed, n_replicas=n
+        )
+        batch = BatchBehavioralGA(
+            [self.params] * n, self.fitness, resilience=harness
+        )
+        results = batch.run()
+        outcomes = harness.outcomes(results)
+
+        recovered = sum(
+            1
+            for o in outcomes
+            if o["completed"] and o["final_best"] == baseline_best
+        )
+        sdc = sum(
+            1
+            for o in outcomes
+            if o["completed"] and o["final_best"] != baseline_best
+        )
+        hung = sum(1 for o in outcomes if not o["completed"])
+        degradation = sum(
+            max(0, baseline_best - o["final_best"]) / baseline_best
+            for o in outcomes
+        ) / n
+        cell = {
+            "config": config.name,
+            "rate": rate,
+            "replicas": n,
+            "recovered": recovered,
+            "sdc": sdc,
+            "hung": hung,
+            "recovery_rate": round(recovered / n, 4),
+            "sdc_rate": round(sdc / n, 4),
+            "hang_rate": round(hung / n, 4),
+            "degradation_pct": round(100.0 * degradation, 4),
+            "mean_final_best": round(
+                sum(o["final_best"] for o in outcomes) / n, 2
+            ),
+            "injected": dict(harness.injector.counts),
+        }
+        for key in _SUM_KEYS:
+            cell[key] = sum(o[key] for o in outcomes)
+        return cell
+
+
+def run_campaign(
+    params: GAParameters,
+    fitness: FitnessFunction,
+    rates: Sequence[float] = (0.0, 1e-4),
+    configs: Sequence[ProtectionConfig | str] = ("unprotected", "hardened"),
+    n_replicas: int = 4,
+    seed: int = 2026,
+) -> dict:
+    """Functional façade over :class:`ResilienceCampaign`."""
+    return ResilienceCampaign(
+        params=params,
+        fitness=fitness,
+        rates=rates,
+        configs=configs,
+        n_replicas=n_replicas,
+        seed=seed,
+    ).run()
+
+
+#: Columns of the human-readable campaign table, in print order.
+REPORT_COLUMNS = (
+    "config",
+    "rate",
+    "recovery_rate",
+    "sdc_rate",
+    "hang_rate",
+    "degradation_pct",
+    "mean_final_best",
+    "corrected",
+    "detected_double",
+    "rollbacks",
+    "watchdog_retries",
+    "failovers",
+)
+
+
+def report_rows(report: dict) -> list[dict]:
+    """Flatten a campaign report into printable rows (CLI / docs table)."""
+    return [{k: cell.get(k, "") for k in REPORT_COLUMNS} for cell in report["cells"]]

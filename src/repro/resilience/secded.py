@@ -1,0 +1,132 @@
+"""Hamming SECDED(39,32) — the error-correcting code protecting GA memory.
+
+The GA memory packs ``{fitness[31:16], candidate[15:0]}`` into 32-bit words
+(Sec. III-B.7).  In the space-deployment context of Sec. II-D a single-event
+upset can flip any stored bit, so the hardened memory variant widens each
+word to a 39-bit codeword: 32 data bits + 6 Hamming parity bits + 1 overall
+parity bit — the standard single-error-correcting, double-error-detecting
+arrangement used by radiation-tolerant block-RAM wrappers.
+
+Layout (bit index inside the codeword):
+
+* position 0 — overall parity (makes the whole 39-bit word even-parity);
+* positions 1, 2, 4, 8, 16, 32 — the six Hamming parity bits;
+* the remaining 32 positions of 1..38 — data bits, in ascending order
+  (data bit 0 lands at position 3).
+
+Decoding computes the 6-bit syndrome plus the overall-parity check:
+
+=========  ==============  ====================================
+syndrome   overall parity  verdict
+=========  ==============  ====================================
+0          even            clean (``STATUS_CLEAN``)
+any        odd             single-bit error at position
+                           ``syndrome`` — corrected
+                           (``STATUS_CORRECTED``)
+nonzero    even            double-bit error — detected,
+                           uncorrectable (``STATUS_DOUBLE``)
+=========  ==============  ====================================
+
+A syndrome pointing outside the 39 valid positions (only possible for 3+
+upsets) is reported as ``STATUS_DOUBLE`` as well.  Everything is vectorised
+over int64 numpy arrays so the batched replica engine can scrub whole
+``(replica, member)`` populations in one pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Total codeword width: 32 data + 6 Hamming parity + 1 overall parity.
+CODEWORD_BITS = 39
+#: Payload width (one packed ``{fitness, candidate}`` GA-memory word).
+DATA_BITS = 32
+
+#: Decode/scrub verdicts.
+STATUS_CLEAN = 0
+STATUS_CORRECTED = 1
+STATUS_DOUBLE = 2
+
+#: Codeword positions of the six Hamming parity bits.
+_PARITY_POS = tuple(1 << i for i in range(6))
+#: Codeword positions of the 32 data bits (1..38 minus the parity positions).
+DATA_POSITIONS = tuple(
+    p for p in range(1, CODEWORD_BITS) if p not in _PARITY_POS
+)
+assert len(DATA_POSITIONS) == DATA_BITS
+
+#: ``_GROUP_MASK[i]`` selects every codeword position whose index has bit
+#: ``i`` set (parity bit ``i`` checks even parity over that group).
+_GROUP_MASK = tuple(
+    sum(1 << p for p in range(1, CODEWORD_BITS) if (p >> i) & 1)
+    for i in range(6)
+)
+
+_CODE_MASK = (1 << CODEWORD_BITS) - 1
+_DATA_MASK = (1 << DATA_BITS) - 1
+
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element population count of a non-negative int64 array."""
+    return np.bitwise_count(values).astype(np.int64)
+
+
+def secded_encode(words: np.ndarray | int) -> np.ndarray | int:
+    """Encode 32-bit data words into 39-bit SECDED codewords.
+
+    Accepts a scalar or any-shaped integer array; returns the same shape.
+    """
+    scalar = np.isscalar(words)
+    data = np.asarray(words, dtype=np.int64) & _DATA_MASK
+    code = np.zeros_like(data)
+    for k, pos in enumerate(DATA_POSITIONS):
+        code |= ((data >> k) & 1) << pos
+    for i, mask in enumerate(_GROUP_MASK):
+        code |= (_popcount(code & mask) & 1) << (1 << i)
+    code |= _popcount(code) & 1  # overall parity at position 0
+    return int(code) if scalar else code
+
+
+def secded_extract(codes: np.ndarray | int) -> np.ndarray | int:
+    """Pull the 32 data bits out of codewords (no checking or correction)."""
+    scalar = np.isscalar(codes)
+    code = np.asarray(codes, dtype=np.int64)
+    data = np.zeros_like(code)
+    for k, pos in enumerate(DATA_POSITIONS):
+        data |= ((code >> pos) & 1) << k
+    return int(data) if scalar else data
+
+
+def secded_scrub(codes: np.ndarray | int):
+    """Check/correct codewords; the scrubber and read-path core routine.
+
+    Returns ``(fixed_codes, data, status)`` where single-bit errors have
+    been corrected in ``fixed_codes`` (and ``data`` is extracted from the
+    corrected word), and ``status`` is per-element ``STATUS_CLEAN`` /
+    ``STATUS_CORRECTED`` / ``STATUS_DOUBLE``.  Double errors are left as
+    found — the caller decides between rollback and acceptance.
+    """
+    scalar = np.isscalar(codes)
+    code = np.asarray(codes, dtype=np.int64) & _CODE_MASK
+    syndrome = np.zeros_like(code)
+    for i, mask in enumerate(_GROUP_MASK):
+        syndrome |= (_popcount(code & mask) & 1) << i
+    odd_overall = (_popcount(code) & 1).astype(bool)
+
+    status = np.full(code.shape, STATUS_CLEAN, dtype=np.int64)
+    correctable = odd_overall & (syndrome < CODEWORD_BITS)
+    status[correctable] = STATUS_CORRECTED
+    status[odd_overall & ~correctable] = STATUS_DOUBLE
+    status[~odd_overall & (syndrome != 0)] = STATUS_DOUBLE
+
+    fixed = np.where(correctable, code ^ (np.int64(1) << syndrome), code)
+    data = secded_extract(fixed)
+    if scalar:
+        return int(fixed), int(data), int(status)
+    return fixed, data, status
+
+
+def secded_decode(codes: np.ndarray | int):
+    """Decode codewords to ``(data, status)`` (correcting single errors)."""
+    _fixed, data, status = secded_scrub(codes)
+    return data, status

@@ -1,0 +1,449 @@
+"""Deterministic single-event-upset injection.
+
+Two injectors live here, one per modelling level:
+
+* :class:`SEUInjector` — the generation-boundary fault source for the
+  behavioural engines (:class:`~repro.core.behavioral.BehavioralGA` and the
+  batched :class:`~repro.core.batch.BatchBehavioralGA`).  Each replica owns
+  an independent, seed-derived ``numpy`` PCG64 stream, so the same
+  ``(seed, replica)`` pair produces the same upset sequence whether the
+  replica runs serially or inside a batch — the property the
+  serial-vs-batch parity tests lock down.  The injector only *draws* fault
+  events; applying them (and defending against them) is the
+  :class:`~repro.resilience.harden.ResilienceHarness`'s job.
+
+* :class:`CycleSEUInjector` — a tick-scheduled intruder for the
+  cycle-accurate :class:`~repro.core.system.GASystem`.  It registers as a
+  simulator probe and mutates committed state *between* clock edges (the
+  physical moment an SEU strikes): GA-memory words, the CA-PRNG state
+  register, whitelisted GA-core FSM registers, the FSM state vector itself,
+  and the FEM response path (dropped or corrupted ``fit_valid`` responses).
+
+Upset rates are per-bit per-generation probabilities; the word 'rate'
+always means that.  The SECDED-protected memory exposes 39 bits per word
+instead of 32, and the harness reports that larger cross-section honestly —
+ECC is not free area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# behavioural-engine injection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UpsetRates:
+    """Per-domain upset probabilities for the behavioural fault model.
+
+    ``memory``/``rng``/``best_reg`` are per-bit per-generation flip
+    probabilities (memory words expose 32 bits unprotected, 39 under
+    SECDED; the RNG state register is 16 bits; the best register packs
+    ``{best_fit, best_ind}`` into 32 bits).  ``fem`` is the probability
+    that one fitness response is faulty (a 16-bit word on a handshake, so
+    :meth:`uniform` derives it as ``16 * rate``), ``fem_drop_fraction``
+    the share of faulty responses that are *dropped* (``fit_valid`` never
+    arrives) rather than corrupted, and ``fem_stuck`` the per-generation
+    probability that the active FEM slot dies outright.
+    """
+
+    memory: float = 0.0
+    rng: float = 0.0
+    best_reg: float = 0.0
+    fem: float = 0.0
+    fem_drop_fraction: float = 0.25
+    fem_stuck: float = 0.0
+
+    @classmethod
+    def uniform(cls, rate: float) -> "UpsetRates":
+        """One scalar rate applied across every domain, scaled by each
+        domain's exposure (the campaign's sweep axis)."""
+        return cls(
+            memory=rate,
+            rng=rate,
+            best_reg=rate,
+            fem=16 * rate,
+            fem_stuck=4 * rate,
+        )
+
+    def total_zero(self) -> bool:
+        return (
+            self.memory == 0.0
+            and self.rng == 0.0
+            and self.best_reg == 0.0
+            and self.fem == 0.0
+            and self.fem_stuck == 0.0
+        )
+
+
+#: Transient FEM response fault kinds.
+FEM_CORRUPT = "corrupt"
+FEM_DROP = "drop"
+
+
+@dataclass
+class BoundaryUpsets:
+    """Every upset drawn for one replica at one generation boundary."""
+
+    mem_slots: np.ndarray  # population slot index per memory upset
+    mem_bits: np.ndarray  # bit position (within the stored word) per upset
+    rng_bits: np.ndarray  # flipped bits of the 16-bit RNG state register
+    best_bits: np.ndarray  # flipped bits of the packed 32-bit best register
+    fem_faults: list  # (eval_slot, kind, bit) transient response faults
+    fem_stuck: bool  # the active FEM slot died this generation
+
+    @property
+    def empty(self) -> bool:
+        return (
+            len(self.mem_slots) == 0
+            and len(self.rng_bits) == 0
+            and len(self.best_bits) == 0
+            and not self.fem_faults
+            and not self.fem_stuck
+        )
+
+
+class SEUInjector:
+    """Seed-driven per-replica upset source for the behavioural engines.
+
+    Parameters
+    ----------
+    rates:
+        Per-domain upset probabilities.
+    seed:
+        Campaign-level seed; replica ``r`` draws from the PCG64 stream
+        seeded with ``SeedSequence([seed, replica_offset + r])``, making a
+        batch of N replicas reproduce N independent serial runs exactly.
+    n_replicas / replica_offset:
+        Stream bookkeeping; a serial engine standing in for batch replica
+        ``r`` uses ``n_replicas=1, replica_offset=r``.
+    """
+
+    def __init__(
+        self,
+        rates: UpsetRates,
+        seed: int,
+        n_replicas: int = 1,
+        replica_offset: int = 0,
+    ):
+        self.rates = rates
+        self.seed = seed
+        self.n_replicas = n_replicas
+        self.replica_offset = replica_offset
+        self._streams = [
+            np.random.Generator(
+                np.random.PCG64(np.random.SeedSequence([seed, replica_offset + r]))
+            )
+            for r in range(n_replicas)
+        ]
+        # per-domain totals, for the campaign report
+        self.counts = {
+            "memory": 0,
+            "rng": 0,
+            "best": 0,
+            "fem_corrupt": 0,
+            "fem_drop": 0,
+            "fem_stuck": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def draw(
+        self, replica: int, n_mem_words: int, word_bits: int, n_evals: int
+    ) -> BoundaryUpsets:
+        """Draw one generation boundary's upsets for one replica.
+
+        The draw order is fixed (FEM stuck, FEM transients, memory, RNG,
+        best register) so the stream consumption is identical for the
+        serial and batched engines.
+        """
+        g = self._streams[replica]
+        r = self.rates
+
+        fem_stuck = bool(r.fem_stuck > 0.0 and g.random() < r.fem_stuck)
+        fem_faults: list = []
+        if r.fem > 0.0 and n_evals > 0:
+            k = int(g.binomial(n_evals, min(r.fem, 1.0)))
+            if k:
+                slots = np.sort(g.choice(n_evals, size=min(k, n_evals), replace=False))
+                for slot in slots.tolist():
+                    if g.random() < r.fem_drop_fraction:
+                        fem_faults.append((slot, FEM_DROP, 0))
+                    else:
+                        fem_faults.append((slot, FEM_CORRUPT, int(g.integers(16))))
+
+        total_mem_bits = n_mem_words * word_bits
+        if r.memory > 0.0 and total_mem_bits:
+            k = int(g.binomial(total_mem_bits, min(r.memory, 1.0)))
+            flat = g.integers(total_mem_bits, size=k)
+            mem_slots = (flat // word_bits).astype(np.int64)
+            mem_bits = (flat % word_bits).astype(np.int64)
+        else:
+            mem_slots = np.empty(0, dtype=np.int64)
+            mem_bits = np.empty(0, dtype=np.int64)
+
+        if r.rng > 0.0:
+            k = int(g.binomial(16, min(r.rng, 1.0)))
+            rng_bits = g.integers(16, size=k).astype(np.int64)
+        else:
+            rng_bits = np.empty(0, dtype=np.int64)
+
+        if r.best_reg > 0.0:
+            k = int(g.binomial(32, min(r.best_reg, 1.0)))
+            best_bits = g.integers(32, size=k).astype(np.int64)
+        else:
+            best_bits = np.empty(0, dtype=np.int64)
+
+        self.counts["memory"] += len(mem_slots)
+        self.counts["rng"] += len(rng_bits)
+        self.counts["best"] += len(best_bits)
+        self.counts["fem_corrupt"] += sum(1 for f in fem_faults if f[1] == FEM_CORRUPT)
+        self.counts["fem_drop"] += sum(1 for f in fem_faults if f[1] == FEM_DROP)
+        self.counts["fem_stuck"] += int(fem_stuck)
+
+        return BoundaryUpsets(
+            mem_slots=mem_slots,
+            mem_bits=mem_bits,
+            rng_bits=rng_bits,
+            best_bits=best_bits,
+            fem_faults=fem_faults,
+            fem_stuck=fem_stuck,
+        )
+
+
+# ---------------------------------------------------------------------------
+# cycle-accurate injection
+# ---------------------------------------------------------------------------
+
+#: GA-core registers the cycle injector may flip, with their widths.  These
+#: are the architectural registers of the Fig. 2 datapath; flipping any of
+#: them is a legal SEU outcome (including ``cur_bank``, whose corruption now
+#: surfaces as a bank-select error instead of silently aliasing banks).
+CORE_REGISTER_TARGETS: dict[str, int] = {
+    "best_ind": 16,
+    "best_fit": 16,
+    "cur_sum": 32,
+    "new_sum": 32,
+    "gen_index": 32,
+    "pop_index": 8,
+    "new_count": 8,
+    "cur_bank": 1,
+    "rn_latch": 16,
+    "fit_latch": 16,
+    "sel_threshold": 32,
+    "cum_sum": 32,
+    "scan_index": 8,
+    "parent1": 16,
+    "parent2": 16,
+    "off1": 16,
+    "off2": 16,
+    "current_offspring": 16,
+}
+
+#: Canonical FSM state encoding used by the ``fsm`` upset domain.  A flipped
+#: state-vector bit lands on another row; indices past the end model a
+#: one-hot vector decoding to *no* active state — the core locks up (and the
+#: surrounding system's watchdog/timeout machinery has to notice).
+FSM_STATE_SPACE: tuple[str, ...] = (
+    "IDLE",
+    "FETCH_RN",
+    "INITPOP_EVAL",
+    "INITPOP_STORE",
+    "INITPOP_DONE",
+    "ELITE",
+    "SEL1_BEGIN",
+    "SEL1_THRESHOLD",
+    "SEL1_READ",
+    "SEL1_WAIT",
+    "SEL1_SCAN",
+    "SEL2_BEGIN",
+    "SEL2_THRESHOLD",
+    "SEL2_READ",
+    "SEL2_WAIT",
+    "SEL2_SCAN",
+    "XOVER_DECIDE",
+    "XOVER_APPLY",
+    "MUT1_DECIDE",
+    "MUT1_APPLY",
+    "EVAL1",
+    "STORE1",
+    "MUT2_PREP",
+    "MUT2_DECIDE",
+    "MUT2_APPLY",
+    "EVAL2",
+    "STORE2",
+    "GEN_END",
+    "GEN_RECORD",
+    "DONE",
+)
+
+
+@dataclass(frozen=True)
+class CycleSEUEvent:
+    """One scheduled upset in the cycle-accurate system.
+
+    ``domain`` selects the target:
+
+    * ``"memory"``   — flip ``bit`` of GA-memory word ``addr`` (bit 0..31
+      raw, 0..38 when the SECDED memory is installed);
+    * ``"rng"``      — flip ``bit`` of the RNG module's 16-bit state;
+    * ``"register"`` — flip ``bit`` of GA-core register ``name``
+      (see :data:`CORE_REGISTER_TARGETS`);
+    * ``"fsm"``      — flip ``bit`` of the core's encoded FSM state index;
+    * ``"fem_dead"`` — FEM in slot ``addr`` stops answering (drops every
+      subsequent ``fit_valid``);
+    * ``"fem_revive"`` — undo ``fem_dead`` for slot ``addr``;
+    * ``"fem_corrupt"`` — XOR the FEM's next response with ``1 << bit``.
+    """
+
+    tick: int
+    domain: str
+    addr: int = 0
+    bit: int = 0
+    name: str = ""
+
+
+class CycleSEUInjector:
+    """Tick-scheduled SEU intruder for :class:`~repro.core.system.GASystem`.
+
+    Construct with an explicit event list (deterministic campaigns and
+    regression tests) or via :meth:`poisson_schedule`.  ``attach`` wires it
+    to a system and registers the probe; events land *after* the commit of
+    their tick, i.e. between clock edges, exactly where a real upset falls.
+    """
+
+    def __init__(self, events: list[CycleSEUEvent]):
+        self.events = sorted(events, key=lambda e: e.tick)
+        self.applied: list[CycleSEUEvent] = []
+        self.skipped: list[CycleSEUEvent] = []
+        self._system = None
+        self._cursor = 0
+
+    @classmethod
+    def poisson_schedule(
+        cls,
+        seed: int,
+        duration_ticks: int,
+        mean_upsets: float,
+        domains: tuple[str, ...] = ("memory", "rng", "register"),
+        mem_depth: int = 256,
+        word_bits: int = 32,
+    ) -> "CycleSEUInjector":
+        """A deterministic random schedule: ``Poisson(mean_upsets)`` events
+        uniform over the run, each targeting a uniform (domain, addr, bit)."""
+        g = np.random.Generator(np.random.PCG64(np.random.SeedSequence([seed])))
+        n = int(g.poisson(mean_upsets))
+        events = []
+        names = list(CORE_REGISTER_TARGETS)
+        for _ in range(n):
+            tick = int(g.integers(duration_ticks))
+            domain = domains[int(g.integers(len(domains)))]
+            if domain == "memory":
+                events.append(
+                    CycleSEUEvent(
+                        tick,
+                        "memory",
+                        addr=int(g.integers(mem_depth)),
+                        bit=int(g.integers(word_bits)),
+                    )
+                )
+            elif domain == "rng":
+                events.append(CycleSEUEvent(tick, "rng", bit=int(g.integers(16))))
+            elif domain == "register":
+                name = names[int(g.integers(len(names)))]
+                events.append(
+                    CycleSEUEvent(
+                        tick,
+                        "register",
+                        name=name,
+                        bit=int(g.integers(CORE_REGISTER_TARGETS[name])),
+                    )
+                )
+            elif domain == "fsm":
+                events.append(CycleSEUEvent(tick, "fsm", bit=int(g.integers(5))))
+            else:
+                raise ValueError(f"unsupported domain for random schedule: {domain}")
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    def attach(self, system) -> None:
+        """Register on the system's simulator (called by ``GASystem``)."""
+        self._system = system
+        system.sim.probe(self._on_tick)
+
+    def _on_tick(self, tick: int) -> None:
+        while self._cursor < len(self.events) and self.events[self._cursor].tick <= tick:
+            event = self.events[self._cursor]
+            self._cursor += 1
+            if self._apply(event):
+                self.applied.append(event)
+            else:
+                self.skipped.append(event)
+
+    # ------------------------------------------------------------------
+    def _apply(self, event: CycleSEUEvent) -> bool:
+        sys_ = self._system
+        if sys_ is None:  # pragma: no cover - attach() not called
+            return False
+        if event.domain == "memory":
+            data = sys_.memory.data
+            addr = event.addr % len(data)
+            data[addr] ^= 1 << event.bit
+            return True
+        if event.domain == "rng":
+            source = sys_.rng_module.source
+            flipped = source.state ^ (1 << (event.bit % source.width))
+            if flipped == 0:
+                return False  # the all-zero CA lockup state is excluded
+            source.state = flipped
+            return True
+        if event.domain == "register":
+            width = CORE_REGISTER_TARGETS.get(event.name)
+            if width is None:
+                raise ValueError(f"unknown register target {event.name!r}")
+            mask = (1 << width) - 1
+            value = getattr(sys_.core, event.name)
+            setattr(sys_.core, event.name, (value ^ (1 << (event.bit % width))) & mask)
+            return True
+        if event.domain == "fsm":
+            state = sys_.core.state
+            try:
+                index = FSM_STATE_SPACE.index(state)
+            except ValueError:
+                return False  # already corrupted into lockup
+            sys_.core.state = _fsm_flip(index, event.bit)
+            return True
+        if event.domain == "fem_dead":
+            fem = sys_.fems.get(event.addr)
+            if fem is None:
+                return False
+            fem.dead = True
+            return True
+        if event.domain == "fem_revive":
+            fem = sys_.fems.get(event.addr)
+            if fem is None:
+                return False
+            fem.dead = False
+            return True
+        if event.domain == "fem_corrupt":
+            fem = sys_.fems.get(event.addr)
+            if fem is None:
+                return False
+            fem.corrupt_next ^= 1 << (event.bit % 16)
+            return True
+        raise ValueError(f"unknown SEU domain {event.domain!r}")
+
+
+def _fsm_flip(index: int, bit: int) -> str:
+    """State reached when ``bit`` of the encoded FSM state index flips.
+
+    Out-of-range indices model a corrupted one-hot vector that decodes to no
+    active state: the returned name has no handler, so the core freezes.
+    """
+    flipped = index ^ (1 << bit)
+    if flipped < len(FSM_STATE_SPACE):
+        return FSM_STATE_SPACE[flipped]
+    return f"LOCKUP_{flipped}"

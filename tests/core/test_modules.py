@@ -32,6 +32,11 @@ class TestPacking:
         with pytest.raises(ValueError):
             bank_address(0, BANK_SIZE)
 
+    @pytest.mark.parametrize("bank", [-1, 2, 3, 255])
+    def test_invalid_bank_rejected(self, bank):
+        with pytest.raises(ValueError, match="bank must be 0 or 1"):
+            bank_address(bank, 0)
+
 
 class TestGAMemory:
     def test_wired_to_ports(self):
@@ -57,6 +62,12 @@ class TestGAMemory:
     def test_capacity_is_256_words(self):
         ports = GAPorts.create()
         assert GAMemory(ports).depth == 256
+
+    @pytest.mark.parametrize("bank", [-1, 2])
+    def test_population_rejects_invalid_bank(self, bank):
+        ports = GAPorts.create()
+        with pytest.raises(ValueError, match="bank must be 0 or 1"):
+            GAMemory(ports).population(bank=bank, size=1)
 
 
 class TestRNGModule:

@@ -9,6 +9,7 @@ from repro.core.params import (
     ParameterIndex,
     PRESET_MODES,
     PresetMode,
+    UnprogrammedParameterError,
 )
 from repro.rng.cellular_automaton import PRESET_SEEDS
 
@@ -96,6 +97,34 @@ class TestTableIII:
             {0: 32, 2: 32, 3: 10, 4: 1}, default_seed=77
         )
         assert p.rng_seed == 77
+
+    def test_missing_parameters_named_in_error(self):
+        # only the seed programmed: every other Table III word is missing
+        with pytest.raises(UnprogrammedParameterError) as exc:
+            GAParameters.from_index_values({int(ParameterIndex.RNG_SEED): 77})
+        assert set(exc.value.missing) == {
+            ParameterIndex.NUM_GENERATIONS_LO,
+            ParameterIndex.POPULATION_SIZE,
+            ParameterIndex.CROSSOVER_RATE,
+            ParameterIndex.MUTATION_RATE,
+        }
+        assert "POPULATION_SIZE (index 2)" in str(exc.value)
+
+    def test_missing_population_size_only(self):
+        words = {0: 32, 3: 10, 4: 1, 5: 77}
+        with pytest.raises(UnprogrammedParameterError) as exc:
+            GAParameters.from_index_values(words)
+        assert exc.value.missing == [ParameterIndex.POPULATION_SIZE]
+
+    def test_generation_count_accepts_either_half(self):
+        lo = GAParameters.from_index_values({0: 32, 2: 32, 3: 10, 4: 1, 5: 77})
+        hi = GAParameters.from_index_values({1: 2, 2: 32, 3: 10, 4: 1, 5: 77})
+        assert lo.n_generations == 32
+        assert hi.n_generations == 2 << 16
+
+    def test_unprogrammed_error_is_a_value_error(self):
+        # callers catching the old ValueError keep working
+        assert issubclass(UnprogrammedParameterError, ValueError)
 
 
 class TestTableIV:

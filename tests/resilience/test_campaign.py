@@ -1,0 +1,146 @@
+"""Campaign runner: determinism, report shape, and the headline
+hardened-vs-unprotected regression on the MEDIUM preset."""
+
+import pytest
+
+from repro.core.params import GAParameters, PRESET_MODES, PresetMode
+from repro.fitness import MBF6_2
+from repro.resilience import (
+    PROTECTION_PRESETS,
+    REPORT_COLUMNS,
+    ResilienceCampaign,
+    report_rows,
+    run_campaign,
+)
+
+SMALL = GAParameters(
+    n_generations=16,
+    population_size=16,
+    crossover_threshold=10,
+    mutation_threshold=1,
+    rng_seed=0x2961,
+)
+
+
+def small_campaign(**overrides):
+    kwargs = dict(
+        params=SMALL,
+        fitness=MBF6_2(),
+        rates=(0.0, 1e-3),
+        configs=("unprotected", "hardened"),
+        n_replicas=3,
+        seed=2026,
+    )
+    kwargs.update(overrides)
+    return ResilienceCampaign(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_report_verbatim(self):
+        assert small_campaign().run() == small_campaign().run()
+
+    def test_different_seed_changes_upsets(self):
+        a = small_campaign(seed=1).run()
+        b = small_campaign(seed=2).run()
+        cell_a = next(c for c in a["cells"] if c["rate"] > 0)
+        cell_b = next(c for c in b["cells"] if c["rate"] > 0)
+        assert cell_a["injected"] != cell_b["injected"]
+
+    def test_report_is_json_serialisable(self):
+        import json
+
+        json.dumps(small_campaign().run())
+
+
+class TestReportShape:
+    def test_zero_rate_cells_are_perfect(self):
+        report = small_campaign().run()
+        for cell in report["cells"]:
+            if cell["rate"] == 0.0:
+                assert cell["recovery_rate"] == 1.0
+                assert cell["sdc_rate"] == 0.0
+                assert cell["hang_rate"] == 0.0
+                assert cell["degradation_pct"] == 0.0
+                assert all(v == 0 for v in cell["injected"].values())
+
+    def test_cell_grid_covers_both_axes(self):
+        report = small_campaign().run()
+        assert len(report["cells"]) == 4
+        assert {c["config"] for c in report["cells"]} == {"unprotected", "hardened"}
+        assert report["baseline_best"] > 0
+        assert report["fitness"] == "mBF6_2"
+
+    def test_report_rows_columns(self):
+        rows = report_rows(small_campaign().run())
+        assert len(rows) == 4
+        assert all(tuple(r.keys()) == REPORT_COLUMNS for r in rows)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown protection preset"):
+            small_campaign(configs=("radiation-proof",)).run()
+
+
+class TestMediumPresetRegression:
+    """The acceptance-criteria regression: on the MEDIUM preset at a
+    nonzero upset rate, the fully hardened config demonstrably beats the
+    unprotected one on recovery rate and final-best degradation."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_campaign(
+            PRESET_MODES[PresetMode.MEDIUM],
+            MBF6_2(),
+            rates=(2e-4,),
+            configs=("unprotected", "hardened"),
+            n_replicas=6,
+            seed=2026,
+        )
+
+    def cell(self, report, config):
+        return next(c for c in report["cells"] if c["config"] == config)
+
+    def test_hardened_beats_unprotected(self, report):
+        unprotected = self.cell(report, "unprotected")
+        hardened = self.cell(report, "hardened")
+        assert hardened["recovery_rate"] > unprotected["recovery_rate"]
+        assert hardened["degradation_pct"] < unprotected["degradation_pct"]
+        assert hardened["hang_rate"] < unprotected["hang_rate"]
+
+    def test_defences_actually_fired(self, report):
+        hardened = self.cell(report, "hardened")
+        assert hardened["corrected"] > 0  # SECDED earned its keep
+        assert hardened["watchdog_retries"] > 0  # and so did the watchdog
+
+    def test_unprotected_actually_suffered(self, report):
+        unprotected = self.cell(report, "unprotected")
+        assert unprotected["hang_rate"] > 0.5
+        assert unprotected["corrected"] == 0
+
+
+@pytest.mark.slow
+class TestFullSweep:
+    """The full rate x preset sweep (deselected from tier-1 by the
+    ``slow`` marker; run with ``pytest -m slow``)."""
+
+    def test_every_preset_across_rates(self):
+        report = run_campaign(
+            PRESET_MODES[PresetMode.MEDIUM],
+            MBF6_2(),
+            rates=(0.0, 1e-4, 5e-4),
+            configs=tuple(sorted(PROTECTION_PRESETS)),
+            n_replicas=8,
+            seed=2026,
+        )
+        assert len(report["cells"]) == 3 * len(PROTECTION_PRESETS)
+        by = {(c["config"], c["rate"]): c for c in report["cells"]}
+        for config in PROTECTION_PRESETS:
+            assert by[(config, 0.0)]["recovery_rate"] == 1.0
+        for rate in (1e-4, 5e-4):
+            assert (
+                by[("hardened", rate)]["recovery_rate"]
+                >= by[("unprotected", rate)]["recovery_rate"]
+            )
+            assert (
+                by[("hardened", rate)]["hang_rate"]
+                <= by[("unprotected", rate)]["hang_rate"]
+            )

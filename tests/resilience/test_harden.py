@@ -1,0 +1,408 @@
+"""Protection-stack tests: zero-fault identity, serial/batch parity under
+faults, and the cycle-accurate hardening components."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBehavioralGA
+from repro.core.behavioral import BehavioralGA
+from repro.core.ga_memory import pack_word
+from repro.core.params import GAParameters
+from repro.core.ports import GAPorts
+from repro.core.system import GASystem
+from repro.fitness import MBF6_2
+from repro.hdl.simulator import SimulationTimeout
+from repro.resilience.harden import (
+    HARDENED,
+    PROTECTION_PRESETS,
+    UNPROTECTED,
+    CycleResilienceOptions,
+    FEMWatchdog,
+    MemoryScrubber,
+    ProtectionConfig,
+    ResilienceHarness,
+    SECDEDGAMemory,
+)
+from repro.resilience.secded import secded_encode, secded_extract
+from repro.resilience.seu import (
+    BoundaryUpsets,
+    CycleSEUEvent,
+    CycleSEUInjector,
+    UpsetRates,
+)
+
+PARAMS = GAParameters(
+    n_generations=24,
+    population_size=32,
+    crossover_threshold=10,
+    mutation_threshold=1,
+    rng_seed=0x2961,
+)
+ZERO = UpsetRates.uniform(0.0)
+FAULTY = UpsetRates.uniform(3e-4)
+
+
+def history_tuples(result):
+    return [g.as_tuple() for g in result.history]
+
+
+class TestZeroFaultIdentity:
+    """A fully hardened run with zero upset rate is bit-identical to the
+    bare engines — the protection stack is transparent when idle."""
+
+    def test_serial_bit_identical(self):
+        plain = BehavioralGA(PARAMS, MBF6_2()).run()
+        harness = ResilienceHarness(HARDENED, ZERO, seed=1)
+        hardened = BehavioralGA(PARAMS, MBF6_2(), resilience=harness).run()
+        assert hardened.best_individual == plain.best_individual
+        assert hardened.best_fitness == plain.best_fitness
+        assert history_tuples(hardened) == history_tuples(plain)
+        assert harness.outcomes([hardened])[0]["completed"]
+
+    def test_batch_bit_identical(self):
+        plain = BatchBehavioralGA([PARAMS] * 3, MBF6_2()).run()
+        harness = ResilienceHarness(HARDENED, ZERO, seed=1, n_replicas=3)
+        hardened = BatchBehavioralGA(
+            [PARAMS] * 3, MBF6_2(), resilience=harness
+        ).run()
+        for p, h in zip(plain, hardened):
+            assert h.best_fitness == p.best_fitness
+            assert history_tuples(h) == history_tuples(p)
+
+
+class TestSerialBatchParity:
+    """A batch of N faulty replicas == N serial faulty runs, bit for bit,
+    for any protection config — the campaign's validity condition."""
+
+    @pytest.mark.parametrize("config", [UNPROTECTED, HARDENED],
+                             ids=lambda c: c.name)
+    def test_parity_under_faults(self, config):
+        n = 3
+        batch_harness = ResilienceHarness(config, FAULTY, seed=99, n_replicas=n)
+        batch = BatchBehavioralGA(
+            [PARAMS] * n, MBF6_2(), resilience=batch_harness
+        ).run()
+        batch_outcomes = batch_harness.outcomes(batch)
+
+        for r in range(n):
+            serial_harness = ResilienceHarness(
+                config, FAULTY, seed=99, n_replicas=1, replica_offset=r
+            )
+            serial = BehavioralGA(
+                PARAMS, MBF6_2(), resilience=serial_harness
+            ).run()
+            assert serial_harness.outcomes([serial])[0] == batch_outcomes[r], (
+                f"replica {r} diverged under {config.name}"
+            )
+
+
+class TestEliteGuard:
+    """Unit-level guard behaviour through the serial adapter (zero rates:
+    the guard still runs on every boundary)."""
+
+    class _FakeEngine:
+        def __init__(self, table):
+            self.table = table
+
+            class _R:
+                state = 5
+
+            self.rng = _R()
+
+    def make(self):
+        table = np.array([100, 200, 300, 50], dtype=np.int64)
+        cfg = ProtectionConfig(name="guard", elite_guard=True)
+        return self._FakeEngine(table), ResilienceHarness(cfg, ZERO, seed=1)
+
+    def test_repairs_corrupted_fitness(self):
+        eng, harness = self.make()
+        inds = np.array([0, 1, 2, 3])
+        fits = eng.table[inds].copy()
+        # champion is individual 2 (fit 300) but its register reads 999
+        _, _, bi, bf = harness.serial_boundary(eng, 1, inds, fits, 2, 999)
+        assert (bi, bf) == (2, 300)
+        assert harness.elite_repairs[0] == 1
+
+    def test_shadow_restores_lost_champion(self):
+        eng, harness = self.make()
+        inds = np.array([0, 1, 2, 3])
+        fits = eng.table[inds].copy()
+        harness.serial_boundary(eng, 1, inds, fits, 2, 300)  # shadow <- (2, 300)
+        # best register flipped onto a genuinely worse individual
+        _, _, bi, bf = harness.serial_boundary(eng, 2, inds, fits, 3, 50)
+        assert (bi, bf) == (2, 300)
+        assert harness.shadow_restores[0] == 1
+
+
+class TestCheckpointRollback:
+    def make(self, interval=4, max_rollbacks=2):
+        cfg = ProtectionConfig(
+            name="ck",
+            secded=True,
+            checkpoint_interval=interval,
+            max_rollbacks=max_rollbacks,
+        )
+        return ResilienceHarness(cfg, ZERO, seed=1)
+
+    def double_hit(self, slot=0):
+        # two flips in the same word: detected-uncorrectable under SECDED
+        return BoundaryUpsets(
+            mem_slots=np.array([slot, slot], dtype=np.int64),
+            mem_bits=np.array([3, 17], dtype=np.int64),
+            rng_bits=np.empty(0, dtype=np.int64),
+            best_bits=np.empty(0, dtype=np.int64),
+            fem_faults=[],
+            fem_stuck=False,
+        )
+
+    def test_rollback_restores_checkpoint(self):
+        harness = self.make()
+        inds = np.array([[1, 2, 3, 4]], dtype=np.int64)
+        fits = np.array([[10, 20, 30, 40]], dtype=np.int64)
+        bi = np.array([3], dtype=np.int64)
+        bf = np.array([40], dtype=np.int64)
+        rng_state = [123]
+        harness._checkpoints[0] = (4, inds[0].copy(), fits[0].copy(), 3, 40, 123)
+
+        inds[0, 0] = 99  # post-checkpoint progress that will be lost
+        rolled = harness._secded_memory_upsets(
+            0, 7, self.double_hit(), inds, fits, bi, bf,
+            lambda r, s: rng_state.__setitem__(0, s),
+        )
+        assert rolled
+        assert inds[0, 0] == 1 and rng_state[0] == 123
+        assert harness.rollbacks[0] == 1
+        assert harness.generations_lost[0] == 3  # gen 7 back to gen 4
+        assert harness.detected_double[0] == 1
+        assert harness._shadow_fit[0] == 40  # shadow rewound with the state
+
+    def test_uncorrectable_accepted_when_rollbacks_exhausted(self):
+        harness = self.make(max_rollbacks=0)
+        inds = np.array([[1, 2]], dtype=np.int64)
+        fits = np.array([[10, 20]], dtype=np.int64)
+        harness._checkpoints[0] = (0, inds[0].copy(), fits[0].copy(), 0, 10, 1)
+        rolled = harness._secded_memory_upsets(
+            0, 3, self.double_hit(), inds, fits,
+            np.array([0]), np.array([10]), lambda r, s: None,
+        )
+        assert not rolled
+        assert harness.accepted_uncorrectable[0] == 1
+
+    def test_single_bit_upsets_corrected_without_rollback(self):
+        harness = self.make()
+        inds = np.array([[1, 2]], dtype=np.int64)
+        fits = np.array([[10, 20]], dtype=np.int64)
+        u = BoundaryUpsets(
+            mem_slots=np.array([0, 1], dtype=np.int64),
+            mem_bits=np.array([5, 38], dtype=np.int64),
+            rng_bits=np.empty(0, dtype=np.int64),
+            best_bits=np.empty(0, dtype=np.int64),
+            fem_faults=[],
+            fem_stuck=False,
+        )
+        rolled = harness._secded_memory_upsets(
+            0, 1, u, inds, fits, np.array([0]), np.array([10]), lambda r, s: None
+        )
+        assert not rolled
+        assert harness.corrected[0] == 2
+        assert inds[0].tolist() == [1, 2] and fits[0].tolist() == [10, 20]
+
+
+class TestSECDEDGAMemory:
+    def test_population_view_decodes(self):
+        mem = SECDEDGAMemory(GAPorts.create())
+        mem.data[128] = int(secded_encode(pack_word(7, 70)))
+        mem.data[129] = int(secded_encode(pack_word(8, 80))) ^ (1 << 11)
+        assert mem.width == 39
+        # extract is unchecked; the flipped word may differ — scrub first
+        fixed_pop = mem.population(bank=1, size=1)
+        assert fixed_pop == [(7, 70)]
+
+    def test_scrubber_walks_and_corrects(self):
+        mem = SECDEDGAMemory(GAPorts.create())
+        good = int(secded_encode(pack_word(5, 9)))
+        mem.data[7] = good ^ (1 << 13)
+        scrubber = MemoryScrubber(mem, interval=1)
+        for _ in range(mem.depth):
+            scrubber.clock()
+        assert scrubber.words_scrubbed == mem.depth
+        assert scrubber.corrected == 1
+        assert mem.data[7] == good
+        assert int(secded_extract(mem.data[7])) == pack_word(5, 9)
+
+    def test_scrubber_flags_uncorrectable(self):
+        mem = SECDEDGAMemory(GAPorts.create())
+        corrupted = int(secded_encode(pack_word(1, 2))) ^ (1 << 3) ^ (1 << 20)
+        mem.data[0] = corrupted
+        scrubber = MemoryScrubber(mem, interval=1)
+        scrubber.clock()
+        assert scrubber.uncorrectable == 1
+        assert mem.data[0] == corrupted  # left as found
+
+    def test_scrub_interval_slows_walk(self):
+        mem = SECDEDGAMemory(GAPorts.create())
+        scrubber = MemoryScrubber(mem, interval=4)
+        for _ in range(16):
+            scrubber.clock()
+        assert scrubber.words_scrubbed == 4
+
+
+class TestFEMWatchdog:
+    def make(self, timeout=4, max_retries=1):
+        ports = GAPorts.create()
+        wd = FEMWatchdog(
+            ports.fit_request,
+            ports.fit_valid,
+            ports.fitfunc_select,
+            fallback_order=[1, 2],
+            timeout=timeout,
+            max_retries=max_retries,
+        )
+        return ports, wd
+
+    def test_response_clears_timer(self):
+        ports, wd = self.make()
+        ports.fit_request.poke(1)
+        for _ in range(3):
+            wd.clock()
+        ports.fit_valid.poke(1)
+        wd.clock()
+        assert wd.waited == 0 and wd.timeouts == 0
+
+    def test_timeout_retry_backoff_then_failover(self):
+        ports, wd = self.make(timeout=4, max_retries=1)
+        ports.fit_request.poke(1)
+        for _ in range(4):  # first allowance: 4 cycles
+            wd.clock()
+        assert wd.timeouts == 1 and wd.retries == 1 and wd.failovers == 0
+        for _ in range(8):  # backoff doubled: 8 cycles
+            wd.clock()
+        assert wd.timeouts == 2 and wd.failovers == 1
+        assert ports.fitfunc_select.value == 1
+        # a second full death walks to the next fallback slot
+        for _ in range(4 + 8):
+            wd.clock()
+        assert wd.failovers == 2 and ports.fitfunc_select.value == 2
+
+    def test_fallback_exhaustion_stops_failing_over(self):
+        ports, wd = self.make(timeout=2, max_retries=0)
+        ports.fit_request.poke(1)
+        for _ in range(20):
+            wd.clock()
+        assert wd.failovers == 2  # both slots burned, then nothing
+
+
+class TestCycleAccurateIntegration:
+    PARAMS = GAParameters(
+        n_generations=6,
+        population_size=16,
+        crossover_threshold=10,
+        mutation_threshold=1,
+        rng_seed=0x2961,
+    )
+
+    def clean_result(self):
+        return GASystem(self.PARAMS, MBF6_2()).run()
+
+    def test_secded_plus_scrubber_mask_single_bit_upsets(self):
+        clean = self.clean_result()
+        events = [
+            CycleSEUEvent(tick=2_000 + 137 * i, domain="memory",
+                          addr=i % 16, bit=(5 * i) % 39)
+            for i in range(20)
+        ]
+        system = GASystem(
+            self.PARAMS,
+            MBF6_2(),
+            resilience=CycleResilienceOptions(
+                injector=CycleSEUInjector(events),
+                secded=True,
+                scrub_interval=1,
+            ),
+        )
+        result = system.run()
+        assert result.best_fitness == clean.best_fitness
+        assert history_tuples(result) == history_tuples(clean)
+        # the read path corrects a corrupted word on every read until the
+        # scrubber's writeback (or a population write) retires it, so both
+        # counters move; no upset ever escalates to a double error
+        assert system.scrubber.corrected > 0
+        assert system.memory.corrected > 0
+        assert system.memory.double_errors == 0
+        assert system.scrubber.uncorrectable == 0
+
+    def test_dead_fem_without_watchdog_hangs(self):
+        system = GASystem(
+            self.PARAMS,
+            MBF6_2(),
+            resilience=CycleResilienceOptions(
+                injector=CycleSEUInjector(
+                    [CycleSEUEvent(tick=500, domain="fem_dead", addr=0)]
+                ),
+            ),
+        )
+        with pytest.raises(SimulationTimeout):
+            system.run(max_ticks=30_000)
+
+    def test_dead_fem_with_watchdog_fails_over(self):
+        clean = self.clean_result()
+        system = GASystem(
+            self.PARAMS,
+            {0: MBF6_2(), 1: MBF6_2()},
+            resilience=CycleResilienceOptions(
+                injector=CycleSEUInjector(
+                    [CycleSEUEvent(tick=500, domain="fem_dead", addr=0)]
+                ),
+                watchdog=True,
+                watchdog_timeout=32,
+            ),
+        )
+        result = system.run()
+        assert system.watchdog.failovers == 1
+        assert system.ports.fitfunc_select.value == 1
+        assert result.best_fitness == clean.best_fitness
+
+    def test_fsm_lockup_freezes_core(self):
+        # bit 5 always flips the state index past the 30 named states
+        system = GASystem(
+            self.PARAMS,
+            MBF6_2(),
+            resilience=CycleResilienceOptions(
+                injector=CycleSEUInjector(
+                    [CycleSEUEvent(tick=1_000, domain="fsm", bit=5)]
+                ),
+            ),
+        )
+        with pytest.raises(SimulationTimeout):
+            system.run(max_ticks=30_000)
+        assert system.core.state.startswith("LOCKUP_")
+
+    def test_fem_corrupt_transient_changes_one_response(self):
+        system = GASystem(
+            self.PARAMS,
+            MBF6_2(),
+            resilience=CycleResilienceOptions(
+                injector=CycleSEUInjector(
+                    [CycleSEUEvent(tick=800, domain="fem_corrupt",
+                                   addr=0, bit=15)]
+                ),
+            ),
+        )
+        system.run()  # completes: a transient never hangs the handshake
+        assert len(system.resilience.injector.applied) == 1
+
+    def test_scrubber_requires_secded(self):
+        with pytest.raises(ValueError, match="secded"):
+            GASystem(
+                self.PARAMS,
+                MBF6_2(),
+                resilience=CycleResilienceOptions(scrub_interval=1),
+            )
+
+
+def test_presets_cover_the_stack():
+    assert set(PROTECTION_PRESETS) == {
+        "unprotected", "secded", "watchdog", "guard", "checkpoint", "hardened"
+    }
+    assert PROTECTION_PRESETS["hardened"].word_bits == 39
+    assert PROTECTION_PRESETS["unprotected"].word_bits == 32

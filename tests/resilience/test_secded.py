@@ -1,0 +1,101 @@
+"""SECDED(39,32) codec properties: the claims ECC protection rests on."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.resilience.secded import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_DOUBLE,
+    secded_decode,
+    secded_encode,
+    secded_extract,
+    secded_scrub,
+)
+
+words32 = st.integers(0, (1 << DATA_BITS) - 1)
+
+
+class TestRoundtrip:
+    @given(words32)
+    def test_encode_extract_roundtrip(self, word):
+        assert int(secded_extract(secded_encode(word))) == word
+
+    @given(words32)
+    def test_clean_codeword_decodes_clean(self, word):
+        data, status = secded_decode(secded_encode(word))
+        assert int(data) == word
+        assert int(status) == STATUS_CLEAN
+
+    def test_vectorized_roundtrip(self):
+        words = np.arange(0, 1 << 16, 257, dtype=np.int64)
+        codes = secded_encode(words)
+        assert codes.dtype == np.int64
+        np.testing.assert_array_equal(secded_extract(codes), words)
+
+    def test_codeword_fits_39_bits(self):
+        code = int(secded_encode((1 << DATA_BITS) - 1))
+        assert code < (1 << CODEWORD_BITS)
+
+
+class TestSingleBitCorrection:
+    @given(words32, st.integers(0, CODEWORD_BITS - 1))
+    def test_any_single_flip_corrected(self, word, bit):
+        data, status = secded_decode(secded_encode(word) ^ (1 << bit))
+        assert int(status) == STATUS_CORRECTED
+        assert int(data) == word
+
+    def test_all_positions_exhaustively(self):
+        # every one of the 39 flip positions, for several data words at once
+        words = np.array([0, 1, 0xDEADBEEF, 0xFFFFFFFF, 0x12345678], dtype=np.int64)
+        codes = secded_encode(words)
+        for bit in range(CODEWORD_BITS):
+            fixed, data, status = secded_scrub(codes ^ (np.int64(1) << bit))
+            assert (status == STATUS_CORRECTED).all(), f"bit {bit} not corrected"
+            np.testing.assert_array_equal(data, words)
+            np.testing.assert_array_equal(fixed, codes)
+
+
+class TestDoubleBitDetection:
+    def test_all_741_double_flips_flagged(self):
+        code = int(secded_encode(0xCAFEBABE & 0xFFFFFFFF))
+        pairs = [
+            (i, j)
+            for i in range(CODEWORD_BITS)
+            for j in range(i + 1, CODEWORD_BITS)
+        ]
+        assert len(pairs) == 741
+        corrupted = np.array(
+            [code ^ (1 << i) ^ (1 << j) for i, j in pairs], dtype=np.int64
+        )
+        _fixed, _data, status = secded_scrub(corrupted)
+        assert (status == STATUS_DOUBLE).all()
+
+    @given(words32, st.integers(0, CODEWORD_BITS - 1), st.integers(0, CODEWORD_BITS - 1))
+    def test_double_flip_never_miscorrects_silently(self, word, b1, b2):
+        if b1 == b2:
+            return
+        _data, status = secded_decode(secded_encode(word) ^ (1 << b1) ^ (1 << b2))
+        assert int(status) == STATUS_DOUBLE
+
+
+class TestScrub:
+    def test_scrub_mixed_batch(self):
+        words = np.array([10, 20, 30], dtype=np.int64)
+        codes = secded_encode(words)
+        corrupted = codes.copy()
+        corrupted[1] ^= 1 << 7  # single: correctable
+        corrupted[2] ^= (1 << 3) | (1 << 30)  # double: detected
+        fixed, data, status = secded_scrub(corrupted)
+        assert list(status) == [STATUS_CLEAN, STATUS_CORRECTED, STATUS_DOUBLE]
+        assert fixed[0] == codes[0] and fixed[1] == codes[1]
+        assert data[0] == 10 and data[1] == 20
+
+
+def test_encode_masks_to_32_bits():
+    # hardware-like truncation: only the low 32 bits are stored
+    assert secded_encode(1 << DATA_BITS) == secded_encode(0)
+    assert secded_encode((1 << DATA_BITS) | 5) == secded_encode(5)

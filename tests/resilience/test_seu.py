@@ -1,0 +1,140 @@
+"""SEU injector determinism and draw semantics (both modelling levels)."""
+
+import numpy as np
+
+from repro.resilience.seu import (
+    CORE_REGISTER_TARGETS,
+    FSM_STATE_SPACE,
+    CycleSEUEvent,
+    CycleSEUInjector,
+    SEUInjector,
+    UpsetRates,
+    _fsm_flip,
+)
+
+RATES = UpsetRates.uniform(1e-3)
+
+
+def drain(injector, replica, gens=50, pop=32, word_bits=32):
+    """Materialise ``gens`` boundaries of draws as comparable tuples."""
+    out = []
+    for gen in range(gens):
+        u = injector.draw(replica, pop, word_bits, pop if gen == 0 else pop - 1)
+        out.append(
+            (
+                u.mem_slots.tolist(),
+                u.mem_bits.tolist(),
+                u.rng_bits.tolist(),
+                u.best_bits.tolist(),
+                u.fem_faults,
+                u.fem_stuck,
+            )
+        )
+    return out
+
+
+class TestUpsetRates:
+    def test_uniform_scales_exposure(self):
+        r = UpsetRates.uniform(1e-4)
+        assert r.memory == r.rng == r.best_reg == 1e-4
+        assert r.fem == 16 * 1e-4
+        assert r.fem_stuck == 4 * 1e-4
+
+    def test_total_zero(self):
+        assert UpsetRates.uniform(0.0).total_zero()
+        assert not RATES.total_zero()
+
+
+class TestSEUInjector:
+    def test_same_seed_same_stream(self):
+        a = SEUInjector(RATES, seed=7, n_replicas=2)
+        b = SEUInjector(RATES, seed=7, n_replicas=2)
+        assert drain(a, 0) == drain(b, 0)
+        assert drain(a, 1) == drain(b, 1)
+        assert a.counts == b.counts
+
+    def test_different_seed_different_stream(self):
+        a = SEUInjector(RATES, seed=7)
+        b = SEUInjector(RATES, seed=8)
+        assert drain(a, 0) != drain(b, 0)
+
+    def test_replica_offset_reproduces_batch_stream(self):
+        # the property the serial-vs-batch parity rests on: batch replica r
+        # and a serial injector with replica_offset=r draw identically
+        batch = SEUInjector(RATES, seed=11, n_replicas=4)
+        for r in range(4):
+            solo = SEUInjector(RATES, seed=11, n_replicas=1, replica_offset=r)
+            assert drain(batch, r) == drain(solo, 0)
+
+    def test_zero_rates_draw_nothing_and_consume_nothing(self):
+        inj = SEUInjector(UpsetRates.uniform(0.0), seed=3)
+        before = inj._streams[0].bit_generator.state
+        for gen in range(20):
+            assert inj.draw(0, 32, 32, 32).empty
+        assert inj._streams[0].bit_generator.state == before
+        assert all(v == 0 for v in inj.counts.values())
+
+    def test_counts_accumulate(self):
+        inj = SEUInjector(UpsetRates.uniform(5e-3), seed=5)
+        drain(inj, 0, gens=100)
+        assert inj.counts["memory"] > 0
+        assert inj.counts["rng"] > 0
+        assert inj.counts["best"] > 0
+
+    def test_secded_widens_cross_section(self):
+        # same seed, wider word: more expected memory upsets on average
+        narrow = SEUInjector(UpsetRates(memory=2e-3), seed=9)
+        wide = SEUInjector(UpsetRates(memory=2e-3), seed=9)
+        drain(narrow, 0, gens=300, word_bits=32)
+        drain(wide, 0, gens=300, word_bits=39)
+        assert wide.counts["memory"] > narrow.counts["memory"]
+        # and the drawn bit positions actually reach the parity bits
+        inj = SEUInjector(UpsetRates(memory=5e-3), seed=1)
+        bits = np.concatenate(
+            [inj.draw(0, 64, 39, 0).mem_bits for _ in range(200)]
+        )
+        assert bits.max() >= 32
+
+
+class TestFSMFlip:
+    def test_in_range_flip_lands_on_named_state(self):
+        assert _fsm_flip(0, 1) == FSM_STATE_SPACE[2]
+
+    def test_out_of_range_flip_is_lockup(self):
+        # bit 5 flips index by 32, always past the 30 named states
+        for index in range(len(FSM_STATE_SPACE)):
+            assert _fsm_flip(index, 5).startswith("LOCKUP_")
+
+    def test_register_targets_exist_on_core(self):
+        from repro.core.ga_core import GACore
+        from repro.core.ports import GAPorts
+        from repro.core.rng_module import RNGModule
+        from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+        ports = GAPorts.create()
+        core = GACore(ports, rng_module=RNGModule(ports, CellularAutomatonPRNG(1)))
+        for name in CORE_REGISTER_TARGETS:
+            assert hasattr(core, name), name
+
+
+class TestCycleSEUInjector:
+    def test_events_sorted_by_tick(self):
+        inj = CycleSEUInjector(
+            [
+                CycleSEUEvent(50, "memory", addr=1),
+                CycleSEUEvent(10, "rng", bit=2),
+            ]
+        )
+        assert [e.tick for e in inj.events] == [10, 50]
+
+    def test_poisson_schedule_deterministic(self):
+        a = CycleSEUInjector.poisson_schedule(seed=4, duration_ticks=10_000, mean_upsets=20)
+        b = CycleSEUInjector.poisson_schedule(seed=4, duration_ticks=10_000, mean_upsets=20)
+        assert a.events == b.events
+        assert all(e.tick < 10_000 for e in a.events)
+
+    def test_poisson_schedule_respects_domains(self):
+        inj = CycleSEUInjector.poisson_schedule(
+            seed=4, duration_ticks=1_000, mean_upsets=30, domains=("memory",)
+        )
+        assert {e.domain for e in inj.events} == {"memory"}

@@ -1,0 +1,42 @@
+"""Smoke test: every script in examples/ imports and runs its fast path.
+
+Each example is executed as a real subprocess (``python examples/x.py``)
+with ``REPRO_EXAMPLES_FAST=1``, which the heavier scripts honor by
+shrinking their workloads.  The test asserts a zero exit status and a
+non-empty stdout — examples are documentation, so a silent pass is as
+suspicious as a traceback.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 9
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_FAST"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"
