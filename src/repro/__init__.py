@@ -20,7 +20,11 @@ a production-quality Python system:
 * :mod:`repro.analysis`   — convergence metrics, the Table VI resource
   estimator, the Sec. IV-C timing model, figure-series extraction;
 * :mod:`repro.experiments` — one runner per paper table/figure;
-* :mod:`repro.parallel`   — the island-model multi-core extension.
+* :mod:`repro.parallel`   — the island-model multi-core extension;
+* :mod:`repro.resilience` — SEU injection, SECDED/watchdog hardening,
+  fault campaigns;
+* :mod:`repro.service`    — GA-as-a-service: async job scheduler with
+  dynamic batching, a worker pool, and service metrics.
 
 Quickstart::
 
@@ -44,6 +48,7 @@ from repro.core import (
     PresetMode,
 )
 from repro.fitness import by_name as fitness_by_name
+from repro.service import GARequest, GAService
 
 __version__ = "1.0.0"
 
@@ -55,6 +60,8 @@ __all__ = [
     "BehavioralGA",
     "DualCoreGA32",
     "PresetMode",
+    "GARequest",
+    "GAService",
     "fitness_by_name",
     "__version__",
 ]

@@ -8,6 +8,8 @@ Usage::
     python -m repro fig13                # one hardware convergence figure
     python -m repro speedup              # Sec. IV-C comparison
     python -m repro run --fitness mBF6_2 --pop 64 --gens 64 --seed 0x061F
+    python -m repro serve --port 7117   # GA-as-a-service TCP front end
+    python -m repro submit --port 7117 --fitness mShubert2D --seed 0x2961
 
 The heavy sweeps print progress to stderr; all artefact output goes to
 stdout as aligned text tables or ASCII plots, the same renderings the
@@ -185,6 +187,74 @@ def cmd_campaign(args) -> None:
         print(f"report written to {args.json}", file=sys.stderr)
 
 
+def cmd_serve(args) -> None:
+    from repro.service import BatchPolicy, GAService, serve
+
+    policy = BatchPolicy(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        admit_interval=args.admit_interval,
+        max_pending=args.max_pending,
+    )
+    service = GAService(
+        workers=args.workers, mode=args.mode, policy=policy
+    ).start()
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving on {host}:{port}", flush=True)
+        print(
+            f"workers={args.workers} mode={args.mode} "
+            f"max_batch={policy.max_batch} admit_interval={policy.admit_interval}",
+            file=sys.stderr,
+        )
+
+    try:
+        serve(
+            service,
+            host=args.host,
+            port=args.port,
+            max_jobs=args.max_jobs or None,
+            ready_callback=ready,
+        )
+    finally:
+        service.shutdown()
+        print(service.metrics.to_json(), file=sys.stderr)
+
+
+def cmd_submit(args) -> None:
+    import json
+
+    from repro import GAParameters
+    from repro.service import GARequest, submit_remote
+
+    request = GARequest(
+        params=GAParameters(
+            n_generations=args.gens,
+            population_size=args.pop,
+            crossover_threshold=args.xover,
+            mutation_threshold=args.mut,
+            rng_seed=int(args.seed, 0),
+        ),
+        fitness_name=args.fitness,
+        priority=args.priority,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        protection=args.protection or None,
+        upset_rate=args.upset_rate,
+    )
+    result = submit_remote(args.host, args.port, request, timeout=args.timeout_s)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"job {result.job_id}: {result.fitness_name} best "
+            f"{result.best_fitness} at {result.best_individual} "
+            f"({result.evaluations} evaluations, "
+            f"{result.latency_s * 1e3:.1f} ms latency, "
+            f"{result.n_chunks} chunk(s)"
+            f"{', DEADLINE MISSED' if result.deadline_missed else ''})"
+        )
+
+
 def cmd_list(_args) -> None:
     for name in sorted(COMMANDS):
         print(name)
@@ -203,6 +273,8 @@ COMMANDS = {
     "speedup": cmd_speedup,
     "run": cmd_run,
     "campaign": cmd_campaign,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "list": cmd_list,
 }
 
@@ -243,6 +315,37 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--replicas", type=int, default=4)
             p.add_argument("--campaign-seed", type=int, default=2026)
             p.add_argument("--json", default="", help="also dump the report as JSON")
+        elif name == "serve":
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("--port", type=int, default=0,
+                           help="TCP port (0 picks an ephemeral one)")
+            p.add_argument("--workers", type=int, default=2)
+            p.add_argument("--mode", choices=["thread", "process"],
+                           default="process")
+            p.add_argument("--max-batch", type=int, default=32)
+            p.add_argument("--max-wait-ms", type=float, default=20.0)
+            p.add_argument("--admit-interval", type=int, default=16)
+            p.add_argument("--max-pending", type=int, default=1024)
+            p.add_argument("--max-jobs", type=int, default=0,
+                           help="exit after serving N jobs (0 = forever)")
+        elif name == "submit":
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("--port", type=int, default=7117)
+            p.add_argument("--fitness", default="mBF6_2")
+            p.add_argument("--pop", type=int, default=64)
+            p.add_argument("--gens", type=int, default=64)
+            p.add_argument("--xover", type=int, default=10)
+            p.add_argument("--mut", type=int, default=1)
+            p.add_argument("--seed", default="0x061F")
+            p.add_argument("--priority", type=int, default=0)
+            p.add_argument("--deadline-ms", type=float, default=0.0,
+                           help="advisory deadline (0 = none)")
+            p.add_argument("--protection", default="",
+                           help="resilience preset for hardened execution")
+            p.add_argument("--upset-rate", type=float, default=0.0)
+            p.add_argument("--timeout-s", type=float, default=300.0)
+            p.add_argument("--json", action="store_true",
+                           help="print the full result as JSON")
     return parser
 
 

@@ -280,43 +280,63 @@ class BatchBehavioralGA:
                 )
             )
 
-    # ------------------------------------------------------------------
-    def run(self, initial: np.ndarray | None = None) -> list:
-        """Evolve all replicas; returns one ``GAResult`` per replica.
+    def _validate_initial(self, initial: np.ndarray) -> np.ndarray:
+        """Check a caller-supplied initial population up front.
 
-        ``initial`` optionally seeds every replica's population with an
-        ``(n_replicas, population_size)`` array of already-evaluated
-        individuals (the island model carrying populations across epochs);
-        seeded members are *not* counted as new FEM evaluations.  Final
-        populations land in ``self.final_populations`` and the per-replica
-        RNG end states in ``self.rng_states``.
+        The generation loop assumes 16-bit non-negative integers in an
+        ``(n_replicas, population_size)`` layout; anything else used to
+        surface as a baffling failure (or silent masking) deep inside the
+        loop, so the contract is enforced here with named errors.
         """
-        from repro.core.system import GAResult  # deferred: avoids cycle
+        arr = np.asarray(initial)
+        if arr.dtype == np.bool_ or not np.issubdtype(arr.dtype, np.integer):
+            raise ValueError(
+                "initial populations must be an integer array of 16-bit "
+                f"chromosomes, got dtype {arr.dtype}"
+            )
+        if arr.shape != (self.n_replicas, self.pop):
+            raise ValueError(
+                f"initial populations have shape {arr.shape}, "
+                f"expected ({self.n_replicas}, {self.pop})"
+            )
+        if arr.size and (int(arr.min()) < 0 or int(arr.max()) > 0xFFFF):
+            raise ValueError(
+                "initial population members must be 16-bit values in "
+                f"[0, 65535]; got range [{int(arr.min())}, {int(arr.max())}]"
+            )
+        return arr.astype(np.int64, copy=True)
 
-        n, pop, gens = self.n_replicas, self.pop, self.n_generations
+    # ------------------------------------------------------------------
+    # resumable stepping API: begin / step / finalize.  run() is the
+    # one-shot composition; the serving layer steps slabs one admission
+    # interval at a time so late-arriving jobs can join at generation
+    # boundaries (continuous batching).
+    # ------------------------------------------------------------------
+    def begin(self, initial: np.ndarray | None = None) -> "BatchBehavioralGA":
+        """Initialise (or re-initialise) a run without evolving it.
+
+        Draws or adopts the initial populations, records generation 0, and
+        leaves the engine paused at generation 0.  ``initial`` optionally
+        seeds every replica's population with an
+        ``(n_replicas, population_size)`` array of already-evaluated
+        individuals (the island model carrying populations across epochs,
+        or a service slab resuming suspended jobs); seeded members are
+        *not* counted as new FEM evaluations.
+        """
+        n, pop = self.n_replicas, self.pop
         rows = self._rows
-        single_class = self._slot_tables.shape[0] == 1
-        slot_tt = self._slot_tables[0] if single_class else self._slot_tables
-        class_idx = self._class_idx
         self.histories = [[] for _ in range(n)]
         self.evaluations = np.zeros(n, dtype=np.int64)
 
         if initial is not None:
-            arr = np.asarray(initial, dtype=np.int64) & 0xFFFF
-            if arr.shape != (n, pop):
-                raise ValueError(
-                    f"initial populations have shape {arr.shape}, "
-                    f"expected ({n}, {pop})"
-                )
-            inds = arr.copy()
+            inds = self._validate_initial(initial)
         else:
             inds = self.bank.block2d(pop).astype(np.int64)
             self.evaluations += pop
         fits = self._eval(inds)
         # take over the streams from the bank; positions are handed back
-        # (with the consumed-word count) when the run finishes
+        # (with the consumed-word count) when the run is finalized
         cur = self.bank.pos.copy()
-        consumed = np.zeros(n, dtype=np.int64)
 
         # hardware tie-breaking: first occurrence of the max wins
         best_idx = fits.argmax(axis=1)
@@ -328,10 +348,59 @@ class BatchBehavioralGA:
                 self, 0, inds, fits, best_ind, best_fit, cur
             )
 
+        self._gen = 0
+        self._inds = inds
+        self._fits = fits
+        self._best_ind = best_ind
+        self._best_fit = best_fit
+        self._cur = cur
+        self._consumed = np.zeros(n, dtype=np.int64)
+        self._finalized = False
+        return self
+
+    @property
+    def generation(self) -> int:
+        """Generations evolved since :meth:`begin` (0 right after it)."""
+        if not hasattr(self, "_gen"):
+            raise RuntimeError("call begin() before inspecting the run")
+        return self._gen
+
+    @property
+    def done(self) -> bool:
+        """True once every programmed generation has executed."""
+        return self.generation >= self.n_generations
+
+    def step(self, n_generations: int | None = None) -> int:
+        """Advance up to ``n_generations`` generations (all remaining when
+        ``None``); returns the number actually executed.
+
+        Stepping a run in any sequence of chunk sizes is draw-for-draw
+        identical to one uninterrupted :meth:`run` — the loop below *is*
+        the run loop, merely bounded — which is what lets a serving slab
+        pause at a generation boundary, admit new jobs, and resume.
+        """
+        if not hasattr(self, "_gen"):
+            raise RuntimeError("call begin() before step()")
+        if self._finalized:
+            raise RuntimeError("run already finalized; call begin() to restart")
+        n, pop = self.n_replicas, self.pop
+        rows = self._rows
+        single_class = self._slot_tables.shape[0] == 1
+        slot_tt = self._slot_tables[0] if single_class else self._slot_tables
+        class_idx = self._class_idx
+        remaining = self.n_generations - self._gen
+        todo = remaining if n_generations is None else min(n_generations, remaining)
+        if todo <= 0:
+            return 0
+
+        inds, fits = self._inds, self._fits
+        best_ind, best_fit = self._best_ind, self._best_fit
+        cur, consumed = self._cur, self._consumed
+
         n_pairs = (pop - 1) // 2
         has_tail = (pop - 1) % 2 == 1
 
-        for gen in range(1, gens + 1):
+        for gen in range(self._gen + 1, self._gen + todo + 1):
             cum = fits.cumsum(axis=1)
             total = cum[:, -1:]  # (n, 1) for broadcasting over both parents
             flat = (cum + self._row_offsets).ravel()
@@ -396,23 +465,56 @@ class BatchBehavioralGA:
 
         # each generation evaluates pop - 1 new offspring (the elite is
         # copied with its stored fitness), exactly as the serial engine
-        self.evaluations += gens * (pop - 1)
-        self.bank.pos = cur % self.bank._size
-        self.bank.draws += consumed
-        self.final_populations = inds.copy()
+        self.evaluations += todo * (pop - 1)
+        self._gen += todo
+        self._inds, self._fits = inds, fits
+        self._best_ind, self._best_fit = best_ind, best_fit
+        self._cur, self._consumed = cur, consumed
+        return todo
+
+    def finalize(self) -> list:
+        """Hand the RNG streams back to the bank and build the results.
+
+        Legal at any generation boundary: a partial run's results cover
+        the generations executed so far (the serving layer suspends slabs
+        this way, carrying ``final_populations``/``rng_states`` into a
+        successor batch).  Final populations land in
+        ``self.final_populations`` and the per-replica RNG end states in
+        ``self.rng_states``.
+        """
+        from repro.core.system import GAResult  # deferred: avoids cycle
+
+        if not hasattr(self, "_gen"):
+            raise RuntimeError("call begin() before finalize()")
+        if self._finalized:
+            raise RuntimeError("run already finalized")
+        self._finalized = True
+        self.bank.pos = self._cur % self.bank._size
+        self.bank.draws += self._consumed
+        self.final_populations = self._inds.copy()
         self.rng_states = self.bank.states
         return [
             GAResult(
-                best_individual=int(best_ind[r]),
-                best_fitness=int(best_fit[r]),
+                best_individual=int(self._best_ind[r]),
+                best_fitness=int(self._best_fit[r]),
                 history=self.histories[r],
                 evaluations=int(self.evaluations[r]),
                 params=self.params_list[r],
                 fitness_name=self.fitnesses[r].name,
                 cycles=None,
             )
-            for r in range(n)
+            for r in range(self.n_replicas)
         ]
+
+    def run(self, initial: np.ndarray | None = None) -> list:
+        """Evolve all replicas to completion; one ``GAResult`` per replica.
+
+        Equivalent to ``begin(initial)``, ``step()``, ``finalize()`` — and
+        bit-identical to any other chunking of the same generations.
+        """
+        self.begin(initial)
+        self.step()
+        return self.finalize()
 
 
 def run_batched(

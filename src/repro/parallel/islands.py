@@ -24,7 +24,7 @@ Two execution modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -38,7 +38,13 @@ from repro.rng.cellular_automaton import CellularAutomatonPRNG
 
 @dataclass
 class IslandResult:
-    """Outcome of an island-model run."""
+    """Outcome of an island-model run.
+
+    ``epoch_champions[e][i]`` is island ``i``'s ``(individual, fitness)``
+    champion at the end of epoch ``e`` — the full migration-candidate
+    history, not just the final survivor — which is what job result
+    traces (and migration-policy analysis) need.
+    """
 
     best_individual: int
     best_fitness: int
@@ -46,6 +52,7 @@ class IslandResult:
     migrations: int
     evaluations: int
     best_per_epoch: list[int]
+    epoch_champions: list[list[tuple[int, int]]] = field(default_factory=list)
 
 
 def _epoch_worker(args: tuple) -> tuple[int, list[int], int, int, int, int]:
@@ -182,6 +189,7 @@ class IslandGA:
         evaluations = 0
         migrations = 0
         best_per_epoch: list[int] = []
+        epoch_champions: list[list[tuple[int, int]]] = []
 
         pool = None
         if self.processes > 1:
@@ -209,6 +217,7 @@ class IslandGA:
                     self._migrate(populations, champions)
                     migrations += self.n_islands
                 best_per_epoch.append(max(f for _c, f in island_best))
+                epoch_champions.append([(c, f) for c, f in champions])
         finally:
             if pool is not None:
                 pool.close()
@@ -222,4 +231,5 @@ class IslandGA:
             migrations=migrations,
             evaluations=evaluations,
             best_per_epoch=best_per_epoch,
+            epoch_champions=epoch_champions,
         )

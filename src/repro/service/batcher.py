@@ -1,0 +1,221 @@
+"""Dynamic batching: coalescing pending jobs into resumable slabs.
+
+A *slab* is the serving-layer unit of execution: up to ``max_batch`` jobs
+sharing a population size, evolved together as one
+:class:`~repro.core.batch.BatchBehavioralGA` replica axis.  Jobs in a slab
+may differ in everything else the batch engine permits — generations,
+thresholds, seeds, fitness slots — because the slab advances in *chunks*
+of at most ``admit_interval`` generations and re-forms at every chunk
+boundary: finished jobs retire, and compatible late arrivals are admitted
+(continuous batching, exactly the policy an inference server applies to
+token generation).  The chunk length is clamped to the slab's shortest
+remaining job so retirement always happens on a boundary.
+
+The policy half answers *when* to seal a new slab: immediately once
+``max_batch`` compatible jobs are pending, or when the oldest has waited
+``max_wait_s`` (the classic batching latency/throughput knob), or
+unconditionally while draining for shutdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.stats import GenerationStats
+from repro.service.jobs import GARequest, JobHandle, JobResult, params_to_dict
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the scheduler's batching and admission behaviour."""
+
+    #: slab width cap (the replica axis of one BatchBehavioralGA)
+    max_batch: int = 32
+    #: max seconds the oldest pending job waits before a partial slab seals
+    max_wait_s: float = 0.02
+    #: generations per chunk — the late-admission boundary spacing
+    admit_interval: int = 16
+    #: admission-control bound on the pending queue (backpressure)
+    max_pending: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0: {self.max_wait_s}")
+        if self.admit_interval < 1:
+            raise ValueError(
+                f"admit_interval must be >= 1: {self.admit_interval}"
+            )
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1: {self.max_pending}")
+
+
+def compat_key(record: "JobRecord") -> tuple:
+    """Jobs sharing this key may ride one slab.
+
+    Only the population size is structural (it is the member axis of the
+    2-D population array); hardened jobs are never batched — their fault
+    streams are addressed per solo run — so each gets a unique key.
+    """
+    if record.request.protection is not None:
+        return ("hardened", record.seq)
+    return ("batch", record.request.params.population_size)
+
+
+@dataclass
+class JobRecord:
+    """Scheduler-side state of one job across its slab chunks."""
+
+    job_id: int
+    request: GARequest
+    handle: JobHandle
+    submitted_at: float
+    seq: int
+    remaining: int = 0
+    population: list[int] | None = None
+    rng_state: int | None = None
+    evaluations: int = 0
+    chunks: int = 0
+    started_at: float | None = None
+    stats: list[tuple[int, int, int]] = field(default_factory=list)
+    best_individual: int = 0
+    best_fitness: int = -1
+    protection_stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.remaining = self.request.params.n_generations
+
+    @property
+    def deadline_at(self) -> float:
+        if self.request.deadline_s is None:
+            return float("inf")
+        return self.submitted_at + self.request.deadline_s
+
+    def order_key(self) -> tuple:
+        """Pending-queue order: priority, then EDF, then FIFO."""
+        return (self.request.priority, self.deadline_at, self.seq)
+
+    def to_result(self, completed_at: float) -> JobResult:
+        pop = self.request.params.population_size
+        return JobResult(
+            job_id=self.job_id,
+            best_individual=self.best_individual,
+            best_fitness=self.best_fitness,
+            evaluations=self.evaluations,
+            fitness_name=self.request.fitness_name,
+            params=self.request.params,
+            history=[
+                GenerationStats(
+                    generation=g, best_fitness=bf, best_individual=bi,
+                    fitness_sum=fs, population_size=pop,
+                )
+                for g, (bf, bi, fs) in enumerate(self.stats)
+            ],
+            latency_s=completed_at - self.submitted_at,
+            wait_s=(self.started_at or completed_at) - self.submitted_at,
+            n_chunks=self.chunks,
+            deadline_missed=completed_at > self.deadline_at,
+            protection_stats=self.protection_stats,
+        )
+
+
+class Slab:
+    """A set of co-executing jobs plus the chunk bookkeeping around them."""
+
+    _ids = itertools.count()
+
+    def __init__(self, entries: list[JobRecord], policy: BatchPolicy):
+        if not entries:
+            raise ValueError("slab needs at least one job")
+        self.slab_id = next(Slab._ids)
+        self.entries = list(entries)
+        self.policy = policy
+        self.hardened = entries[0].request.protection is not None
+        if self.hardened and len(entries) != 1:
+            raise ValueError("hardened jobs run in single-job slabs")
+        self.pop = entries[0].request.params.population_size
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def capacity_left(self) -> int:
+        if self.hardened:
+            return 0
+        return self.policy.max_batch - len(self.entries)
+
+    def admit(self, records: list[JobRecord]) -> None:
+        """Merge late arrivals at a chunk boundary."""
+        if self.hardened and records:
+            raise ValueError("hardened slabs do not admit")
+        self.entries.extend(records)
+
+    def next_chunk_gens(self) -> int:
+        """Chunk length: the admission interval, clamped to the shortest
+        remaining job so retirements land on chunk boundaries.  Hardened
+        slabs run to completion in one chunk (their fault injection is
+        addressed against an uninterrupted run)."""
+        shortest = min(r.remaining for r in self.entries)
+        if self.hardened:
+            return shortest
+        return min(self.policy.admit_interval, shortest)
+
+    def make_spec(self, chunk_gens: int) -> dict:
+        """The picklable worker payload for the next chunk."""
+        spec_entries = []
+        for record in self.entries:
+            spec_entries.append(
+                {
+                    "job_id": record.job_id,
+                    "params": params_to_dict(record.request.params),
+                    "fitness": record.request.fitness_name,
+                    "population": record.population,
+                    "rng_state": record.rng_state,
+                    "record_stats": record.request.record_trace,
+                }
+            )
+        protection = None
+        if self.hardened:
+            req = self.entries[0].request
+            protection = {
+                "preset": req.protection,
+                "upset_rate": req.upset_rate,
+                "campaign_seed": req.campaign_seed,
+            }
+        return {
+            "chunk_gens": chunk_gens,
+            "entries": spec_entries,
+            "protection": protection,
+        }
+
+    def apply_chunk(self, out: dict, chunk_gens: int) -> list[JobRecord]:
+        """Fold a worker's chunk result back into the records.
+
+        Returns the records that finished with this chunk (and removes
+        them from the slab).  Trace splicing: a resumed chunk's local
+        generation 0 restates the previous chunk's final generation, so it
+        is dropped before concatenation — the spliced trace is then
+        bit-identical to one uninterrupted run's.
+        """
+        by_id = {r.job_id: r for r in self.entries}
+        finished: list[JobRecord] = []
+        for entry_out in out["entries"]:
+            record = by_id[entry_out["job_id"]]
+            rows = entry_out["stats"]
+            if record.chunks > 0:
+                rows = rows[1:]
+            record.stats.extend(rows)
+            record.population = entry_out["population"]
+            record.rng_state = entry_out["rng_state"]
+            record.evaluations += entry_out["evaluations"]
+            record.best_individual = entry_out["best_individual"]
+            record.best_fitness = entry_out["best_fitness"]
+            record.protection_stats = entry_out["protection_stats"]
+            record.chunks += 1
+            record.remaining -= chunk_gens
+            if record.remaining <= 0:
+                finished.append(record)
+        self.entries = [r for r in self.entries if r.remaining > 0]
+        return finished

@@ -1,0 +1,225 @@
+"""Job types for the GA serving layer: requests, handles, results.
+
+A :class:`GARequest` is one client run of the GA core — the five Table III
+parameters plus a fitness *slot* (the Sec. III-B.5 8-way FEM mux, here the
+paper test-function registry), scheduling hints (priority, deadline), and
+an optional resilience preset for hardened execution.  Submitting one to a
+:class:`~repro.service.server.GAService` returns a :class:`JobHandle`
+immediately; the scheduler later fulfils it with a :class:`JobResult`
+whose best individual / fitness / evaluations / per-generation trace are
+bit-identical to a solo serial :class:`~repro.core.behavioral.BehavioralGA`
+run of the same seed and parameters (the parity property locked down in
+``tests/service/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.params import GAParameters
+from repro.core.stats import GenerationStats
+from repro.fitness.functions import REGISTRY
+
+
+def params_to_dict(params: GAParameters) -> dict:
+    """The five Table III parameters as a plain JSON-ready dict."""
+    return {
+        "n_generations": params.n_generations,
+        "population_size": params.population_size,
+        "crossover_threshold": params.crossover_threshold,
+        "mutation_threshold": params.mutation_threshold,
+        "rng_seed": params.rng_seed,
+    }
+
+
+class ServiceError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected the job: the pending queue is at bound."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down and no longer accepts submissions."""
+
+
+class JobFailedError(ServiceError):
+    """The worker executing this job's slab raised; carries the cause."""
+
+
+class JobCancelledError(ServiceError):
+    """The job was dropped by a non-draining shutdown before it finished."""
+
+
+@dataclass(frozen=True)
+class GARequest:
+    """One client job: Table III parameters + fitness slot + scheduling.
+
+    ``priority`` orders the pending queue (lower runs earlier); within a
+    priority class jobs run earliest-deadline-first, then FIFO.
+    ``deadline_s`` is relative to submission and advisory — the scheduler
+    reports misses (``JobResult.deadline_missed``) rather than killing
+    late jobs.  ``protection``/``upset_rate``/``campaign_seed`` request
+    hardened execution through the resilience layer; hardened jobs run in
+    dedicated single-job slabs so their fault injection stays bit-exact
+    against a solo hardened run.
+    """
+
+    params: GAParameters
+    fitness_name: str = "mBF6_2"
+    priority: int = 0
+    deadline_s: float | None = None
+    record_trace: bool = True
+    protection: str | None = None
+    upset_rate: float = 0.0
+    campaign_seed: int = 2026
+
+    def __post_init__(self) -> None:
+        if self.fitness_name not in REGISTRY:
+            raise ValueError(
+                f"unknown fitness slot {self.fitness_name!r}; "
+                f"available: {sorted(REGISTRY)}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive: {self.deadline_s}")
+        if self.protection is not None:
+            from repro.resilience import PROTECTION_PRESETS
+
+            if self.protection not in PROTECTION_PRESETS:
+                raise ValueError(
+                    f"unknown protection preset {self.protection!r}; "
+                    f"available: {sorted(PROTECTION_PRESETS)}"
+                )
+        if self.upset_rate < 0:
+            raise ValueError(f"upset_rate must be >= 0: {self.upset_rate}")
+
+    # -- wire format (the ``repro submit`` TCP client) ------------------
+    def to_dict(self) -> dict:
+        return {
+            "params": params_to_dict(self.params),
+            "fitness_name": self.fitness_name,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+            "record_trace": self.record_trace,
+            "protection": self.protection,
+            "upset_rate": self.upset_rate,
+            "campaign_seed": self.campaign_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GARequest":
+        return cls(
+            params=GAParameters(**data["params"]),
+            fitness_name=data.get("fitness_name", "mBF6_2"),
+            priority=int(data.get("priority", 0)),
+            deadline_s=data.get("deadline_s"),
+            record_trace=bool(data.get("record_trace", True)),
+            protection=data.get("protection"),
+            upset_rate=float(data.get("upset_rate", 0.0)),
+            campaign_seed=int(data.get("campaign_seed", 2026)),
+        )
+
+
+@dataclass
+class JobResult:
+    """What a completed job streams back to its client."""
+
+    job_id: int
+    best_individual: int
+    best_fitness: int
+    evaluations: int
+    fitness_name: str
+    params: GAParameters
+    history: list[GenerationStats] = field(default_factory=list)
+    #: seconds from submission to completion / from submission to first
+    #: chunk dispatch
+    latency_s: float = 0.0
+    wait_s: float = 0.0
+    #: slab chunks this job rode in (1 = never suspended)
+    n_chunks: int = 0
+    deadline_missed: bool = False
+    #: harness counters for hardened jobs (rollbacks, corrected words, ...)
+    protection_stats: dict = field(default_factory=dict)
+
+    def best_series(self) -> list[int]:
+        """Best fitness per generation (matches ``GAResult.best_series``)."""
+        return [g.best_fitness for g in self.history]
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "best_individual": self.best_individual,
+            "best_fitness": self.best_fitness,
+            "evaluations": self.evaluations,
+            "fitness_name": self.fitness_name,
+            "params": params_to_dict(self.params),
+            "history": [
+                [g.generation, g.best_fitness, g.best_individual, g.fitness_sum]
+                for g in self.history
+            ],
+            "population_size": self.params.population_size,
+            "latency_s": self.latency_s,
+            "wait_s": self.wait_s,
+            "n_chunks": self.n_chunks,
+            "deadline_missed": self.deadline_missed,
+            "protection_stats": self.protection_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        pop = int(data["population_size"])
+        return cls(
+            job_id=int(data["job_id"]),
+            best_individual=int(data["best_individual"]),
+            best_fitness=int(data["best_fitness"]),
+            evaluations=int(data["evaluations"]),
+            fitness_name=data["fitness_name"],
+            params=GAParameters(**data["params"]),
+            history=[
+                GenerationStats(
+                    generation=g, best_fitness=bf, best_individual=bi,
+                    fitness_sum=fs, population_size=pop,
+                )
+                for g, bf, bi, fs in data.get("history", [])
+            ],
+            latency_s=float(data.get("latency_s", 0.0)),
+            wait_s=float(data.get("wait_s", 0.0)),
+            n_chunks=int(data.get("n_chunks", 0)),
+            deadline_missed=bool(data.get("deadline_missed", False)),
+            protection_stats=dict(data.get("protection_stats", {})),
+        )
+
+
+class JobHandle:
+    """Client-side future for one submitted job."""
+
+    def __init__(self, job_id: int, request: GARequest, submitted_at: float):
+        self.job_id = job_id
+        self.request = request
+        self.submitted_at = submitted_at
+        self._event = threading.Event()
+        self._result: JobResult | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block until the job completes; raises on failure/cancellation."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} not done after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    # -- scheduler side -------------------------------------------------
+    def _fulfil(self, result: JobResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()

@@ -1,0 +1,136 @@
+"""Service metrics: queue depth, batch occupancy, latency, throughput.
+
+One :class:`ServiceMetrics` instance rides along the whole service stack;
+every touchpoint (submit, dispatch, chunk completion, job completion)
+records into it under a single lock, and :meth:`snapshot` renders the
+JSON-ready view that ``bench_service_throughput.py`` dumps into
+``BENCH_results.json`` and ``repro serve`` exposes over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters and gauges for one service lifetime."""
+
+    #: cap on per-job latency samples kept for the percentile estimates
+    MAX_SAMPLES = 100_000
+
+    def __init__(self, max_batch: int = 1):
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.max_batch = max(1, max_batch)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self.chunks = 0
+        self.chunk_occupancy_sum = 0.0
+        self.max_occupancy = 0
+        self.generations_executed = 0
+        self.latencies_s: list[float] = []
+        self.waits_s: list[float] = []
+
+    # -- recording hooks ------------------------------------------------
+    def job_submitted(self, depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth = depth
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def job_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def queue_drained_to(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+
+    def chunk_dispatched(self, n_entries: int, chunk_gens: int) -> None:
+        with self._lock:
+            self.chunks += 1
+            self.chunk_occupancy_sum += n_entries / self.max_batch
+            self.max_occupancy = max(self.max_occupancy, n_entries)
+            self.generations_executed += n_entries * chunk_gens
+
+    def job_completed(self, latency_s: float, wait_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            if len(self.latencies_s) < self.MAX_SAMPLES:
+                self.latencies_s.append(latency_s)
+                self.waits_s.append(wait_s)
+
+    def job_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The full service state as a plain JSON-serializable dict."""
+        with self._lock:
+            uptime = max(time.monotonic() - self.started_at, 1e-9)
+            lat = list(self.latencies_s)
+            waits = list(self.waits_s)
+            return {
+                "uptime_s": round(uptime, 3),
+                "jobs": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "rejected": self.rejected,
+                    "pending": self.queue_depth,
+                },
+                "queue": {
+                    "depth": self.queue_depth,
+                    "max_depth": self.max_queue_depth,
+                },
+                "batching": {
+                    "chunks": self.chunks,
+                    "max_batch": self.max_batch,
+                    "mean_occupancy": round(
+                        self.chunk_occupancy_sum / self.chunks, 4
+                    )
+                    if self.chunks
+                    else 0.0,
+                    "max_occupancy": self.max_occupancy,
+                },
+                "latency": {
+                    "p50_ms": round(percentile(lat, 50) * 1e3, 3),
+                    "p95_ms": round(percentile(lat, 95) * 1e3, 3),
+                    "max_ms": round(max(lat) * 1e3, 3) if lat else 0.0,
+                    "mean_wait_ms": round(
+                        sum(waits) / len(waits) * 1e3, 3
+                    )
+                    if waits
+                    else 0.0,
+                },
+                "throughput": {
+                    "jobs_per_s": round(self.completed / uptime, 3),
+                    "generations_per_s": round(
+                        self.generations_executed / uptime, 1
+                    ),
+                },
+            }
+
+    def to_json(self, path: str | None = None) -> str:
+        """Render the snapshot as JSON; optionally also write it to a file."""
+        text = json.dumps(self.snapshot(), indent=2, sort_keys=True)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+        return text

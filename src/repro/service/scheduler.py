@@ -1,0 +1,256 @@
+"""The async job scheduler: bounded queue, slab formation, dispatch.
+
+One scheduler thread owns the pending queue and the set of in-flight
+slabs.  Its loop is event-driven: it sleeps on a condition variable and
+wakes on submission, chunk completion, shutdown, or the expiry of the
+oldest pending job's ``max_wait_s`` batching window, then seals every
+*ready* group of compatible jobs into a :class:`~repro.service.batcher.Slab`
+and dispatches its first chunk to the worker pool.  A group is ready when
+it is full (``max_batch``), aged (``max_wait_s``), hardened (nothing to
+wait for — it cannot batch), or the service is draining.
+
+Chunk completions are folded back in from the pool's callback thread:
+finished jobs retire and fulfil their handles, compatible pending jobs are
+admitted into the freed replica rows, and a non-empty slab re-dispatches
+immediately so workers never idle while work exists.  Because each job's
+evolution depends only on its own seed, parameters, and carried state,
+*no scheduling decision can change a job's numbers* — arrival order,
+batch width, chunk boundaries, and worker count only move wall-clock time
+(property-tested in ``tests/service/test_determinism.py``).
+
+Backpressure is explicit: ``submit`` raises
+:class:`~repro.service.jobs.QueueFullError` once ``max_pending`` jobs
+wait, and :class:`~repro.service.jobs.ServiceClosedError` after shutdown
+begins.  Shutdown drains by default (every accepted job completes);
+``drain=False`` cancels pending jobs and fails in-flight ones at their
+next chunk boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+from repro.service.batcher import BatchPolicy, JobRecord, Slab, compat_key
+from repro.service.jobs import (
+    GARequest,
+    JobCancelledError,
+    JobFailedError,
+    JobHandle,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.workers import WorkerPool
+
+
+class Scheduler:
+    """Continuous-batching job scheduler over a worker pool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        policy: BatchPolicy | None = None,
+        metrics: ServiceMetrics | None = None,
+    ):
+        self.pool = pool
+        self.policy = policy or BatchPolicy()
+        self.metrics = metrics or ServiceMetrics(max_batch=self.policy.max_batch)
+        self._cond = threading.Condition()
+        self._pending: dict[tuple, list[JobRecord]] = {}
+        self._pending_count = 0
+        self._inflight: dict[int, Slab] = {}
+        self._chunk_gens: dict[int, int] = {}
+        self._slots_free = pool.n_workers
+        self._seq = itertools.count()
+        self._closing = False
+        self._draining = True
+        self._started = False
+        self._thread = threading.Thread(
+            target=self._loop, name="ga-scheduler", daemon=True
+        )
+
+    # -- client API -----------------------------------------------------
+    def start(self) -> "Scheduler":
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    def submit(self, request: GARequest) -> JobHandle:
+        """Enqueue one job; returns its handle immediately.
+
+        Raises :class:`QueueFullError` (admission control) or
+        :class:`ServiceClosedError` (shutdown in progress).
+        """
+        with self._cond:
+            if self._closing:
+                raise ServiceClosedError("service is shutting down")
+            if self._pending_count >= self.policy.max_pending:
+                self.metrics.job_rejected()
+                raise QueueFullError(
+                    f"pending queue at bound ({self.policy.max_pending})"
+                )
+            seq = next(self._seq)
+            now = time.monotonic()
+            handle = JobHandle(seq, request, now)
+            record = JobRecord(
+                job_id=seq, request=request, handle=handle,
+                submitted_at=now, seq=seq,
+            )
+            self._pending.setdefault(compat_key(record), []).append(record)
+            self._pending_count += 1
+            self.metrics.job_submitted(self._pending_count)
+            self._cond.notify_all()
+            return handle
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting jobs; drain (default) or cancel the backlog."""
+        with self._cond:
+            self._closing = True
+            self._draining = drain
+            if not drain:
+                for records in self._pending.values():
+                    for record in records:
+                        record.handle._fail(
+                            JobCancelledError(
+                                f"job {record.job_id} cancelled by shutdown"
+                            )
+                        )
+                        self.metrics.job_failed()
+                self._pending.clear()
+                self._pending_count = 0
+                self.metrics.queue_drained_to(0)
+            self._cond.notify_all()
+        if self._started:
+            self._thread.join(timeout)
+
+    # -- scheduler loop -------------------------------------------------
+    def _loop(self) -> None:
+        with self._cond:
+            while True:
+                now = time.monotonic()
+                self._dispatch_ready(now)
+                if (
+                    self._closing
+                    and self._pending_count == 0
+                    and not self._inflight
+                ):
+                    break
+                self._cond.wait(self._wait_timeout(now))
+
+    def _wait_timeout(self, now: float) -> float | None:
+        """Sleep until the oldest group's batching window expires."""
+        if not self._pending or self._slots_free == 0:
+            return None
+        expiry = min(
+            min(r.submitted_at for r in records) + self.policy.max_wait_s
+            for records in self._pending.values()
+            if records
+        )
+        return max(expiry - now, 1e-4)
+
+    def _group_ready(self, key: tuple, records: list[JobRecord], now: float) -> bool:
+        if self._closing:
+            return True
+        if key[0] == "hardened":
+            return True  # solo by construction; waiting buys nothing
+        if len(records) >= self.policy.max_batch:
+            return True
+        oldest = min(r.submitted_at for r in records)
+        return now - oldest >= self.policy.max_wait_s
+
+    def _dispatch_ready(self, now: float) -> None:
+        """Seal and dispatch ready groups while worker slots are free."""
+        while self._slots_free > 0:
+            ready = [
+                key
+                for key, records in self._pending.items()
+                if records and self._group_ready(key, records, now)
+            ]
+            if not ready:
+                return
+            # most urgent group first: the one owning the best-ordered job
+            key = min(
+                ready, key=lambda k: min(r.order_key() for r in self._pending[k])
+            )
+            records = sorted(self._pending[key], key=JobRecord.order_key)
+            taken = records[: self.policy.max_batch]
+            self._pending[key] = records[len(taken):]
+            if not self._pending[key]:
+                del self._pending[key]
+            self._pending_count -= len(taken)
+            self.metrics.queue_drained_to(self._pending_count)
+            self._dispatch(Slab(taken, self.policy))
+
+    def _dispatch(self, slab: Slab) -> None:
+        """Send the slab's next chunk to the pool (lock held)."""
+        chunk = slab.next_chunk_gens()
+        now = time.monotonic()
+        for record in slab.entries:
+            if record.started_at is None:
+                record.started_at = now
+        self._inflight[slab.slab_id] = slab
+        self._chunk_gens[slab.slab_id] = chunk
+        self._slots_free -= 1
+        self.metrics.chunk_dispatched(len(slab), chunk)
+        spec = slab.make_spec(chunk)
+        self.pool.submit_chunk(
+            spec, lambda out, sid=slab.slab_id: self._on_chunk(sid, out)
+        )
+
+    # -- pool callback --------------------------------------------------
+    def _on_chunk(self, slab_id: int, out: dict | BaseException) -> None:
+        with self._cond:
+            slab = self._inflight.pop(slab_id)
+            chunk = self._chunk_gens.pop(slab_id)
+            self._slots_free += 1
+            if isinstance(out, BaseException):
+                for record in slab.entries:
+                    record.handle._fail(
+                        JobFailedError(f"job {record.job_id} failed: {out!r}")
+                    )
+                    self.metrics.job_failed()
+                self._cond.notify_all()
+                return
+            now = time.monotonic()
+            for record in slab.apply_chunk(out, chunk):
+                record.handle._fulfil(record.to_result(now))
+                self.metrics.job_completed(
+                    now - record.submitted_at,
+                    (record.started_at or now) - record.submitted_at,
+                )
+            if self._closing and not self._draining:
+                for record in slab.entries:
+                    record.handle._fail(
+                        JobCancelledError(
+                            f"job {record.job_id} cancelled by shutdown"
+                        )
+                    )
+                    self.metrics.job_failed()
+                slab.entries = []
+            else:
+                self._admit_into(slab)
+            if slab.entries:
+                self._dispatch(slab)
+            self._cond.notify_all()
+
+    def _admit_into(self, slab: Slab) -> None:
+        """Continuous batching: pull compatible pending jobs into freed
+        replica rows at the chunk boundary (lock held)."""
+        capacity = slab.capacity_left
+        if capacity <= 0 or slab.hardened:
+            return
+        key = ("batch", slab.pop)
+        records = self._pending.get(key)
+        if not records:
+            return
+        records.sort(key=JobRecord.order_key)
+        taken = records[:capacity]
+        self._pending[key] = records[len(taken):]
+        if not self._pending[key]:
+            del self._pending[key]
+        self._pending_count -= len(taken)
+        self.metrics.queue_drained_to(self._pending_count)
+        slab.admit(taken)

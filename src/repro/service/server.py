@@ -1,0 +1,194 @@
+"""GA-as-a-service front ends: the in-process facade and a TCP server.
+
+:class:`GAService` is the embeddable form — construct, ``start()``,
+``submit()`` :class:`~repro.service.jobs.GARequest` objects, read
+``metrics``.  It wires the policy, metrics, worker pool, and scheduler
+together and owns their lifecycle (it is also a context manager; leaving
+the block drains and shuts down).
+
+The TCP layer is a deliberately tiny JSON-lines protocol for the
+``repro serve`` / ``repro submit`` CLI pair: one request object per line,
+one response line back.  Ops: ``submit`` (blocks until the job's result
+streams back), ``metrics`` (snapshot), ``ping``.  It is a front door for
+the scheduler, not a message bus — every connection is handled by a
+thread that parks in ``JobHandle.result()``, so the batching and
+backpressure semantics are exactly the in-process ones.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+
+from repro.service.batcher import BatchPolicy
+from repro.service.jobs import (
+    GARequest,
+    JobHandle,
+    JobResult,
+    ServiceError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import Scheduler
+from repro.service.workers import WorkerPool
+
+
+class GAService:
+    """The embeddable GA serving stack: pool + scheduler + metrics."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        mode: str = "thread",
+        policy: BatchPolicy | None = None,
+    ):
+        self.policy = policy or BatchPolicy()
+        self.metrics = ServiceMetrics(max_batch=self.policy.max_batch)
+        self.pool = WorkerPool(workers, mode)
+        self.scheduler = Scheduler(self.pool, self.policy, self.metrics)
+
+    def start(self) -> "GAService":
+        self.scheduler.start()
+        return self
+
+    def submit(self, request: GARequest) -> JobHandle:
+        return self.scheduler.submit(request)
+
+    def run_all(
+        self, requests: list[GARequest], timeout: float | None = None
+    ) -> list[JobResult]:
+        """Submit a burst and block for every result, in request order."""
+        handles = [self.submit(request) for request in requests]
+        return [handle.result(timeout) for handle in handles]
+
+    def snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        self.scheduler.shutdown(drain=drain, timeout=timeout)
+        self.pool.shutdown()
+
+    def __enter__(self) -> "GAService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+
+# ---------------------------------------------------------------------------
+# TCP front end (JSON lines)
+# ---------------------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # one request line, one response line
+        server: ServiceTCPServer = self.server  # type: ignore[assignment]
+        line = self.rfile.readline()
+        if not line.strip():
+            return
+        try:
+            message = json.loads(line)
+            response = server.dispatch(message)
+        except ServiceError as exc:
+            response = {"ok": False, "error": type(exc).__name__, "detail": str(exc)}
+        except Exception as exc:  # malformed input must not kill the server
+            response = {"ok": False, "error": "BadRequest", "detail": str(exc)}
+        self.wfile.write((json.dumps(response) + "\n").encode())
+
+
+class ServiceTCPServer(socketserver.ThreadingTCPServer):
+    """JSON-lines TCP front door over one :class:`GAService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: GAService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_jobs: int | None = None,
+    ):
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.max_jobs = max_jobs
+        self._served = 0
+        self._served_lock = threading.Lock()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def dispatch(self, message: dict) -> dict:
+        op = message.get("op", "submit")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "metrics":
+            return {"ok": True, "metrics": self.service.snapshot()}
+        if op == "submit":
+            request = GARequest.from_dict(message["job"])
+            handle = self.service.submit(request)
+            result = handle.result(timeout=message.get("timeout_s"))
+            self._count_served()
+            return {"ok": True, "result": result.to_dict()}
+        return {"ok": False, "error": "BadRequest", "detail": f"unknown op {op!r}"}
+
+    def _count_served(self) -> None:
+        if self.max_jobs is None:
+            return
+        with self._served_lock:
+            self._served += 1
+            done = self._served >= self.max_jobs
+        if done:
+            # shutdown() must come from outside the serve_forever thread
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def serve(
+    service: GAService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_jobs: int | None = None,
+    ready_callback=None,
+) -> None:
+    """Run the TCP front end until interrupted (or ``max_jobs`` served).
+
+    ``ready_callback(host, port)`` fires once the socket is bound — the
+    CLI prints the endpoint there, and tests learn the ephemeral port.
+    """
+    with ServiceTCPServer(service, host, port, max_jobs) as server:
+        if ready_callback is not None:
+            ready_callback(*server.endpoint)
+        try:
+            server.serve_forever(poll_interval=0.05)
+        except KeyboardInterrupt:
+            pass
+
+
+def call(host: str, port: int, message: dict, timeout: float | None = None) -> dict:
+    """One JSON-lines round trip to a running server."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall((json.dumps(message) + "\n").encode())
+        with sock.makefile("r", encoding="utf-8") as reader:
+            line = reader.readline()
+    if not line:
+        raise ServiceError("server closed the connection without a response")
+    return json.loads(line)
+
+
+def submit_remote(
+    host: str, port: int, request: GARequest, timeout: float | None = None
+) -> JobResult:
+    """Client side of ``repro submit``: send one job, wait for its result."""
+    response = call(
+        host, port,
+        {"op": "submit", "job": request.to_dict(), "timeout_s": timeout},
+        timeout=timeout,
+    )
+    if not response.get("ok"):
+        raise ServiceError(
+            f"{response.get('error', 'ServiceError')}: "
+            f"{response.get('detail', 'remote submission failed')}"
+        )
+    return JobResult.from_dict(response["result"])

@@ -1,0 +1,202 @@
+"""Stateless slab-chunk execution and the worker pool that runs it.
+
+The scheduler owns all slab state; what it ships to a worker is a plain
+picklable *chunk spec* — per-job parameters, carried population and RNG
+state (or "fresh"), and a generation count — and what comes back is the
+updated carried state plus per-generation statistics.  Keeping workers
+stateless makes the pool trivially elastic (any worker can run any chunk)
+and makes late admission a pure scheduler-side merge between chunks.
+
+Bit-exactness contract: a fresh entry draws its initial population with
+its own :class:`~repro.rng.cellular_automaton.CellularAutomatonPRNG`
+exactly as a solo :class:`~repro.core.behavioral.BehavioralGA` would, and
+every chunk then advances the carried stream through
+:class:`~repro.core.batch.BatchBehavioralGA` (itself property-tested
+bit-identical to serial).  Chunking is invisible: the resumed chunk's
+generation-0 record duplicates the previous chunk's last generation and is
+dropped by the scheduler when splicing traces.
+
+Hardened jobs (``protection`` set) bypass batching entirely: the
+resilience harness addresses its fault streams by replica and boundary
+index, so the job runs solo and unchunked through
+:class:`~repro.core.behavioral.BehavioralGA` with a fresh
+:class:`~repro.resilience.harden.ResilienceHarness` — bit-identical to a
+solo hardened run by construction.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import numpy as np
+
+from repro.core.batch import BatchBehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness.functions import by_name
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+def run_slab_chunk(spec: dict) -> dict:
+    """Execute one slab chunk; module-level so process pools can pickle it.
+
+    ``spec``::
+
+        {"chunk_gens": int,
+         "protection": None | {"preset", "upset_rate", "campaign_seed"},
+         "entries": [{"job_id", "params": {...}, "fitness",
+                      "population": [..] | None,   # None -> fresh draw
+                      "rng_state": int | None,
+                      "record_stats": bool}, ...]}
+
+    Returns ``{"entries": [{"job_id", "population", "rng_state",
+    "evaluations", "stats", "best_individual", "best_fitness",
+    "protection_stats"}, ...]}`` where ``stats`` rows are
+    ``(best_fitness, best_individual, fitness_sum)`` for the chunk's local
+    generations 0..chunk_gens (empty when ``record_stats`` is off).
+    """
+    if spec.get("protection") is not None:
+        return _run_hardened(spec)
+
+    chunk = spec["chunk_gens"]
+    entries = spec["entries"]
+    params_list = []
+    fns = []
+    states = []
+    populations = []
+    base_evals = []
+    for entry in entries:
+        params = GAParameters(**entry["params"]).with_(n_generations=chunk)
+        params_list.append(params)
+        fns.append(by_name(entry["fitness"]))
+        if entry["population"] is None:
+            # fresh job joining the slab: draw its initial population from
+            # its own seed exactly as a solo serial run would
+            rng = CellularAutomatonPRNG(params.rng_seed)
+            populations.append(rng.block(params.population_size).tolist())
+            states.append(rng.state)
+            base_evals.append(params.population_size)
+        else:
+            populations.append(entry["population"])
+            states.append(entry["rng_state"])
+            base_evals.append(0)
+
+    batch = BatchBehavioralGA(params_list, fns, rng_states=states)
+    initial = np.asarray(populations, dtype=np.int64)
+    results = batch.run(initial=initial)
+
+    out = []
+    for i, entry in enumerate(entries):
+        stats = (
+            [
+                (g.best_fitness, g.best_individual, g.fitness_sum)
+                for g in results[i].history
+            ]
+            if entry.get("record_stats", True)
+            else []
+        )
+        out.append(
+            {
+                "job_id": entry["job_id"],
+                "population": batch.final_populations[i].tolist(),
+                "rng_state": int(batch.rng_states[i]),
+                "evaluations": base_evals[i] + results[i].evaluations,
+                "stats": stats,
+                "best_individual": results[i].best_individual,
+                "best_fitness": results[i].best_fitness,
+                "protection_stats": {},
+            }
+        )
+    return {"entries": out}
+
+
+def _run_hardened(spec: dict) -> dict:
+    """Solo, unchunked execution of one job under a resilience harness."""
+    from repro.core.behavioral import BehavioralGA
+    from repro.resilience import (
+        PROTECTION_PRESETS,
+        ResilienceHarness,
+        UpsetRates,
+    )
+
+    (entry,) = spec["entries"]
+    prot = spec["protection"]
+    params = GAParameters(**entry["params"])
+    harness = ResilienceHarness(
+        PROTECTION_PRESETS[prot["preset"]],
+        UpsetRates.uniform(prot["upset_rate"]),
+        seed=prot["campaign_seed"],
+        n_replicas=1,
+    )
+    ga = BehavioralGA(
+        params, by_name(entry["fitness"]), record_members=False,
+        resilience=harness,
+    )
+    result = ga.run()
+    stats = (
+        [
+            (g.best_fitness, g.best_individual, g.fitness_sum)
+            for g in result.history
+        ]
+        if entry.get("record_stats", True)
+        else []
+    )
+    return {
+        "entries": [
+            {
+                "job_id": entry["job_id"],
+                "population": ga.final_population.tolist(),
+                "rng_state": int(ga.rng.state),
+                "evaluations": result.evaluations,
+                "stats": stats,
+                "best_individual": result.best_individual,
+                "best_fitness": result.best_fitness,
+                "protection_stats": {
+                    "rollbacks": int(harness.rollbacks[0]),
+                    "generations_lost": int(harness.generations_lost[0]),
+                    "corrected": int(harness.corrected[0]),
+                    "elite_repairs": int(harness.elite_repairs[0]),
+                    "failovers": int(harness.failovers[0]),
+                },
+            }
+        ]
+    }
+
+
+class WorkerPool:
+    """A thin executor wrapper: ``mode`` picks threads or processes.
+
+    ``process`` (the production mode) forks interpreter workers so slab
+    chunks run truly in parallel; ``thread`` keeps everything in-process,
+    which tests prefer (no fork cost, full tracebacks) and which still
+    overlaps numpy work releasing the GIL.
+    """
+
+    def __init__(self, n_workers: int = 2, mode: str = "process"):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1: {n_workers}")
+        if mode not in ("process", "thread"):
+            raise ValueError(f"mode must be 'process' or 'thread': {mode!r}")
+        self.n_workers = n_workers
+        self.mode = mode
+        if mode == "process":
+            self._executor: concurrent.futures.Executor = (
+                concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+            )
+        else:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=n_workers, thread_name_prefix="ga-slab"
+            )
+
+    def submit_chunk(self, spec: dict, callback) -> None:
+        """Run ``run_slab_chunk(spec)``; invoke ``callback(result_or_exc)``
+        from a pool thread when it lands."""
+        future = self._executor.submit(run_slab_chunk, spec)
+
+        def _done(fut: concurrent.futures.Future) -> None:
+            exc = fut.exception()
+            callback(exc if exc is not None else fut.result())
+
+        future.add_done_callback(_done)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)

@@ -1,0 +1,169 @@
+"""Resumable stepping of BatchBehavioralGA + initial-population checks.
+
+The serving layer relies on two engine-level properties:
+
+* *chunk invariance* — stepping a run in any sequence of chunk sizes,
+  within one batch object or across suspend/resume into a successor
+  batch, is draw-for-draw identical to one uninterrupted run;
+* *early validation* — a malformed caller-supplied initial population
+  fails fast with a named ``ValueError``, not deep inside the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBehavioralGA
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness.functions import BF6, F3, MBF6_2
+
+
+def params(**overrides) -> GAParameters:
+    base = dict(
+        n_generations=16,
+        population_size=12,
+        crossover_threshold=10,
+        mutation_threshold=2,
+        rng_seed=45890,
+    )
+    base.update(overrides)
+    return GAParameters(**base)
+
+
+def history_tuples(result):
+    return [
+        (g.generation, g.best_fitness, g.best_individual, g.fitness_sum)
+        for g in result.history
+    ]
+
+
+class TestStepping:
+    def test_chunked_steps_match_one_shot_run(self):
+        params_list = [params(rng_seed=s) for s in (45890, 10593, 1567)]
+        fns = [BF6(), MBF6_2(), F3()]
+        expect = BatchBehavioralGA(params_list, fns).run()
+
+        batch = BatchBehavioralGA(params_list, fns)
+        batch.begin()
+        assert batch.generation == 0 and not batch.done
+        assert batch.step(5) == 5
+        assert batch.generation == 5
+        assert batch.step(3) == 3
+        assert batch.step() == 8  # the remainder
+        assert batch.done
+        assert batch.step(4) == 0  # nothing left
+        got = batch.finalize()
+        for g, e in zip(got, expect):
+            assert g.best_individual == e.best_individual
+            assert g.best_fitness == e.best_fitness
+            assert g.evaluations == e.evaluations
+            assert history_tuples(g) == history_tuples(e)
+
+    def test_suspend_resume_across_batches_matches_solo_serial(self):
+        # run g1 generations in one batch, carry populations + RNG states
+        # into a second batch for g2 more; the spliced trace must be
+        # bit-identical to a solo serial run of g1 + g2 generations
+        g1, g2 = 7, 9
+        seeds = (45890, 10593)
+        first = BatchBehavioralGA(
+            [params(rng_seed=s, n_generations=g1) for s in seeds], BF6()
+        )
+        first_results = first.run()
+
+        second = BatchBehavioralGA(
+            [params(rng_seed=s, n_generations=g2) for s in seeds],
+            BF6(),
+            rng_states=[int(s) for s in first.rng_states],
+        )
+        second_results = second.run(initial=first.final_populations)
+
+        for r, seed in enumerate(seeds):
+            engine = BehavioralGA(
+                params(rng_seed=seed, n_generations=g1 + g2), BF6()
+            )
+            solo = engine.run()
+            # resumed chunk's generation 0 restates the suspension point
+            resumed = history_tuples(second_results[r])
+            suspended = history_tuples(first_results[r])
+            assert resumed[0][1:] == suspended[-1][1:]
+            spliced = suspended + [
+                (g1 + gen, bf, bi, fs) for gen, bf, bi, fs in resumed[1:]
+            ]
+            assert spliced == history_tuples(solo)
+            assert second_results[r].best_individual == solo.best_individual
+            assert second_results[r].best_fitness == solo.best_fitness
+            assert (
+                first_results[r].evaluations + second_results[r].evaluations
+                == solo.evaluations
+            )
+            assert int(second.rng_states[r]) == engine.rng.state
+
+    def test_partial_finalize_matches_shorter_run(self):
+        batch = BatchBehavioralGA([params()], BF6())
+        batch.begin()
+        batch.step(6)
+        partial = batch.finalize()
+        expect = BatchBehavioralGA([params(n_generations=6)], BF6()).run()
+        assert history_tuples(partial[0]) == history_tuples(expect[0])
+        assert partial[0].evaluations == expect[0].evaluations
+
+    def test_lifecycle_guards(self):
+        batch = BatchBehavioralGA([params()], BF6())
+        with pytest.raises(RuntimeError):
+            batch.step()
+        with pytest.raises(RuntimeError):
+            batch.finalize()
+        with pytest.raises(RuntimeError):
+            _ = batch.generation
+        batch.begin()
+        batch.step()
+        batch.finalize()
+        with pytest.raises(RuntimeError):
+            batch.step(1)
+        with pytest.raises(RuntimeError):
+            batch.finalize()
+        # begin() restarts the whole lifecycle
+        batch.begin()
+        batch.step()
+        assert len(batch.finalize()) == 1
+
+
+class TestInitialValidation:
+    def make(self, n=2, pop=12):
+        return BatchBehavioralGA(
+            [params(rng_seed=s, population_size=pop) for s in (45890, 10593)][:n],
+            F3(),
+        )
+
+    def test_float_dtype_rejected(self):
+        batch = self.make()
+        with pytest.raises(ValueError, match="integer array"):
+            batch.run(initial=np.zeros((2, 12), dtype=np.float64))
+
+    def test_bool_dtype_rejected(self):
+        batch = self.make()
+        with pytest.raises(ValueError, match="integer array"):
+            batch.run(initial=np.zeros((2, 12), dtype=bool))
+
+    def test_wrong_shape_rejected_with_expected_shape_named(self):
+        batch = self.make()
+        with pytest.raises(ValueError, match=r"expected \(2, 12\)"):
+            batch.run(initial=np.zeros((2, 8), dtype=np.int64))
+        with pytest.raises(ValueError, match=r"expected \(2, 12\)"):
+            batch.run(initial=np.zeros(12, dtype=np.int64))
+
+    def test_out_of_range_values_rejected(self):
+        batch = self.make()
+        bad = np.zeros((2, 12), dtype=np.int64)
+        bad[1, 3] = 0x10000
+        with pytest.raises(ValueError, match="16-bit"):
+            batch.run(initial=bad)
+        bad[1, 3] = -1
+        with pytest.raises(ValueError, match="16-bit"):
+            batch.run(initial=bad)
+
+    def test_nested_lists_of_ints_accepted(self):
+        batch = self.make()
+        initial = [[7] * 12, [0xFFFF] * 12]
+        results = batch.run(initial=initial)
+        assert len(results) == 2

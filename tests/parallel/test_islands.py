@@ -103,6 +103,29 @@ class TestSequentialRun:
         ).run()
         assert islands.best_fitness >= single.best_fitness * 0.98
 
+    def test_epoch_champions_trace_shape_and_consistency(self):
+        ga = IslandGA(params(), BF6(), n_islands=3, migration_interval=4)
+        result = ga.run()
+        assert len(result.epoch_champions) == 4  # one row per epoch
+        assert all(len(row) == 3 for row in result.epoch_champions)
+        # every champion is a valid (chromosome, fitness) pair
+        for row in result.epoch_champions:
+            for individual, fitness in row:
+                assert 0 <= individual <= 0xFFFF
+                assert fitness >= 0
+        # the running best over the trace reproduces best_per_epoch and
+        # each island's final best matches island_bests
+        running = []
+        best = -1
+        for row in result.epoch_champions:
+            best = max(best, max(f for _c, f in row))
+            running.append(best)
+        assert running == result.best_per_epoch
+        assert [
+            max(f for _c, f in island_row)
+            for island_row in zip(*result.epoch_champions)
+        ] == result.island_bests
+
     def test_evaluations_accumulate_across_islands(self):
         p = params(n_generations=8, population_size=8)
         ga = IslandGA(p, F3(), n_islands=2, migration_interval=4)

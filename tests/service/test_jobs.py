@@ -1,0 +1,88 @@
+"""Request/result types: validation, wire round trips, handle semantics."""
+
+import pytest
+
+from repro.core.params import GAParameters
+from repro.core.stats import GenerationStats
+from repro.service.jobs import GARequest, JobHandle, JobResult
+
+
+def params(**overrides) -> GAParameters:
+    base = dict(
+        n_generations=8,
+        population_size=16,
+        crossover_threshold=10,
+        mutation_threshold=1,
+        rng_seed=45890,
+    )
+    base.update(overrides)
+    return GAParameters(**base)
+
+
+class TestGARequest:
+    def test_unknown_fitness_slot_rejected(self):
+        with pytest.raises(ValueError, match="unknown fitness slot"):
+            GARequest(params=params(), fitness_name="nope")
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            GARequest(params=params(), deadline_s=0)
+
+    def test_unknown_protection_rejected(self):
+        with pytest.raises(ValueError, match="protection preset"):
+            GARequest(params=params(), protection="tinfoil")
+
+    def test_negative_upset_rate_rejected(self):
+        with pytest.raises(ValueError, match="upset_rate"):
+            GARequest(params=params(), upset_rate=-1e-4)
+
+    def test_wire_round_trip(self):
+        request = GARequest(
+            params=params(rng_seed=0x2961),
+            fitness_name="mShubert2D",
+            priority=-2,
+            deadline_s=1.5,
+            record_trace=False,
+            protection="hardened",
+            upset_rate=5e-4,
+            campaign_seed=7,
+        )
+        assert GARequest.from_dict(request.to_dict()) == request
+
+
+class TestJobResult:
+    def test_wire_round_trip_rebuilds_history(self):
+        result = JobResult(
+            job_id=3,
+            best_individual=65521,
+            best_fitness=8183,
+            evaluations=136,
+            fitness_name="mBF6_2",
+            params=params(),
+            history=[
+                GenerationStats(
+                    generation=g, best_fitness=100 + g, best_individual=g,
+                    fitness_sum=1000 + g, population_size=16,
+                )
+                for g in range(3)
+            ],
+            latency_s=0.25,
+            wait_s=0.01,
+            n_chunks=2,
+            deadline_missed=True,
+        )
+        back = JobResult.from_dict(result.to_dict())
+        assert back == result
+        assert back.best_series() == [100, 101, 102]
+
+
+class TestJobHandle:
+    def test_result_times_out_until_fulfilled(self):
+        handle = JobHandle(0, GARequest(params=params()), 0.0)
+        assert not handle.done()
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.01)
+        handle._fail(RuntimeError("boom"))
+        assert handle.done()
+        with pytest.raises(RuntimeError, match="boom"):
+            handle.result(timeout=0.01)

@@ -1,0 +1,149 @@
+"""Scheduler behaviour: backpressure, shutdown, failures, metrics."""
+
+import pytest
+
+from repro.core.params import GAParameters
+from repro.service import (
+    BatchPolicy,
+    GARequest,
+    GAService,
+    JobCancelledError,
+    JobFailedError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.service.batcher import JobRecord
+from repro.service.jobs import JobHandle
+
+
+def request(seed=45890, gens=8, pop=16, **kw) -> GARequest:
+    return GARequest(
+        params=GAParameters(
+            n_generations=gens, population_size=pop,
+            crossover_threshold=10, mutation_threshold=1, rng_seed=seed,
+        ),
+        **kw,
+    )
+
+
+#: a policy that keeps jobs pending: huge batch target, long wait window
+PARKED = BatchPolicy(max_batch=64, max_wait_s=60.0, max_pending=3)
+
+
+class TestAdmissionControl:
+    def test_queue_bound_rejects_with_queue_full(self):
+        service = GAService(workers=1, mode="thread", policy=PARKED).start()
+        try:
+            handles = [service.submit(request(seed=s)) for s in (1, 2, 3)]
+            with pytest.raises(QueueFullError):
+                service.submit(request(seed=4))
+            assert service.metrics.rejected == 1
+        finally:
+            service.shutdown(drain=True)
+        # draining shutdown still completes every accepted job
+        assert all(h.result(timeout=30).best_fitness >= 0 for h in handles)
+
+    def test_submit_after_shutdown_raises_service_closed(self):
+        service = GAService(workers=1, mode="thread").start()
+        service.shutdown(drain=True)
+        with pytest.raises(ServiceClosedError):
+            service.submit(request())
+
+
+class TestShutdown:
+    def test_drain_false_cancels_pending_jobs(self):
+        service = GAService(workers=1, mode="thread", policy=PARKED).start()
+        handles = [service.submit(request(seed=s)) for s in (1, 2)]
+        service.shutdown(drain=False)
+        for handle in handles:
+            with pytest.raises(JobCancelledError):
+                handle.result(timeout=5)
+        assert service.metrics.failed == 2
+
+    def test_context_manager_drains_on_clean_exit(self):
+        with GAService(workers=1, mode="thread") as service:
+            handle = service.submit(request())
+        assert handle.result(timeout=5).best_fitness >= 0
+
+
+class TestFailures:
+    def test_worker_exception_fails_every_job_in_the_slab(self, monkeypatch):
+        import repro.service.workers as workers_mod
+
+        def boom(spec):
+            raise RuntimeError("synthetic worker crash")
+
+        monkeypatch.setattr(workers_mod, "run_slab_chunk", boom)
+        service = GAService(
+            workers=1, mode="thread",
+            policy=BatchPolicy(max_batch=2, max_wait_s=0.01),
+        ).start()
+        try:
+            handles = [service.submit(request(seed=s)) for s in (1, 2)]
+            for handle in handles:
+                with pytest.raises(JobFailedError, match="synthetic"):
+                    handle.result(timeout=10)
+            assert service.metrics.failed == 2
+        finally:
+            service.shutdown(drain=False)
+
+
+class TestSchedulingHints:
+    def test_order_key_priority_then_deadline_then_fifo(self):
+        def rec(seq, priority=0, deadline=None):
+            req = request(priority=priority, deadline_s=deadline)
+            return JobRecord(
+                job_id=seq, request=req, handle=JobHandle(seq, req, 0.0),
+                submitted_at=0.0, seq=seq,
+            )
+
+        urgent = rec(5, priority=-1)
+        tight = rec(3, deadline=0.5)
+        loose = rec(1, deadline=9.0)
+        fifo_a, fifo_b = rec(0), rec(2)
+        ordered = sorted(
+            [fifo_b, loose, urgent, fifo_a, tight], key=JobRecord.order_key
+        )
+        assert [r.seq for r in ordered] == [5, 3, 1, 0, 2]
+
+    def test_missed_deadline_is_reported_not_enforced(self):
+        with GAService(workers=1, mode="thread") as service:
+            result = service.submit(
+                request(gens=32, deadline_s=1e-6)
+            ).result(timeout=30)
+        assert result.deadline_missed
+        assert result.best_fitness >= 0  # the job still ran to completion
+
+    def test_met_deadline_not_flagged(self):
+        with GAService(workers=1, mode="thread") as service:
+            result = service.submit(
+                request(gens=4, deadline_s=60.0)
+            ).result(timeout=30)
+        assert not result.deadline_missed
+
+
+class TestMetrics:
+    def test_snapshot_accounts_for_every_job(self):
+        policy = BatchPolicy(max_batch=4, max_wait_s=0.01, admit_interval=4)
+        with GAService(workers=2, mode="thread", policy=policy) as service:
+            results = service.run_all(
+                [request(seed=s, gens=12) for s in range(1, 9)], timeout=30
+            )
+            snap = service.snapshot()
+        assert len(results) == 8
+        assert snap["jobs"]["submitted"] == 8
+        assert snap["jobs"]["completed"] == 8
+        assert snap["jobs"]["failed"] == 0
+        assert snap["queue"]["depth"] == 0
+        assert snap["batching"]["chunks"] >= 3  # 12 gens / admit_interval 4
+        assert 0 < snap["batching"]["mean_occupancy"] <= 1.0
+        assert snap["latency"]["p95_ms"] >= snap["latency"]["p50_ms"] > 0
+        assert snap["throughput"]["generations_per_s"] > 0
+
+    def test_hardened_job_reports_protection_stats(self):
+        with GAService(workers=1, mode="thread") as service:
+            result = service.submit(
+                request(gens=16, protection="hardened", upset_rate=1e-3)
+            ).result(timeout=30)
+        assert result.n_chunks == 1  # hardened jobs never split or batch
+        assert set(result.protection_stats) >= {"rollbacks", "corrected"}

@@ -19,7 +19,7 @@ EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
 
 
 def test_examples_discovered():
-    assert len(EXAMPLES) >= 9
+    assert len(EXAMPLES) >= 10
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
