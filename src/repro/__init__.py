@@ -24,7 +24,10 @@ a production-quality Python system:
 * :mod:`repro.resilience` — SEU injection, SECDED/watchdog hardening,
   fault campaigns;
 * :mod:`repro.service`    — GA-as-a-service: async job scheduler with
-  dynamic batching, a worker pool, and service metrics.
+  dynamic batching, a worker pool, and service metrics;
+* :mod:`repro.obs`        — unified observability: structured tracing,
+  the process-wide metrics registry, and profiling hooks (zero-cost
+  when disabled, bit-identical results when enabled).
 
 Quickstart::
 
@@ -48,6 +51,7 @@ from repro.core import (
     PresetMode,
 )
 from repro.fitness import by_name as fitness_by_name
+from repro.obs import Tracer, read_trace, use_tracer
 from repro.service import GARequest, GAService
 
 __version__ = "1.0.0"
@@ -62,6 +66,9 @@ __all__ = [
     "PresetMode",
     "GARequest",
     "GAService",
+    "Tracer",
+    "read_trace",
+    "use_tracer",
     "fitness_by_name",
     "__version__",
 ]

@@ -120,29 +120,132 @@ def cmd_speedup(_args) -> None:
     _print_table("Sec. IV-C runtime comparison", report["rows"])
 
 
-def cmd_run(args) -> None:
-    from repro import BehavioralGA, GAParameters, GASystem, fitness_by_name
-    from repro.analysis.convergence import convergence_generation
+def _run_params(args):
+    from repro import GAParameters
 
-    params = GAParameters(
+    return GAParameters(
         n_generations=args.gens,
         population_size=args.pop,
         crossover_threshold=args.xover,
         mutation_threshold=args.mut,
         rng_seed=int(args.seed, 0),
     )
+
+
+def cmd_run(args) -> None:
+    from repro import BehavioralGA, GASystem, fitness_by_name
+    from repro.analysis.convergence import convergence_generation
+    from repro.obs import Tracer
+
+    params = _run_params(args)
     fn = fitness_by_name(args.fitness)
-    if args.cycle_accurate:
-        result = GASystem(params, fn).run()
-        extra = f", {result.cycles} GA cycles"
-    else:
-        result = BehavioralGA(params, fn).run()
-        extra = ""
+    tracer = None
+    if getattr(args, "trace_out", ""):
+        tracer = Tracer(args.trace_out, keep_records=False)
+    try:
+        if args.cycle_accurate:
+            result = GASystem(params, fn, tracer=tracer).run()
+            extra = f", {result.cycles} GA cycles"
+        else:
+            result = BehavioralGA(params, fn, tracer=tracer).run()
+            extra = ""
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
     print(
         f"{fn.name}: best {result.best_fitness} at {result.best_individual}"
         f" (optimum {int(fn.table().max())}), "
         f"converged gen {convergence_generation(result.history)}{extra}"
     )
+
+
+def cmd_trace(args) -> None:
+    """A fully traced run: JSON-lines trace out, summary to stderr."""
+    from repro import BehavioralGA, GASystem, fitness_by_name
+    from repro.obs import (
+        SamplingProfiler,
+        Tracer,
+        best_series,
+        cycle_best_series,
+        cycle_phase_breakdown,
+        phase_breakdown,
+    )
+
+    params = _run_params(args)
+    fn = fitness_by_name(args.fitness)
+    sink = sys.stdout if args.out == "-" else args.out
+    profiler = SamplingProfiler() if args.profile else None
+    with Tracer(sink) as tracer:
+        if profiler is not None:
+            profiler.start()
+        try:
+            if args.cycle_accurate:
+                result = GASystem(params, fn, tracer=tracer).run()
+            else:
+                result = BehavioralGA(params, fn, tracer=tracer).run()
+        finally:
+            if profiler is not None:
+                profiler.stop()
+        records = tracer.records
+
+    best = cycle_best_series(records) if args.cycle_accurate else best_series(records)
+    print(
+        f"{fn.name}: best {result.best_fitness} at {result.best_individual}; "
+        f"{len(records)} trace records"
+        + (f" -> {args.out}" if args.out != "-" else ""),
+        file=sys.stderr,
+    )
+    print(f"best-fitness series: {best[0]} -> {best[-1]}", file=sys.stderr)
+    if args.cycle_accurate:
+        breakdown = cycle_phase_breakdown(records)
+        total = sum(breakdown.values()) or 1
+        unit = "cycles"
+    else:
+        breakdown = phase_breakdown(records)
+        total = sum(breakdown.values()) or 1.0
+        unit = "s"
+    for phase, amount in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        print(
+            f"  {phase:<10} {amount:>12.6f} {unit} ({amount / total:6.1%})"
+            if unit == "s"
+            else f"  {phase:<10} {amount:>12d} {unit} ({amount / total:6.1%})",
+            file=sys.stderr,
+        )
+    if profiler is not None:
+        print(f"profiler: {profiler.samples} samples", file=sys.stderr)
+        for row in profiler.top(5):
+            print(
+                f"  {row['share']:6.1%} {row['function']} "
+                f"({row['file']}:{row['line']})",
+                file=sys.stderr,
+            )
+
+
+def cmd_stats(args) -> None:
+    """Metrics snapshot: from a running server, or a local demo run."""
+    import json
+
+    from repro.obs import engine_rates, get_registry
+
+    if args.port:
+        from repro.service.server import call
+
+        response = call(args.host, args.port, {"op": "metrics"})
+        print(json.dumps(response.get("metrics", response), indent=2, sort_keys=True))
+        return
+
+    from repro import BehavioralGA, fitness_by_name
+
+    print(
+        f"no --port given: running a local {args.fitness} demo "
+        f"(pop {args.pop}, {args.gens} gens)",
+        file=sys.stderr,
+    )
+    BehavioralGA(_run_params(args), fitness_by_name(args.fitness)).run()
+    snapshot = get_registry().snapshot()
+    snapshot["engine_rates"] = engine_rates()
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
 
 
 def cmd_campaign(args) -> None:
@@ -272,6 +375,8 @@ COMMANDS = {
     "figs13-16": cmd_figs13_16,
     "speedup": cmd_speedup,
     "run": cmd_run,
+    "trace": cmd_trace,
+    "stats": cmd_stats,
     "campaign": cmd_campaign,
     "serve": cmd_serve,
     "submit": cmd_submit,
@@ -294,6 +399,30 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--mut", type=int, default=1)
             p.add_argument("--seed", default="0x061F")
             p.add_argument("--cycle-accurate", action="store_true")
+            p.add_argument("--trace-out", default="",
+                           help="also write a JSON-lines trace to this path")
+        elif name == "trace":
+            p.add_argument("--fitness", default="mBF6_2")
+            p.add_argument("--pop", type=int, default=64)
+            p.add_argument("--gens", type=int, default=64)
+            p.add_argument("--xover", type=int, default=10)
+            p.add_argument("--mut", type=int, default=1)
+            p.add_argument("--seed", default="0x061F")
+            p.add_argument("--cycle-accurate", action="store_true")
+            p.add_argument("--out", default="trace.jsonl",
+                           help="JSON-lines trace destination ('-' for stdout)")
+            p.add_argument("--profile", action="store_true",
+                           help="also run the sampling wall-clock profiler")
+        elif name == "stats":
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("--port", type=int, default=0,
+                           help="fetch metrics from a running repro serve")
+            p.add_argument("--fitness", default="mBF6_2")
+            p.add_argument("--pop", type=int, default=64)
+            p.add_argument("--gens", type=int, default=64)
+            p.add_argument("--xover", type=int, default=10)
+            p.add_argument("--mut", type=int, default=1)
+            p.add_argument("--seed", default="0x061F")
         elif name == "campaign":
             p.add_argument("--fitness", default="mBF6_2")
             p.add_argument("--pop", type=int, default=32)

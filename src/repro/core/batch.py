@@ -39,6 +39,7 @@ group, and returns results in input order.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
@@ -46,6 +47,7 @@ import numpy as np
 from repro.core.params import GAParameters
 from repro.core.stats import GenerationStats
 from repro.fitness.base import FitnessFunction
+from repro.obs.metrics import record_engine_run
 from repro.rng.cellular_automaton import (
     DEFAULT_RULE_VECTOR,
     CAStreamBank,
@@ -154,6 +156,14 @@ class BatchBehavioralGA:
         replica ``r`` behaves bit-identically to a serial
         :class:`BehavioralGA` run carrying the same harness at
         ``replica_offset=r``.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  When enabled, every
+        generation boundary emits one ``ga.generation`` event whose
+        ``best_fitness``/``fitness_sum`` attrs are per-replica lists, and
+        one ``ga.phases`` event with the slab-wide wall time per phase.
+        The disabled path (the default) executes the exact uninstrumented
+        slot loop — one flag check per generation is the whole cost, and
+        results are bit-identical either way.
     """
 
     def __init__(
@@ -163,7 +173,9 @@ class BatchBehavioralGA:
         record_members: bool = False,
         rng_states: Sequence[int] | None = None,
         resilience=None,
+        tracer=None,
     ):
+        self.tracer = tracer
         self.params_list = list(params_list)
         n = len(self.params_list)
         if n == 0:
@@ -279,6 +291,14 @@ class BatchBehavioralGA:
                     fitnesses=fits[r].tolist() if self.record_members else [],
                 )
             )
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                "ga.generation",
+                generation=generation,
+                best_fitness=[int(v) for v in best_fit],
+                best_individual=[int(v) for v in best_ind],
+                fitness_sum=[int(v) for v in sums],
+            )
 
     def _validate_initial(self, initial: np.ndarray) -> np.ndarray:
         """Check a caller-supplied initial population up front.
@@ -327,6 +347,7 @@ class BatchBehavioralGA:
         rows = self._rows
         self.histories = [[] for _ in range(n)]
         self.evaluations = np.zeros(n, dtype=np.int64)
+        self._t_begin = perf_counter()
 
         if initial is not None:
             inds = self._validate_initial(initial)
@@ -396,50 +417,109 @@ class BatchBehavioralGA:
         inds, fits = self._inds, self._fits
         best_ind, best_fit = self._best_ind, self._best_fit
         cur, consumed = self._cur, self._consumed
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
 
         n_pairs = (pop - 1) // 2
         has_tail = (pop - 1) % 2 == 1
 
         for gen in range(self._gen + 1, self._gen + todo + 1):
+            if tracing:
+                ph = {"selection": 0.0, "crossover": 0.0, "mutation": 0.0,
+                      "eval": 0.0, "elitism": 0.0, "record": 0.0}
+                t = perf_counter()
             cum = fits.cumsum(axis=1)
             total = cum[:, -1:]  # (n, 1) for broadcasting over both parents
             flat = (cum + self._row_offsets).ravel()
             inds_flat = inds.ravel()
             new_inds = np.empty((n, pop), dtype=np.int64)
+            if tracing:
+                now = perf_counter()
+                ph["selection"] += now - t
+                t = now
             new_inds[:, 0] = best_ind  # elitism
+            if tracing:
+                now = perf_counter()
+                ph["elitism"] += now - t
+                t = now
             col = 1
-            for _ in range(n_pairs + has_tail):
-                tail = col == pop - 1
-                R = slot_tt[cur] if single_class else slot_tt[class_idx, cur]
-                # proportionate selection, both parents in one searchsorted:
-                # threshold = (rn * sum) >> 16, first member whose cumulative
-                # fitness exceeds it, last member as the hardware fallback
-                thresholds = (R[:, :2] * total) >> 16
-                picks = np.minimum(
-                    flat.searchsorted(
-                        (thresholds + self._row_offsets).ravel(), side="right"
-                    ),
-                    self._sel_cap,
-                )
-                parents = inds_flat[picks]
-                p1, p2 = parents[0::2], parents[1::2]
-                # single-point crossover as an XOR update; XMASK is zero
-                # when this slot's crossover decision failed
-                diff = (p1 ^ p2) & R[:, _XMASK]
-                new_inds[:, col] = (p1 ^ diff) ^ R[:, _M1BIT]
-                col += 1
-                if tail:
-                    consumed += R[:, _CONSUMED1]
-                    cur = R[:, _NEXT1]
-                else:
-                    new_inds[:, col] = (p2 ^ diff) ^ R[:, _M2BIT]
+            if not tracing:
+                # the uninstrumented hot loop, byte-identical to the PR 1
+                # engine: no per-slot branches on the disabled path
+                for _ in range(n_pairs + has_tail):
+                    tail = col == pop - 1
+                    R = slot_tt[cur] if single_class else slot_tt[class_idx, cur]
+                    # proportionate selection, both parents in one
+                    # searchsorted: threshold = (rn * sum) >> 16, first
+                    # member whose cumulative fitness exceeds it, last
+                    # member as the hardware fallback
+                    thresholds = (R[:, :2] * total) >> 16
+                    picks = np.minimum(
+                        flat.searchsorted(
+                            (thresholds + self._row_offsets).ravel(), side="right"
+                        ),
+                        self._sel_cap,
+                    )
+                    parents = inds_flat[picks]
+                    p1, p2 = parents[0::2], parents[1::2]
+                    # single-point crossover as an XOR update; XMASK is zero
+                    # when this slot's crossover decision failed
+                    diff = (p1 ^ p2) & R[:, _XMASK]
+                    new_inds[:, col] = (p1 ^ diff) ^ R[:, _M1BIT]
                     col += 1
-                    consumed += R[:, _CONSUMED]
-                    cur = R[:, _NEXT]
+                    if tail:
+                        consumed += R[:, _CONSUMED1]
+                        cur = R[:, _NEXT1]
+                    else:
+                        new_inds[:, col] = (p2 ^ diff) ^ R[:, _M2BIT]
+                        col += 1
+                        consumed += R[:, _CONSUMED]
+                        cur = R[:, _NEXT]
+            else:
+                # the same slot loop with per-phase walls; every operation
+                # and its order is identical, only timestamps are added
+                for _ in range(n_pairs + has_tail):
+                    tail = col == pop - 1
+                    R = slot_tt[cur] if single_class else slot_tt[class_idx, cur]
+                    thresholds = (R[:, :2] * total) >> 16
+                    picks = np.minimum(
+                        flat.searchsorted(
+                            (thresholds + self._row_offsets).ravel(), side="right"
+                        ),
+                        self._sel_cap,
+                    )
+                    parents = inds_flat[picks]
+                    p1, p2 = parents[0::2], parents[1::2]
+                    now = perf_counter()
+                    ph["selection"] += now - t
+                    t = now
+                    diff = (p1 ^ p2) & R[:, _XMASK]
+                    c1 = p1 ^ diff
+                    c2 = p2 ^ diff
+                    now = perf_counter()
+                    ph["crossover"] += now - t
+                    t = now
+                    new_inds[:, col] = c1 ^ R[:, _M1BIT]
+                    col += 1
+                    if tail:
+                        consumed += R[:, _CONSUMED1]
+                        cur = R[:, _NEXT1]
+                    else:
+                        new_inds[:, col] = c2 ^ R[:, _M2BIT]
+                        col += 1
+                        consumed += R[:, _CONSUMED]
+                        cur = R[:, _NEXT]
+                    now = perf_counter()
+                    ph["mutation"] += now - t
+                    t = now
             inds = new_inds
             # selection only reads the previous generation's fitness, so the
             # whole offspring generation is evaluated in one table gather
             fits = self._eval(inds)
+            if tracing:
+                now = perf_counter()
+                ph["eval"] += now - t
+                t = now
             # column 0 stores the best *register* value, as the serial
             # engine's elitism copy does; identical to the table gather on
             # a healthy run, but a corrupted register must propagate the
@@ -453,15 +533,27 @@ class BatchBehavioralGA:
             improved = gen_best > best_fit
             best_fit = np.where(improved, gen_best, best_fit)
             best_ind = np.where(improved, inds[rows, best_idx], best_ind)
+            if tracing:
+                now = perf_counter()
+                ph["elitism"] += now - t
+                t = now
             self._record(
                 gen, fits, gen_best, inds[rows, best_idx], fits.sum(axis=1)
             )
+            if tracing:
+                now = perf_counter()
+                ph["record"] += now - t
+                t = now
             if self.resilience is not None:
                 inds, fits, best_ind, best_fit, cur = (
                     self.resilience.batch_boundary(
                         self, gen, inds, fits, best_ind, best_fit, cur
                     )
                 )
+                if tracing:
+                    ph["scrub"] = perf_counter() - t
+            if tracing:
+                tracer.event("ga.phases", generation=gen, phases=ph)
 
         # each generation evaluates pop - 1 new offspring (the elite is
         # copied with its stored fitness), exactly as the serial engine
@@ -493,6 +585,11 @@ class BatchBehavioralGA:
         self.bank.draws += self._consumed
         self.final_populations = self._inds.copy()
         self.rng_states = self.bank.states
+        record_engine_run(
+            self._gen * self.n_replicas,
+            int(self.evaluations.sum()),
+            perf_counter() - self._t_begin,
+        )
         return [
             GAResult(
                 best_individual=int(self._best_ind[r]),

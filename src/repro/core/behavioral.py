@@ -17,11 +17,14 @@ left in Python.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.params import GAParameters
 from repro.core.stats import GenerationStats
 from repro.fitness.base import FitnessFunction
+from repro.obs.metrics import record_engine_run
 from repro.rng.base import RandomSource
 from repro.rng.cellular_automaton import CellularAutomatonPRNG
 
@@ -48,6 +51,15 @@ class BehavioralGA:
         generation is recorded, injecting that boundary's upsets and
         applying the armed protections; with zero upset rates the hook is
         a no-op and the run stays bit-identical to an unhardened one.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  When enabled, the
+        run emits one ``ga.run`` span, a ``ga.generation`` event per
+        generation boundary (best/sum — the Fig. 8 data), and a
+        ``ga.phases`` event per evolved generation with the wall time
+        spent in selection, crossover, mutation, and evaluation.
+        Tracing never touches the RNG or the arithmetic, so a traced run
+        is bit-identical to an untraced one; with the default ``None``
+        the only cost is one hoisted flag check per generation.
     """
 
     def __init__(
@@ -57,12 +69,14 @@ class BehavioralGA:
         rng: RandomSource | None = None,
         record_members: bool = True,
         resilience=None,
+        tracer=None,
     ):
         self.params = params
         self.fitness = fitness
         self.rng = rng if rng is not None else CellularAutomatonPRNG(params.rng_seed)
         self.record_members = record_members
         self.resilience = resilience
+        self.tracer = tracer
         self.table = fitness.table()
         self.history: list[GenerationStats] = []
         self.evaluations = 0
@@ -102,6 +116,15 @@ class BehavioralGA:
                 fitnesses=fits.tolist() if self.record_members else [],
             )
         )
+        if self.tracer is not None and self.tracer.enabled:
+            g = self.history[-1]
+            self.tracer.event(
+                "ga.generation",
+                generation=g.generation,
+                best_fitness=g.best_fitness,
+                best_individual=g.best_individual,
+                fitness_sum=g.fitness_sum,
+            )
 
     # ------------------------------------------------------------------
     def run(self, initial: np.ndarray | None = None):
@@ -116,66 +139,127 @@ class BehavioralGA:
         FEM requests do.  The final population is kept in
         ``self.final_population``.
         """
+        from contextlib import nullcontext
+
         from repro.core.system import GAResult  # deferred: avoids cycle
 
         pop = self.params.population_size
         table = self.table
         self.history = []
         self.evaluations = 0
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        t_run = perf_counter()
 
-        if initial is not None:
-            if len(initial) != pop:
-                raise ValueError(
-                    f"initial population has {len(initial)} members, expected {pop}"
-                )
-            inds = np.asarray(initial, dtype=np.int64) & 0xFFFF
-        else:
-            inds = self.rng.block(pop).astype(np.int64)
-            self.evaluations += pop
-        fits = table[inds].astype(np.int64)
-        # hardware tie-breaking: first occurrence of the max wins
-        best_idx = int(fits.argmax())
-        best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])
-        self._record(0, inds, fits)
-        if self.resilience is not None:
-            inds, fits, best_ind, best_fit = self.resilience.serial_boundary(
-                self, 0, inds, fits, best_ind, best_fit
+        run_scope = (
+            tracer.span(
+                "ga.run",
+                engine="behavioral",
+                fitness=self.fitness.name,
+                pop=pop,
+                generations=self.params.n_generations,
+                seed=self.params.rng_seed,
             )
-
-        for gen in range(1, self.params.n_generations + 1):
-            cum = np.cumsum(fits)
-            total = int(cum[-1])
-            new_inds = np.empty(pop, dtype=np.int64)
-            new_fits = np.empty(pop, dtype=np.int64)
-            new_inds[0], new_fits[0] = best_ind, best_fit  # elitism
-            count = 1
-            while count < pop:
-                p1 = int(inds[self._select(cum, total)])
-                p2 = int(inds[self._select(cum, total)])
-                off1, off2 = self._crossover(p1, p2)
-                off1 = self._mutate(off1)
-                f1 = int(table[off1])
-                new_inds[count], new_fits[count] = off1, f1
-                count += 1
-                self.evaluations += 1
-                if f1 > best_fit:
-                    best_ind, best_fit = off1, f1
-                if count < pop:
-                    off2 = self._mutate(off2)
-                    f2 = int(table[off2])
-                    new_inds[count], new_fits[count] = off2, f2
-                    count += 1
-                    self.evaluations += 1
-                    if f2 > best_fit:
-                        best_ind, best_fit = off2, f2
-            inds, fits = new_inds, new_fits
-            self._record(gen, inds, fits)
+            if tracing
+            else nullcontext()
+        )
+        with run_scope:
+            if initial is not None:
+                if len(initial) != pop:
+                    raise ValueError(
+                        f"initial population has {len(initial)} members, expected {pop}"
+                    )
+                inds = np.asarray(initial, dtype=np.int64) & 0xFFFF
+            else:
+                inds = self.rng.block(pop).astype(np.int64)
+                self.evaluations += pop
+            fits = table[inds].astype(np.int64)
+            # hardware tie-breaking: first occurrence of the max wins
+            best_idx = int(fits.argmax())
+            best_ind, best_fit = int(inds[best_idx]), int(fits[best_idx])
+            self._record(0, inds, fits)
             if self.resilience is not None:
                 inds, fits, best_ind, best_fit = self.resilience.serial_boundary(
-                    self, gen, inds, fits, best_ind, best_fit
+                    self, 0, inds, fits, best_ind, best_fit
                 )
 
+            for gen in range(1, self.params.n_generations + 1):
+                if tracing:
+                    ph = {"selection": 0.0, "crossover": 0.0, "mutation": 0.0,
+                          "eval": 0.0, "elitism": 0.0, "record": 0.0}
+                    t = perf_counter()
+                cum = np.cumsum(fits)
+                total = int(cum[-1])
+                new_inds = np.empty(pop, dtype=np.int64)
+                new_fits = np.empty(pop, dtype=np.int64)
+                new_inds[0], new_fits[0] = best_ind, best_fit  # elitism
+                count = 1
+                if tracing:
+                    now = perf_counter()
+                    ph["elitism"] += now - t
+                    t = now
+                while count < pop:
+                    p1 = int(inds[self._select(cum, total)])
+                    p2 = int(inds[self._select(cum, total)])
+                    if tracing:
+                        now = perf_counter()
+                        ph["selection"] += now - t
+                        t = now
+                    off1, off2 = self._crossover(p1, p2)
+                    if tracing:
+                        now = perf_counter()
+                        ph["crossover"] += now - t
+                        t = now
+                    off1 = self._mutate(off1)
+                    if tracing:
+                        now = perf_counter()
+                        ph["mutation"] += now - t
+                        t = now
+                    f1 = int(table[off1])
+                    new_inds[count], new_fits[count] = off1, f1
+                    count += 1
+                    self.evaluations += 1
+                    if f1 > best_fit:
+                        best_ind, best_fit = off1, f1
+                    if tracing:
+                        now = perf_counter()
+                        ph["eval"] += now - t
+                        t = now
+                    if count < pop:
+                        off2 = self._mutate(off2)
+                        if tracing:
+                            now = perf_counter()
+                            ph["mutation"] += now - t
+                            t = now
+                        f2 = int(table[off2])
+                        new_inds[count], new_fits[count] = off2, f2
+                        count += 1
+                        self.evaluations += 1
+                        if f2 > best_fit:
+                            best_ind, best_fit = off2, f2
+                        if tracing:
+                            now = perf_counter()
+                            ph["eval"] += now - t
+                            t = now
+                inds, fits = new_inds, new_fits
+                self._record(gen, inds, fits)
+                if tracing:
+                    now = perf_counter()
+                    ph["record"] += now - t
+                    t = now
+                if self.resilience is not None:
+                    inds, fits, best_ind, best_fit = self.resilience.serial_boundary(
+                        self, gen, inds, fits, best_ind, best_fit
+                    )
+                    if tracing:
+                        ph["scrub"] = perf_counter() - t
+                if tracing:
+                    tracer.event("ga.phases", generation=gen, phases=ph)
+
         self.final_population = inds.copy()
+        record_engine_run(
+            self.params.n_generations, self.evaluations, perf_counter() - t_run
+        )
         return GAResult(
             best_individual=best_ind,
             best_fitness=best_fit,

@@ -43,8 +43,37 @@ from repro.core.stats import GenerationStats
 from repro.hdl.component import Component
 
 
+#: FSM-state to GA-phase attribution for the traced cycle breakdown —
+#: the software rendition of the paper's hardware convergence counters
+#: (Tables VII-IX count generations; this counts where the cycles go).
+_STATE_PHASE = {
+    "FETCH_RN": "rng",
+    "SEL1_BEGIN": "selection", "SEL1_THRESHOLD": "selection",
+    "SEL1_READ": "selection", "SEL1_WAIT": "selection",
+    "SEL1_SCAN": "selection",
+    "SEL2_BEGIN": "selection", "SEL2_THRESHOLD": "selection",
+    "SEL2_READ": "selection", "SEL2_WAIT": "selection",
+    "SEL2_SCAN": "selection",
+    "XOVER_DECIDE": "crossover", "XOVER_APPLY": "crossover",
+    "MUT1_DECIDE": "mutation", "MUT1_APPLY": "mutation",
+    "MUT2_PREP": "mutation", "MUT2_DECIDE": "mutation",
+    "MUT2_APPLY": "mutation",
+    "EVAL1": "eval", "EVAL2": "eval", "INITPOP_EVAL": "eval",
+    "STORE1": "store", "STORE2": "store", "INITPOP_STORE": "store",
+    "ELITE": "elitism",
+}
+
+
 class GACore(Component):
-    """Cycle-accurate model of the GA IP core FSM."""
+    """Cycle-accurate model of the GA IP core FSM.
+
+    ``tracer`` (settable after construction, e.g. by
+    :class:`~repro.core.system.GASystem`) arms the observability probes:
+    one ``cycle.generation`` event per generation boundary and a
+    ``cycle.phase_cycles`` event at ``GA_done`` attributing every clock
+    cycle of the run to its GA phase.  With the default ``None`` the
+    per-clock cost is a single attribute check.
+    """
 
     #: Cycle-accurate population limit: two banks in the 256-word memory.
     MAX_POPULATION = BANK_SIZE
@@ -53,6 +82,7 @@ class GACore(Component):
         super().__init__(name)
         self.ports = ports
         self.rng_module = rng_module
+        self.tracer = None
         self._power_on()
 
     # ------------------------------------------------------------------
@@ -91,6 +121,7 @@ class GACore(Component):
         self.evaluations = 0
         self.start_cycle = 0
         self.done_cycle = 0
+        self._phase_cycles: dict[str, int] = {}
 
     def reset(self) -> None:
         super().reset()
@@ -139,6 +170,16 @@ class GACore(Component):
             )
         )
         self._gen_fitnesses = []
+        if self.tracer is not None and self.tracer.enabled:
+            g = self.history[-1]
+            self.tracer.event(
+                "cycle.generation",
+                generation=g.generation,
+                best_fitness=g.best_fitness,
+                best_individual=g.best_individual,
+                fitness_sum=g.fitness_sum,
+                cycle=self.cycles,
+            )
 
     # ------------------------------------------------------------------
     # the FSM
@@ -149,6 +190,11 @@ class GACore(Component):
     def clock(self) -> None:
         p = self.ports
         state = self.state
+
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            phase = _STATE_PHASE.get(state, "control")
+            self._phase_cycles[phase] = self._phase_cycles.get(phase, 0) + 1
 
         if state != "FETCH_RN":
             self.drive(p.rn_taken, 0)
@@ -205,6 +251,7 @@ class GACore(Component):
         )
         self.history = []
         self._gen_fitnesses = []
+        self._phase_cycles = {}
         if self.rng_module is not None:
             seed = cfg.rng_seed
             self.rng_module.load_seed(seed)
@@ -448,6 +495,16 @@ class GACore(Component):
             )
         )
         self._gen_fitnesses = []
+        if self.tracer is not None and self.tracer.enabled:
+            g = self.history[-1]
+            self.tracer.event(
+                "cycle.generation",
+                generation=g.generation,
+                best_fitness=g.best_fitness,
+                best_individual=g.best_individual,
+                fitness_sum=g.fitness_sum,
+                cycle=self.cycles,
+            )
         if self.gen_index >= self.cfg.n_generations:
             self._goto("DONE")
         else:
@@ -457,6 +514,12 @@ class GACore(Component):
         p = self.ports
         if self.done_cycle == 0:
             self.set_state(done_cycle=self.cycles)
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.event(
+                    "cycle.phase_cycles",
+                    cycles=dict(self._phase_cycles),
+                    total=self.cycles - self.start_cycle,
+                )
         if p.start_GA.value:
             self._begin_run()  # drives GA_done low for the new run
             return

@@ -97,6 +97,12 @@ class GASystem:
         background scrubber, a FEM handshake watchdog with mux failover,
         and/or a scheduled :class:`~repro.resilience.seu.CycleSEUInjector`
         mutating committed state between clock edges.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`, forwarded to the GA
+        core: a ``cycle.generation`` event per generation boundary, a
+        ``cycle.phase_cycles`` breakdown at ``GA_done``, and a ``ga.run``
+        span around :meth:`run`.  Simulation results are identical with
+        tracing on or off.
     """
 
     def __init__(
@@ -110,6 +116,7 @@ class GASystem:
         external: dict[int, ExternalFEMPort] | None = None,
         fem_factory=None,
         resilience=None,
+        tracer=None,
     ):
         if preset == PresetMode.USER and params is None:
             raise ValueError("user mode requires explicit GAParameters")
@@ -119,6 +126,7 @@ class GASystem:
         self.select = select
         self.external = external or {}
         self.resilience = resilience
+        self.tracer = tracer
 
         self.ports = GAPorts.create()
         if rng_source is None:
@@ -126,6 +134,7 @@ class GASystem:
             rng_source = CellularAutomatonPRNG(seed)
         self.rng_module = RNGModule(self.ports, rng_source)
         self.core = GACore(self.ports, rng_module=self.rng_module)
+        self.core.tracer = tracer
         if resilience is not None and resilience.secded:
             # deferred import: repro.resilience.harden imports core modules
             from repro.resilience.harden import SECDEDGAMemory
@@ -226,10 +235,32 @@ class GASystem:
 
     def run(self, max_ticks: int = 200_000_000) -> GAResult:
         """Initialize, start, and simulate until ``GA_done``."""
-        self.initialize()
-        self.start()
-        self.sim.run_until(
-            lambda: self.ports.GA_done.value == 1, max_ticks, label="GA_done"
+        from contextlib import nullcontext
+        from time import perf_counter
+
+        from repro.obs.metrics import record_engine_run
+
+        tracing = self.tracer is not None and self.tracer.enabled
+        run_scope = (
+            self.tracer.span(
+                "ga.run",
+                engine="cycle",
+                pop=self.params.population_size if self.params else None,
+                generations=self.params.n_generations if self.params else None,
+            )
+            if tracing
+            else nullcontext()
+        )
+        t_run = perf_counter()
+        with run_scope:
+            self.initialize()
+            self.start()
+            self.sim.run_until(
+                lambda: self.ports.GA_done.value == 1, max_ticks, label="GA_done"
+            )
+        record_engine_run(
+            self.core.cfg.n_generations, self.core.evaluations,
+            perf_counter() - t_run,
         )
         cfg = self.core.cfg
         return GAResult(

@@ -1,0 +1,128 @@
+"""Trace reconstruction: from JSON-lines records back to paper artefacts.
+
+These helpers close the loop the acceptance test demands: a traced run
+must yield the Fig. 8 data (per-generation best / sum-of-fitness) and a
+selection/crossover/mutation/evaluation time breakdown *from the trace
+stream alone*, with no access to the engine objects.
+
+The span taxonomy they understand (see ``docs/architecture.md``):
+
+* ``ga.generation`` events — one per generation boundary, from every
+  engine (serial scalars; batch/island runs carry per-replica lists);
+* ``ga.phases`` events — per-generation phase wall-time dicts from the
+  behavioural engines;
+* ``cycle.generation`` / ``cycle.phase_cycles`` — the cycle-accurate
+  twin's equivalents (clock cycles instead of seconds);
+* ``service.chunk`` spans — one per slab chunk, carrying the replica-row
+  to job-id mapping that lets a chunked service trace be spliced back
+  into per-job streams (the same splice the scheduler applies to
+  results: a resumed chunk's local generation 0 restates the previous
+  chunk's last generation and is dropped).
+"""
+
+from __future__ import annotations
+
+
+def events(records: list[dict], name: str) -> list[dict]:
+    """All event records called ``name``, in emission order."""
+    return [r for r in records if r.get("type") == "event" and r.get("name") == name]
+
+
+def spans(records: list[dict], name: str) -> list[dict]:
+    """All span records called ``name``, ordered by start time."""
+    found = [r for r in records if r.get("type") == "span" and r.get("name") == name]
+    return sorted(found, key=lambda r: r["t0"])
+
+
+def _series(records: list[dict], key: str, replica: int) -> list[int]:
+    out = []
+    for ev in sorted(events(records, "ga.generation"), key=lambda e: e["generation"]):
+        value = ev[key]
+        out.append(int(value[replica]) if isinstance(value, list) else int(value))
+    return out
+
+
+def best_series(records: list[dict], replica: int = 0) -> list[int]:
+    """Per-generation best fitness (Fig. 8 upper envelope) from a trace."""
+    return _series(records, "best_fitness", replica)
+
+
+def sum_series(records: list[dict], replica: int = 0) -> list[int]:
+    """Per-generation sum of fitness (Fig. 8 population curve)."""
+    return _series(records, "fitness_sum", replica)
+
+
+def phase_breakdown(records: list[dict]) -> dict[str, float]:
+    """Total wall time per GA phase, summed over every ``ga.phases`` event.
+
+    Keys are the phase names the behavioural engines emit: ``selection``,
+    ``crossover``, ``mutation``, ``eval``, ``elitism``, ``record`` (plus
+    ``scrub`` when a resilience harness rides the run).
+    """
+    totals: dict[str, float] = {}
+    for ev in events(records, "ga.phases"):
+        for phase, seconds in ev["phases"].items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    return totals
+
+
+def cycle_phase_breakdown(records: list[dict]) -> dict[str, int]:
+    """Clock cycles per FSM phase from ``cycle.phase_cycles`` events."""
+    totals: dict[str, int] = {}
+    for ev in events(records, "cycle.phase_cycles"):
+        for phase, cycles in ev["cycles"].items():
+            totals[phase] = totals.get(phase, 0) + int(cycles)
+    return totals
+
+
+def cycle_best_series(records: list[dict]) -> list[int]:
+    """Per-generation best fitness from a cycle-accurate trace."""
+    evs = sorted(events(records, "cycle.generation"), key=lambda e: e["generation"])
+    return [int(ev["best_fitness"]) for ev in evs]
+
+
+def service_best_streams(records: list[dict]) -> dict[int, list[int]]:
+    """Per-job best-fitness streams spliced out of a service trace.
+
+    Each ``service.chunk`` span names its replica rows' job ids; the
+    ``ga.generation`` events parented inside it carry per-replica best
+    lists.  Chunks are spliced in start-time order with each resumed
+    chunk's restated local generation 0 dropped, reproducing exactly the
+    stream an unchunked run would have traced.
+    """
+    chunk_spans = spans(records, "service.chunk")
+    chunk_ids = {chunk["id"] for chunk in chunk_spans}
+    span_parent = {
+        r["id"]: r.get("parent") for r in records if r.get("type") == "span"
+    }
+
+    def chunk_ancestor(parent):
+        # events may be nested under intermediate spans (e.g. the engine's
+        # own ``ga.run``); walk up to the nearest service.chunk span
+        while parent is not None and parent not in chunk_ids:
+            parent = span_parent.get(parent)
+        return parent
+
+    by_chunk: dict[int, list[dict]] = {}
+    for ev in events(records, "ga.generation"):
+        anchor = chunk_ancestor(ev.get("parent"))
+        if anchor is not None:
+            by_chunk.setdefault(anchor, []).append(ev)
+
+    streams: dict[int, list[int]] = {}
+    for chunk in chunk_spans:
+        job_ids = chunk["job_ids"]
+        evs = sorted(by_chunk.get(chunk["id"], []), key=lambda e: e["generation"])
+        for row, job_id in enumerate(job_ids):
+            rows = [
+                int(ev["best_fitness"][row])
+                if isinstance(ev["best_fitness"], list)
+                else int(ev["best_fitness"])
+                for ev in evs
+            ]
+            if job_id in streams:
+                rows = rows[1:]  # resumed chunk restates the boundary
+                streams[job_id].extend(rows)
+            else:
+                streams[job_id] = rows
+    return streams

@@ -91,6 +91,7 @@ class IslandGA:
         n_islands: int = 4,
         migration_interval: int = 8,
         processes: int = 1,
+        tracer=None,
     ):
         if n_islands < 2:
             raise ValueError("island model needs at least 2 islands")
@@ -101,6 +102,14 @@ class IslandGA:
         self.n_islands = n_islands
         self.migration_interval = migration_interval
         self.processes = processes
+        #: optional :class:`~repro.obs.tracer.Tracer`: one ``ga.run`` span,
+        #: an ``island.epoch`` span per epoch (nesting the batched engine's
+        #: per-generation events on the in-process path) and an
+        #: ``island.migration`` event per ring rotation.  Results are
+        #: identical with tracing on or off, in both execution modes; the
+        #: ``processes>1`` pool traces at epoch granularity only (the
+        #: tracer does not cross process boundaries).
+        self.tracer = tracer
         # Island seeds: decorrelated offsets of the programmed seed
         # (the programmable-seed feature, once per core).
         self.seeds = [
@@ -148,7 +157,8 @@ class IslandGA:
             for i in range(self.n_islands)
         ]
         batch = BatchBehavioralGA(
-            params_list, self.fitness, record_members=False, rng_states=states
+            params_list, self.fitness, record_members=False, rng_states=states,
+            tracer=self.tracer,
         )
         initial = (
             np.asarray(populations, dtype=np.int64)
@@ -182,6 +192,8 @@ class IslandGA:
 
     def run(self) -> IslandResult:
         """Run all epochs; batched in-process or pooled per ``processes``."""
+        from contextlib import nullcontext
+
         schedule = self.epoch_schedule()
         states = list(self.seeds)
         populations: list[list[int] | None] = [None] * self.n_islands
@@ -190,34 +202,68 @@ class IslandGA:
         migrations = 0
         best_per_epoch: list[int] = []
         epoch_champions: list[list[tuple[int, int]]] = []
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
 
         pool = None
         if self.processes > 1:
             import multiprocessing as mp
 
             pool = mp.Pool(self.processes)
+        run_scope = (
+            tracer.span(
+                "ga.run",
+                engine="island",
+                fitness=self.fitness.name,
+                islands=self.n_islands,
+                migration_interval=self.migration_interval,
+                generations=self.params.n_generations,
+            )
+            if tracing
+            else nullcontext()
+        )
         try:
-            for epoch, epoch_gens in enumerate(schedule):
-                if pool is not None:
-                    jobs = self._epoch_jobs(epoch_gens, states, populations)
-                    results = pool.map(_epoch_worker, jobs)
-                else:
-                    results = self._batched_epoch(epoch_gens, states, populations)
-                champions: list[tuple[int, int]] = [(0, -1)] * self.n_islands
-                for island, final_pop, cand, fit, state, evals in results:
-                    states[island] = state
-                    populations[island] = final_pop
-                    evaluations += evals
-                    champions[island] = (cand, fit)
-                    if fit > island_best[island][1]:
-                        island_best[island] = (cand, fit)
-                if epoch < len(schedule) - 1:
-                    # no migration after the final epoch: the migrants would
-                    # never evolve and would inflate the migration count
-                    self._migrate(populations, champions)
-                    migrations += self.n_islands
-                best_per_epoch.append(max(f for _c, f in island_best))
-                epoch_champions.append([(c, f) for c, f in champions])
+            with run_scope:
+                for epoch, epoch_gens in enumerate(schedule):
+                    epoch_scope = (
+                        tracer.span("island.epoch", epoch=epoch, gens=epoch_gens)
+                        if tracing
+                        else nullcontext()
+                    )
+                    with epoch_scope:
+                        if pool is not None:
+                            jobs = self._epoch_jobs(epoch_gens, states, populations)
+                            results = pool.map(_epoch_worker, jobs)
+                        else:
+                            results = self._batched_epoch(
+                                epoch_gens, states, populations
+                            )
+                        champions: list[tuple[int, int]] = [
+                            (0, -1)
+                        ] * self.n_islands
+                        for island, final_pop, cand, fit, state, evals in results:
+                            states[island] = state
+                            populations[island] = final_pop
+                            evaluations += evals
+                            champions[island] = (cand, fit)
+                            if fit > island_best[island][1]:
+                                island_best[island] = (cand, fit)
+                        if epoch < len(schedule) - 1:
+                            # no migration after the final epoch: the
+                            # migrants would never evolve and would inflate
+                            # the migration count
+                            self._migrate(populations, champions)
+                            migrations += self.n_islands
+                            if tracing:
+                                tracer.event(
+                                    "island.migration",
+                                    epoch=epoch,
+                                    champions=[
+                                        [int(c), int(f)] for c, f in champions
+                                    ],
+                                )
+                        best_per_epoch.append(max(f for _c, f in island_best))
+                        epoch_champions.append([(c, f) for c, f in champions])
         finally:
             if pool is not None:
                 pool.close()

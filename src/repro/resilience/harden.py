@@ -69,6 +69,7 @@ from repro.resilience.secded import (
     secded_extract,
     secded_scrub,
 )
+from repro.obs.metrics import get_registry
 from repro.resilience.seu import FEM_DROP, SEUInjector, UpsetRates
 
 # ---------------------------------------------------------------------------
@@ -144,9 +145,19 @@ class ResilienceHarness:
         seed: int,
         n_replicas: int = 1,
         replica_offset: int = 0,
+        tracer=None,
     ):
         self.config = config
         self.rates = rates
+        #: optional :class:`~repro.obs.tracer.Tracer`: recovery events
+        #: (``resilience.hang`` / ``.failover`` / ``.watchdog_retry`` /
+        #: ``.rollback`` / ``.elite_repair`` / ``.shadow_restore`` /
+        #: ``.secded``) fire only when a fault actually lands, so the
+        #: fault-free path pays nothing.  Regardless of tracing, rare-fault
+        #: sites bump the process-wide metrics registry
+        #: (``resilience.seu_corrected`` / ``.seu_double`` /
+        #: ``.fem_failovers`` / ``.rollbacks``).
+        self.tracer = tracer
         self.injector = SEUInjector(rates, seed, n_replicas, replica_offset)
         n = n_replicas
         self.n_replicas = n
@@ -230,6 +241,8 @@ class ResilienceHarness:
         n_evals = pop if gen == 0 else pop - 1
         col_base = 0 if gen == 0 else 1  # offspring columns start at 1
         rolled = np.zeros(self.n_replicas, dtype=bool)
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
 
         for r in range(self.n_replicas):
             if self.hung[r]:
@@ -244,6 +257,14 @@ class ResilienceHarness:
                 if cfg.watchdog and self.fallback_left[r] > 0:
                     self.fallback_left[r] -= 1
                     self.failovers[r] += 1
+                    get_registry().counter("resilience.fem_failovers").inc()
+                    if tracing:
+                        tracer.event(
+                            "resilience.failover",
+                            replica=r,
+                            generation=gen,
+                            fallback_left=int(self.fallback_left[r]),
+                        )
                 else:
                     hang = True
             if not hang:
@@ -251,6 +272,12 @@ class ResilienceHarness:
                     if kind == FEM_DROP:
                         if cfg.watchdog:
                             self.watchdog_retries[r] += 1
+                            if tracing:
+                                tracer.event(
+                                    "resilience.watchdog_retry",
+                                    replica=r,
+                                    generation=gen,
+                                )
                         else:
                             hang = True
                             break
@@ -260,6 +287,13 @@ class ResilienceHarness:
                 self.hung[r] = True
                 self.hang_gen[r] = gen
                 self.best_at_hang[r] = best_fit[r]
+                if tracing:
+                    tracer.event(
+                        "resilience.hang",
+                        replica=r,
+                        generation=gen,
+                        best_at_hang=int(best_fit[r]),
+                    )
                 continue
 
             # -- memory upsets (through SECDED when armed) --
@@ -308,6 +342,21 @@ class ResilienceHarness:
             update = active & ~worse
             self._shadow_ind[update] = best_ind[update]
             self._shadow_fit[update] = best_fit[update]
+            if tracing:
+                for r in np.flatnonzero(mismatch):
+                    tracer.event(
+                        "resilience.elite_repair",
+                        replica=int(r),
+                        generation=gen,
+                        repaired_fitness=int(best_fit[r]),
+                    )
+                for r in np.flatnonzero(worse):
+                    tracer.event(
+                        "resilience.shadow_restore",
+                        replica=int(r),
+                        generation=gen,
+                        restored_fitness=int(best_fit[r]),
+                    )
 
         # -- checkpoint capture --
         if cfg.checkpoint_interval and gen % cfg.checkpoint_interval == 0:
@@ -332,6 +381,8 @@ class ResilienceHarness:
         boundary for this replica).
         """
         cfg = self.config
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         slots = np.unique(u.mem_slots)
         words = ((fits[r, slots] & 0xFFFF) << 16) | (inds[r, slots] & 0xFFFF)
         codes = secded_encode(words)
@@ -339,9 +390,21 @@ class ResilienceHarness:
             codes, np.searchsorted(slots, u.mem_slots), np.int64(1) << u.mem_bits
         )
         _fixed, data, status = secded_scrub(codes)
-        self.corrected[r] += int((status == STATUS_CORRECTED).sum())
+        n_corrected = int((status == STATUS_CORRECTED).sum())
+        self.corrected[r] += n_corrected
         n_double = int((status == STATUS_DOUBLE).sum())
+        if n_corrected:
+            get_registry().counter("resilience.seu_corrected").inc(n_corrected)
+        if tracing and (n_corrected or n_double):
+            tracer.event(
+                "resilience.secded",
+                replica=r,
+                generation=gen,
+                corrected=n_corrected,
+                double=n_double,
+            )
         if n_double:
+            get_registry().counter("resilience.seu_double").inc(n_double)
             self.detected_double[r] += n_double
             checkpoint = self._checkpoints[r]
             if (
@@ -359,6 +422,15 @@ class ResilienceHarness:
                 rng_set(r, ck_rng)
                 self.rollbacks[r] += 1
                 self.generations_lost[r] += gen - ck_gen
+                get_registry().counter("resilience.rollbacks").inc()
+                if tracing:
+                    tracer.event(
+                        "resilience.rollback",
+                        replica=r,
+                        generation=gen,
+                        checkpoint_generation=ck_gen,
+                        generations_lost=gen - ck_gen,
+                    )
                 return True
             self.accepted_uncorrectable[r] += n_double
         inds[r, slots] = data & 0xFFFF

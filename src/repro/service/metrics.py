@@ -2,25 +2,27 @@
 
 One :class:`ServiceMetrics` instance rides along the whole service stack;
 every touchpoint (submit, dispatch, chunk completion, job completion)
-records into it under a single lock, and :meth:`snapshot` renders the
-JSON-ready view that ``bench_service_throughput.py`` dumps into
-``BENCH_results.json`` and ``repro serve`` exposes over the wire.
+records into it, and :meth:`snapshot` renders the JSON-ready view that
+``bench_service_throughput.py`` dumps into ``BENCH_results.json`` and
+``repro serve`` exposes over the wire.
+
+Since the observability layer landed, the counters/gauges/histograms live
+in a private :class:`~repro.obs.metrics.MetricsRegistry` (private so that
+independent service instances — and tests asserting exact totals — never
+share state with the process-wide engine registry).  The public surface is
+unchanged: the same recording hooks, the same readable attributes
+(``submitted`` … ``generations_executed``, ``latencies_s``/``waits_s``),
+and a :meth:`snapshot` with the same key structure.
 """
 
 from __future__ import annotations
 
 import json
-import threading
 import time
 
+from repro.obs.metrics import MetricsRegistry, percentile
 
-def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (0 for an empty list)."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
-    return ordered[rank]
+__all__ = ["ServiceMetrics", "percentile"]
 
 
 class ServiceMetrics:
@@ -30,102 +32,147 @@ class ServiceMetrics:
     MAX_SAMPLES = 100_000
 
     def __init__(self, max_batch: int = 1):
-        self._lock = threading.Lock()
-        self.started_at = time.monotonic()
         self.max_batch = max(1, max_batch)
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.rejected = 0
-        self.queue_depth = 0
-        self.max_queue_depth = 0
-        self.chunks = 0
-        self.chunk_occupancy_sum = 0.0
-        self.max_occupancy = 0
-        self.generations_executed = 0
-        self.latencies_s: list[float] = []
-        self.waits_s: list[float] = []
+        reg = self._registry = MetricsRegistry()
+        self._submitted = reg.counter("service.jobs.submitted")
+        self._completed = reg.counter("service.jobs.completed")
+        self._failed = reg.counter("service.jobs.failed")
+        self._rejected = reg.counter("service.jobs.rejected")
+        self._chunks = reg.counter("service.chunks")
+        self._occupancy_sum = reg.counter("service.chunk_occupancy_sum")
+        self._generations = reg.counter("service.generations_executed")
+        self._queue = reg.gauge("service.queue_depth")
+        self._occupancy = reg.gauge("service.chunk_occupancy")
+        self._latency = reg.histogram(
+            "service.job_latency_s", max_samples=self.MAX_SAMPLES
+        )
+        self._wait = reg.histogram(
+            "service.job_wait_s", max_samples=self.MAX_SAMPLES
+        )
 
     # -- recording hooks ------------------------------------------------
     def job_submitted(self, depth: int) -> None:
-        with self._lock:
-            self.submitted += 1
-            self.queue_depth = depth
-            self.max_queue_depth = max(self.max_queue_depth, depth)
+        self._submitted.inc()
+        self._queue.set(depth)
 
     def job_rejected(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
 
     def queue_drained_to(self, depth: int) -> None:
-        with self._lock:
-            self.queue_depth = depth
+        self._queue.set(depth)
 
     def chunk_dispatched(self, n_entries: int, chunk_gens: int) -> None:
-        with self._lock:
-            self.chunks += 1
-            self.chunk_occupancy_sum += n_entries / self.max_batch
-            self.max_occupancy = max(self.max_occupancy, n_entries)
-            self.generations_executed += n_entries * chunk_gens
+        self._chunks.inc()
+        self._occupancy_sum.inc(n_entries / self.max_batch)
+        self._occupancy.set(n_entries)
+        self._generations.inc(n_entries * chunk_gens)
 
     def job_completed(self, latency_s: float, wait_s: float) -> None:
-        with self._lock:
-            self.completed += 1
-            if len(self.latencies_s) < self.MAX_SAMPLES:
-                self.latencies_s.append(latency_s)
-                self.waits_s.append(wait_s)
+        self._completed.inc()
+        self._latency.observe(latency_s)
+        self._wait.observe(wait_s)
 
     def job_failed(self) -> None:
-        with self._lock:
-            self.failed += 1
+        self._failed.inc()
+
+    # -- readable attributes (the pre-registry public surface) ----------
+    @property
+    def started_at(self) -> float:
+        return self._registry.started_at
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def completed(self) -> int:
+        return self._completed.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self._queue.value)
+
+    @property
+    def max_queue_depth(self) -> int:
+        return int(self._queue.max)
+
+    @property
+    def chunks(self) -> int:
+        return self._chunks.value
+
+    @property
+    def chunk_occupancy_sum(self) -> float:
+        return float(self._occupancy_sum.value)
+
+    @property
+    def max_occupancy(self) -> int:
+        return int(self._occupancy.max)
+
+    @property
+    def generations_executed(self) -> int:
+        return self._generations.value
+
+    @property
+    def latencies_s(self) -> list[float]:
+        return self._latency.samples
+
+    @property
+    def waits_s(self) -> list[float]:
+        return self._wait.samples
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing (private) registry, for raw-instrument access."""
+        return self._registry
 
     # -- reporting ------------------------------------------------------
     def snapshot(self) -> dict:
         """The full service state as a plain JSON-serializable dict."""
-        with self._lock:
-            uptime = max(time.monotonic() - self.started_at, 1e-9)
-            lat = list(self.latencies_s)
-            waits = list(self.waits_s)
-            return {
-                "uptime_s": round(uptime, 3),
-                "jobs": {
-                    "submitted": self.submitted,
-                    "completed": self.completed,
-                    "failed": self.failed,
-                    "rejected": self.rejected,
-                    "pending": self.queue_depth,
-                },
-                "queue": {
-                    "depth": self.queue_depth,
-                    "max_depth": self.max_queue_depth,
-                },
-                "batching": {
-                    "chunks": self.chunks,
-                    "max_batch": self.max_batch,
-                    "mean_occupancy": round(
-                        self.chunk_occupancy_sum / self.chunks, 4
-                    )
-                    if self.chunks
-                    else 0.0,
-                    "max_occupancy": self.max_occupancy,
-                },
-                "latency": {
-                    "p50_ms": round(percentile(lat, 50) * 1e3, 3),
-                    "p95_ms": round(percentile(lat, 95) * 1e3, 3),
-                    "max_ms": round(max(lat) * 1e3, 3) if lat else 0.0,
-                    "mean_wait_ms": round(
-                        sum(waits) / len(waits) * 1e3, 3
-                    )
-                    if waits
-                    else 0.0,
-                },
-                "throughput": {
-                    "jobs_per_s": round(self.completed / uptime, 3),
-                    "generations_per_s": round(
-                        self.generations_executed / uptime, 1
-                    ),
-                },
-            }
+        uptime = max(time.monotonic() - self.started_at, 1e-9)
+        lat = self._latency.summary()
+        chunks = self.chunks
+        return {
+            "uptime_s": round(uptime, 3),
+            "jobs": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "pending": self.queue_depth,
+            },
+            "queue": {
+                "depth": self.queue_depth,
+                "max_depth": self.max_queue_depth,
+            },
+            "batching": {
+                "chunks": chunks,
+                "max_batch": self.max_batch,
+                "mean_occupancy": round(self.chunk_occupancy_sum / chunks, 4)
+                if chunks
+                else 0.0,
+                "max_occupancy": self.max_occupancy,
+            },
+            "latency": {
+                "p50_ms": round(lat["p50"] * 1e3, 3),
+                "p95_ms": round(lat["p95"] * 1e3, 3),
+                "max_ms": round(lat["max"] * 1e3, 3),
+                "mean_wait_ms": round(self._wait.mean * 1e3, 3),
+            },
+            "throughput": {
+                "jobs_per_s": round(self.completed / uptime, 3),
+                "generations_per_s": round(
+                    self.generations_executed / uptime, 1
+                ),
+            },
+        }
 
     def to_json(self, path: str | None = None) -> str:
         """Render the snapshot as JSON; optionally also write it to a file."""

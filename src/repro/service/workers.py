@@ -33,6 +33,8 @@ import numpy as np
 from repro.core.batch import BatchBehavioralGA
 from repro.core.params import GAParameters
 from repro.fitness.functions import by_name
+from repro.obs.profile import ProfileScope
+from repro.obs.tracer import get_tracer
 from repro.rng.cellular_automaton import CellularAutomatonPRNG
 
 
@@ -53,10 +55,37 @@ def run_slab_chunk(spec: dict) -> dict:
     "protection_stats"}, ...]}`` where ``stats`` rows are
     ``(best_fitness, best_individual, fitness_sum)`` for the chunk's local
     generations 0..chunk_gens (empty when ``record_stats`` is off).
-    """
-    if spec.get("protection") is not None:
-        return _run_hardened(spec)
 
+    Observability: every chunk is timed into the process registry's
+    ``profile.service.slab_chunk`` histogram, and when the process default
+    tracer (:func:`~repro.obs.tracer.get_tracer`) is enabled — which a
+    thread-mode :class:`WorkerPool` shares with the caller — the chunk
+    runs inside a ``service.chunk`` span carrying its ``job_ids``, with
+    the engine's per-generation events nested under it.  Process-mode
+    workers run with the default null tracer unless their interpreter
+    arms one.
+    """
+    from contextlib import nullcontext
+
+    tracer = get_tracer()
+    span = (
+        tracer.span(
+            "service.chunk",
+            job_ids=[entry["job_id"] for entry in spec["entries"]],
+            chunk_gens=spec.get("chunk_gens"),
+            hardened=spec.get("protection") is not None,
+        )
+        if tracer.enabled
+        else nullcontext()
+    )
+    with ProfileScope("service.slab_chunk"), span:
+        if spec.get("protection") is not None:
+            return _run_hardened(spec, tracer)
+        return _run_batched(spec, tracer)
+
+
+def _run_batched(spec: dict, tracer=None) -> dict:
+    """The common path: one :class:`BatchBehavioralGA` call per chunk."""
     chunk = spec["chunk_gens"]
     entries = spec["entries"]
     params_list = []
@@ -80,7 +109,7 @@ def run_slab_chunk(spec: dict) -> dict:
             states.append(entry["rng_state"])
             base_evals.append(0)
 
-    batch = BatchBehavioralGA(params_list, fns, rng_states=states)
+    batch = BatchBehavioralGA(params_list, fns, rng_states=states, tracer=tracer)
     initial = np.asarray(populations, dtype=np.int64)
     results = batch.run(initial=initial)
 
@@ -109,7 +138,7 @@ def run_slab_chunk(spec: dict) -> dict:
     return {"entries": out}
 
 
-def _run_hardened(spec: dict) -> dict:
+def _run_hardened(spec: dict, tracer=None) -> dict:
     """Solo, unchunked execution of one job under a resilience harness."""
     from repro.core.behavioral import BehavioralGA
     from repro.resilience import (
@@ -126,10 +155,11 @@ def _run_hardened(spec: dict) -> dict:
         UpsetRates.uniform(prot["upset_rate"]),
         seed=prot["campaign_seed"],
         n_replicas=1,
+        tracer=tracer,
     )
     ga = BehavioralGA(
         params, by_name(entry["fitness"]), record_members=False,
-        resilience=harness,
+        resilience=harness, tracer=tracer,
     )
     result = ga.run()
     stats = (

@@ -1,0 +1,64 @@
+"""Profiling hooks: timed scopes and the sampling wall-clock profiler."""
+
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, ProfileScope, SamplingProfiler, Tracer
+
+
+def test_profile_scope_times_into_registry_histogram():
+    reg = MetricsRegistry()
+    with ProfileScope("unit.section", registry=reg) as scope:
+        time.sleep(0.002)
+    assert scope.elapsed is not None and scope.elapsed >= 0.002
+    h = reg.histogram("profile.unit.section")
+    assert h.count == 1
+    assert h.max == pytest.approx(scope.elapsed)
+
+
+def test_profile_scope_opens_a_span_when_traced():
+    reg = MetricsRegistry()
+    tracer = Tracer()
+    with ProfileScope("unit.traced", registry=reg, tracer=tracer):
+        tracer.event("inside")
+    (span,) = [r for r in tracer.records if r["type"] == "span"]
+    assert span["name"] == "unit.traced"
+    (event,) = [r for r in tracer.records if r["type"] == "event"]
+    assert event["parent"] == span["id"]
+
+
+def test_profile_scope_records_even_on_exception():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        with ProfileScope("unit.fail", registry=reg):
+            raise ValueError("boom")
+    assert reg.histogram("profile.unit.fail").count == 1
+
+
+def test_sampling_profiler_finds_the_busy_frame():
+    def busy_wait(deadline):
+        while time.perf_counter() < deadline:
+            pass
+
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        busy_wait(time.perf_counter() + 0.08)
+    assert profiler.samples > 0
+    top = profiler.top(5)
+    assert top, "no frames sampled"
+    for row in top:
+        assert set(row) == {"function", "file", "line", "samples", "share"}
+        assert 0 < row["share"] <= 1
+    assert any(row["function"] == "busy_wait" for row in top)
+
+
+def test_sampling_profiler_lifecycle_guards():
+    profiler = SamplingProfiler(interval_s=0.01)
+    profiler.start()
+    with pytest.raises(RuntimeError):
+        profiler.start()
+    profiler.stop()
+    profiler.stop()  # idempotent
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval_s=0)

@@ -1,0 +1,186 @@
+"""Tracer structure: span nesting, ordering, round-trip, thread safety.
+
+The Hypothesis properties execute randomly generated nesting programs
+(arbitrary trees of spans with events at any depth) against a live
+:class:`Tracer` and check the emitted records reconstruct the exact tree:
+every record's ``parent`` is the innermost enclosing span, ids are unique,
+and timestamps are consistent (a child span opens after and closes before
+its parent).
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    use_tracer,
+)
+
+# a nesting program: "event" leaves, or ("span", [children]) nodes
+node = st.recursive(
+    st.just("event"),
+    lambda children: st.tuples(st.just("span"), st.lists(children, max_size=4)),
+    max_leaves=20,
+)
+program = st.lists(node, min_size=1, max_size=6)
+
+
+def execute(tracer, nodes, expected, parent_name=None, counter=None):
+    """Run a program, recording (name, kind, expected-parent-name) rows."""
+    counter = counter if counter is not None else [0]
+    for n in nodes:
+        name = f"n{counter[0]}"
+        counter[0] += 1
+        if n == "event":
+            expected.append((name, "event", parent_name))
+            tracer.event(name)
+        else:
+            expected.append((name, "span", parent_name))
+            with tracer.span(name):
+                execute(tracer, n[1], expected, name, counter)
+
+
+@settings(max_examples=60, deadline=None)
+@given(program)
+def test_parent_links_reconstruct_the_nesting_tree(nodes):
+    tracer = Tracer()
+    expected = []
+    execute(tracer, nodes, expected)
+    records = tracer.records
+    assert len(records) == len(expected)
+    span_id = {r["name"]: r["id"] for r in records if r["type"] == "span"}
+    by_name = {r["name"]: r for r in records}
+    for name, kind, parent_name in expected:
+        record = by_name[name]
+        assert record["type"] == kind
+        want = span_id[parent_name] if parent_name is not None else None
+        assert record["parent"] == want, f"{name} parented wrongly"
+
+
+@settings(max_examples=60, deadline=None)
+@given(program)
+def test_span_ids_unique_and_timestamps_nest(nodes):
+    tracer = Tracer()
+    execute(tracer, nodes, [])
+    spans = [r for r in tracer.records if r["type"] == "span"]
+    ids = [r["id"] for r in spans]
+    assert len(ids) == len(set(ids))
+    by_id = {r["id"]: r for r in spans}
+    for r in spans:
+        assert r["dur"] >= 0
+        parent = r["parent"]
+        if parent is not None:
+            p = by_id[parent]
+            assert p["t0"] <= r["t0"]
+            assert r["t0"] + r["dur"] <= p["t0"] + p["dur"] + 1e-12
+    events = [r for r in tracer.records if r["type"] == "event"]
+    for ev in events:
+        if ev["parent"] is not None:
+            p = by_id[ev["parent"]]
+            assert p["t0"] <= ev["ts"] <= p["t0"] + p["dur"] + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=program)
+def test_json_lines_round_trip(nodes, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("trace") / "t.jsonl")
+    tracer = Tracer(path)
+    execute(tracer, nodes, [])
+    tracer.close()
+    assert read_trace(path) == tracer.records
+
+
+def test_span_yields_its_id_and_events_parent_to_it():
+    tracer = Tracer()
+    with tracer.span("outer") as outer_id:
+        tracer.event("inside")
+        with tracer.span("inner") as inner_id:
+            tracer.event("deep")
+    records = {(r["type"], r["name"]): r for r in tracer.records}
+    assert records[("event", "inside")]["parent"] == outer_id
+    assert records[("event", "deep")]["parent"] == inner_id
+    assert records[("span", "inner")]["parent"] == outer_id
+    assert records[("span", "outer")]["parent"] is None
+
+
+def test_attrs_ride_the_records_and_are_json_clean():
+    tracer = Tracer()
+    with tracer.span("run", engine="behavioral", pop=64):
+        tracer.event("gen", generation=0, best_fitness=7016)
+    for record in tracer.records:
+        json.dumps(record)  # must be serializable
+    span = next(r for r in tracer.records if r["type"] == "span")
+    assert span["engine"] == "behavioral" and span["pop"] == 64
+
+
+def test_span_record_emitted_on_exception_too():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    assert [r["name"] for r in tracer.records] == ["doomed"]
+
+
+def test_thread_local_stacks_keep_nesting_straight():
+    tracer = Tracer()
+    errors = []
+
+    def worker(tag):
+        try:
+            for i in range(50):
+                with tracer.span(f"{tag}-outer-{i}"):
+                    tracer.event(f"{tag}-ev-{i}")
+                    with tracer.span(f"{tag}-inner-{i}"):
+                        pass
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(f"t{k}",)) for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    by_name = {r["name"]: r for r in tracer.records}
+    assert len(by_name) == len(tracer.records)  # no duplicated ids/names
+    for k in range(4):
+        for i in range(50):
+            outer = by_name[f"t{k}-outer-{i}"]
+            assert by_name[f"t{k}-ev-{i}"]["parent"] == outer["id"]
+            assert by_name[f"t{k}-inner-{i}"]["parent"] == outer["id"]
+            assert outer["parent"] is None  # other threads' spans invisible
+
+
+def test_null_tracer_is_inert_and_default():
+    assert get_tracer() is NULL_TRACER
+    assert NULL_TRACER.enabled is False
+    with NULL_TRACER.span("nothing", attr=1):
+        NULL_TRACER.event("nothing")
+    NULL_TRACER.close()
+
+
+def test_use_tracer_scopes_the_process_default():
+    tracer = Tracer()
+    with use_tracer(tracer) as active:
+        assert active is tracer
+        assert get_tracer() is tracer
+    assert get_tracer() is NULL_TRACER
+    set_tracer(tracer)
+    try:
+        assert get_tracer() is tracer
+    finally:
+        set_tracer(None)
+    assert get_tracer() is NULL_TRACER
+
+
+def test_tracer_requires_some_destination():
+    with pytest.raises(ValueError):
+        Tracer(sink=None, keep_records=False)
