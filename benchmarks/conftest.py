@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 
 
 def print_table(title: str, rows: list[dict], keys: list[str] | None = None) -> None:
@@ -40,7 +41,11 @@ def _maybe(getter):
         value = getter()
     except Exception:
         return None
-    return float(value) if isinstance(value, (int, float)) else value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return value
+    # keep counts (rounds, iterations) as ints; only real measurements
+    # become floats
+    return value if isinstance(value, int) else float(value)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -75,5 +80,9 @@ def pytest_sessionfinish(session, exitstatus):
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
-    except OSError:  # never fail a bench run over the artefact dump
-        pass
+    except OSError as exc:  # never fail a bench run over the artefact dump
+        warnings.warn(
+            f"could not write bench artefact {path}: {exc}",
+            RuntimeWarning,
+            stacklevel=1,
+        )

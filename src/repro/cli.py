@@ -142,12 +142,20 @@ def cmd_run(args) -> None:
     tracer = None
     if getattr(args, "trace_out", ""):
         tracer = Tracer(args.trace_out, keep_records=False)
+    engine_mode = getattr(args, "engine_mode", "exact")
+    if args.cycle_accurate and engine_mode != "exact":
+        raise SystemExit(
+            "--engine-mode turbo is a behavioural-engine fast path; "
+            "it cannot be combined with --cycle-accurate"
+        )
     try:
         if args.cycle_accurate:
             result = GASystem(params, fn, tracer=tracer).run()
             extra = f", {result.cycles} GA cycles"
         else:
-            result = BehavioralGA(params, fn, tracer=tracer).run()
+            result = BehavioralGA(
+                params, fn, tracer=tracer, mode=engine_mode
+            ).run()
             extra = ""
     finally:
         if tracer is not None:
@@ -343,6 +351,7 @@ def cmd_submit(args) -> None:
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
         protection=args.protection or None,
         upset_rate=args.upset_rate,
+        engine_mode=getattr(args, "engine_mode", "exact"),
     )
     result = submit_remote(args.host, args.port, request, timeout=args.timeout_s)
     if args.json:
@@ -399,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--mut", type=int, default=1)
             p.add_argument("--seed", default="0x061F")
             p.add_argument("--cycle-accurate", action="store_true")
+            p.add_argument("--engine-mode", choices=["exact", "turbo"],
+                           default="exact",
+                           help="behavioural engine mode: exact is "
+                           "bit-identical to the RT core, turbo is the "
+                           "vectorised fast path (same operator "
+                           "distributions, different RNG word allocation)")
             p.add_argument("--trace-out", default="",
                            help="also write a JSON-lines trace to this path")
         elif name == "trace":
@@ -472,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--protection", default="",
                            help="resilience preset for hardened execution")
             p.add_argument("--upset-rate", type=float, default=0.0)
+            p.add_argument("--engine-mode", choices=["exact", "turbo"],
+                           default="exact",
+                           help="request exact (bit-identical) or turbo "
+                           "(vectorised) slab execution")
             p.add_argument("--timeout-s", type=float, default=300.0)
             p.add_argument("--json", action="store_true",
                            help="print the full result as JSON")

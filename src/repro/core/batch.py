@@ -46,6 +46,8 @@ import numpy as np
 
 from repro.core.params import GAParameters
 from repro.core.stats import GenerationStats
+from repro.core.turbo import TurboKernel
+from repro.core.validate import validate_initial_population
 from repro.fitness.base import FitnessFunction
 from repro.obs.metrics import record_engine_run
 from repro.rng.cellular_automaton import (
@@ -164,6 +166,19 @@ class BatchBehavioralGA:
         The disabled path (the default) executes the exact uninstrumented
         slot loop — one flag check per generation is the whole cost, and
         results are bit-identical either way.
+    mode:
+        ``"exact"`` (default) walks offspring slots with the precomputed
+        slot-outcome table, bit-identical to N serial runs.  ``"turbo"``
+        runs the fully vectorised generation step of
+        :class:`~repro.core.turbo.TurboKernel`: one pre-drawn word block,
+        one flattened ``searchsorted`` for every selection, array-wide
+        crossover masks, and binomial-sampled mutation.  Turbo keeps the
+        operator distributions but not the exact word allocation (the
+        contract in ``docs/architecture.md``); each replica's draw count
+        stays a pure function of its own stream, so turbo results are
+        deterministic per ``(params, seed)`` regardless of slab
+        composition or chunking.  Turbo does not support a resilience
+        harness.
     """
 
     def __init__(
@@ -174,7 +189,16 @@ class BatchBehavioralGA:
         rng_states: Sequence[int] | None = None,
         resilience=None,
         tracer=None,
+        mode: str = "exact",
     ):
+        if mode not in ("exact", "turbo"):
+            raise ValueError(f"mode must be 'exact' or 'turbo': {mode!r}")
+        if mode == "turbo" and resilience is not None:
+            raise ValueError(
+                "turbo mode does not support a resilience harness; "
+                "hardened runs must use exact mode"
+            )
+        self.mode = mode
         self.tracer = tracer
         self.params_list = list(params_list)
         n = len(self.params_list)
@@ -223,40 +247,51 @@ class BatchBehavioralGA:
         )
         self.bank = CAStreamBank(seeds)
 
-        # one slot-outcome table per distinct threshold pair, stacked so a
-        # replica's slot gather is TT[class, position]
-        pairs = [(p.crossover_threshold, p.mutation_threshold) for p in self.params_list]
-        classes = sorted(set(pairs))
-        stack_key = (
-            tuple(classes),
-            self.bank.rule_vector,
-            self.bank.width,
-            self.bank.spacing,
-        )
-        stacked = _SLOT_STACK_CACHE.get(stack_key)
-        if stacked is None:
-            stacked = np.stack(
-                [
-                    _slot_table(
-                        xt, mt, self.bank.rule_vector, self.bank.width, self.bank.spacing
-                    )
-                    for xt, mt in classes
-                ]
-            )
-            if len(_SLOT_STACK_CACHE) >= 32:
-                _SLOT_STACK_CACHE.clear()
-            _SLOT_STACK_CACHE[stack_key] = stacked
-        self._slot_tables = stacked
-        self._class_idx = np.array(
-            [classes.index(pair) for pair in pairs], dtype=np.int64
-        )
-
         self._rows = np.arange(n, dtype=np.int64)
         self._row_offsets = (self._rows * _ROW_STRIDE)[:, None]
         # flat index of each replica's last member, for the hardware's
         # "last member as fallback" clamp (each selection target appears
         # twice: two parents per slot)
         self._sel_cap = np.repeat(self._rows * self.pop, 2) + (self.pop - 1)
+
+        if mode == "turbo":
+            self._turbo = TurboKernel(
+                self.params_list, self._rows, self._row_offsets
+            )
+            self._slot_tables = None
+            self._class_idx = None
+        else:
+            # one slot-outcome table per distinct threshold pair, stacked so
+            # a replica's slot gather is TT[class, position]
+            pairs = [
+                (p.crossover_threshold, p.mutation_threshold)
+                for p in self.params_list
+            ]
+            classes = sorted(set(pairs))
+            stack_key = (
+                tuple(classes),
+                self.bank.rule_vector,
+                self.bank.width,
+                self.bank.spacing,
+            )
+            stacked = _SLOT_STACK_CACHE.get(stack_key)
+            if stacked is None:
+                stacked = np.stack(
+                    [
+                        _slot_table(
+                            xt, mt, self.bank.rule_vector, self.bank.width,
+                            self.bank.spacing,
+                        )
+                        for xt, mt in classes
+                    ]
+                )
+                if len(_SLOT_STACK_CACHE) >= 32:
+                    _SLOT_STACK_CACHE.clear()
+                _SLOT_STACK_CACHE[stack_key] = stacked
+            self._slot_tables = stacked
+            self._class_idx = np.array(
+                [classes.index(pair) for pair in pairs], dtype=np.int64
+            )
 
         self.histories: list[list[GenerationStats]] = [[] for _ in range(n)]
         self.evaluations = np.zeros(n, dtype=np.int64)
@@ -280,24 +315,30 @@ class BatchBehavioralGA:
         best_ind: np.ndarray,
         sums: np.ndarray,
     ) -> None:
+        # tolist() batches the numpy-scalar -> int conversions; the loop
+        # below is on the per-generation path of both engine modes
+        bf, bi = best_fit.tolist(), best_ind.tolist()
+        sm = sums.tolist()
+        members = fits.tolist() if self.record_members else None
+        pop = self.pop
         for r in range(self.n_replicas):
             self.histories[r].append(
                 GenerationStats(
                     generation=generation,
-                    best_fitness=int(best_fit[r]),
-                    best_individual=int(best_ind[r]),
-                    fitness_sum=int(sums[r]),
-                    population_size=self.pop,
-                    fitnesses=fits[r].tolist() if self.record_members else [],
+                    best_fitness=bf[r],
+                    best_individual=bi[r],
+                    fitness_sum=sm[r],
+                    population_size=pop,
+                    fitnesses=members[r] if members is not None else [],
                 )
             )
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.event(
                 "ga.generation",
                 generation=generation,
-                best_fitness=[int(v) for v in best_fit],
-                best_individual=[int(v) for v in best_ind],
-                fitness_sum=[int(v) for v in sums],
+                best_fitness=bf,
+                best_individual=bi,
+                fitness_sum=sm,
             )
 
     def _validate_initial(self, initial: np.ndarray) -> np.ndarray:
@@ -306,25 +347,11 @@ class BatchBehavioralGA:
         The generation loop assumes 16-bit non-negative integers in an
         ``(n_replicas, population_size)`` layout; anything else used to
         surface as a baffling failure (or silent masking) deep inside the
-        loop, so the contract is enforced here with named errors.
+        loop, so the contract is enforced up front with named errors —
+        the same errors, via the same shared helper, that the serial
+        engine raises (``tests/core/test_validate.py``).
         """
-        arr = np.asarray(initial)
-        if arr.dtype == np.bool_ or not np.issubdtype(arr.dtype, np.integer):
-            raise ValueError(
-                "initial populations must be an integer array of 16-bit "
-                f"chromosomes, got dtype {arr.dtype}"
-            )
-        if arr.shape != (self.n_replicas, self.pop):
-            raise ValueError(
-                f"initial populations have shape {arr.shape}, "
-                f"expected ({self.n_replicas}, {self.pop})"
-            )
-        if arr.size and (int(arr.min()) < 0 or int(arr.max()) > 0xFFFF):
-            raise ValueError(
-                "initial population members must be 16-bit values in "
-                f"[0, 65535]; got range [{int(arr.min())}, {int(arr.max())}]"
-            )
-        return arr.astype(np.int64, copy=True)
+        return validate_initial_population(initial, (self.n_replicas, self.pop))
 
     # ------------------------------------------------------------------
     # resumable stepping API: begin / step / finalize.  run() is the
@@ -404,6 +431,8 @@ class BatchBehavioralGA:
             raise RuntimeError("call begin() before step()")
         if self._finalized:
             raise RuntimeError("run already finalized; call begin() to restart")
+        if self.mode == "turbo":
+            return self._step_turbo(n_generations)
         n, pop = self.n_replicas, self.pop
         rows = self._rows
         single_class = self._slot_tables.shape[0] == 1
@@ -564,6 +593,72 @@ class BatchBehavioralGA:
         self._cur, self._consumed = cur, consumed
         return todo
 
+    def _step_turbo(self, n_generations: int | None) -> int:
+        """The turbo generation loop: a handful of array passes per
+        generation, no per-slot Python iteration.
+
+        Elitism, best tracking, recording, and tracing follow the exact
+        engine's semantics verbatim (column 0 carries the elite register,
+        strict-improvement best updates, the same ``ga.generation`` /
+        ``ga.phases`` events) — only the offspring construction inside
+        :meth:`TurboKernel.generation` differs.  The stream bank advances
+        live (``block2d`` draws), so ``_consumed`` stays zero and
+        :meth:`finalize`'s hand-back is a no-op position sync.
+        """
+        remaining = self.n_generations - self._gen
+        todo = remaining if n_generations is None else min(n_generations, remaining)
+        if todo <= 0:
+            return 0
+        rows = self._rows
+        kernel = self._turbo
+        inds, fits = self._inds, self._fits
+        best_ind, best_fit = self._best_ind, self._best_fit
+        self.bank.pos = self._cur % self.bank._size
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+
+        for gen in range(self._gen + 1, self._gen + todo + 1):
+            if tracing:
+                ph = {"selection": 0.0, "crossover": 0.0, "mutation": 0.0,
+                      "eval": 0.0, "elitism": 0.0, "record": 0.0}
+                t = perf_counter()
+            inds = kernel.generation(self.bank, inds, fits, best_ind)
+            if tracing:
+                now = perf_counter()
+                # the fused kernel does selection+crossover+mutation in one
+                # pass; report it under "selection" with zero-filled peers
+                # so phase_breakdown keys stay stable across modes
+                ph["selection"] += now - t
+                t = now
+            fits = self._eval(inds)
+            if tracing:
+                now = perf_counter()
+                ph["eval"] += now - t
+                t = now
+            fits[:, 0] = best_fit
+            best_idx = fits.argmax(axis=1)
+            gen_best = fits[rows, best_idx]
+            improved = gen_best > best_fit
+            best_fit = np.where(improved, gen_best, best_fit)
+            best_ind = np.where(improved, inds[rows, best_idx], best_ind)
+            if tracing:
+                now = perf_counter()
+                ph["elitism"] += now - t
+                t = now
+            self._record(
+                gen, fits, gen_best, inds[rows, best_idx], fits.sum(axis=1)
+            )
+            if tracing:
+                ph["record"] += perf_counter() - t
+                tracer.event("ga.phases", generation=gen, phases=ph)
+
+        self.evaluations += todo * (self.pop - 1)
+        self._gen += todo
+        self._inds, self._fits = inds, fits
+        self._best_ind, self._best_fit = best_ind, best_fit
+        self._cur = self.bank.pos.copy()
+        return todo
+
     def finalize(self) -> list:
         """Hand the RNG streams back to the bank and build the results.
 
@@ -617,14 +712,17 @@ class BatchBehavioralGA:
 def run_batched(
     jobs: Sequence[tuple[GAParameters, FitnessFunction]],
     record_members: bool = False,
+    mode: str = "exact",
 ) -> list:
     """Run a heterogeneous sweep through the batch engine.
 
     ``jobs`` is any sequence of ``(params, fitness)`` cells; cells sharing
     ``(n_generations, population_size)`` are grouped into one
     :class:`BatchBehavioralGA` run each, and the results come back in input
-    order — bit-identical to looping ``BehavioralGA(params, fitness).run()``
-    over the jobs one by one.
+    order — in the default exact mode, bit-identical to looping
+    ``BehavioralGA(params, fitness).run()`` over the jobs one by one
+    (``mode="turbo"`` trades that bit-identity for the vectorised hot
+    path; see the engine docstring).
     """
     groups: dict[tuple[int, int], list[int]] = {}
     for i, (params, _fn) in enumerate(jobs):
@@ -636,7 +734,7 @@ def run_batched(
         params_list = [jobs[i][0] for i in indices]
         fns = [jobs[i][1] for i in indices]
         batch = BatchBehavioralGA(
-            params_list, fns, record_members=record_members
+            params_list, fns, record_members=record_members, mode=mode
         )
         for i, result in zip(indices, batch.run()):
             results[i] = result

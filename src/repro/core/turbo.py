@@ -1,0 +1,171 @@
+"""Turbo generation kernel — the fully vectorised GA inner loop.
+
+The exact batched engine (:class:`repro.core.batch.BatchBehavioralGA`) is
+bit-identical to the serial core, which forces it to walk offspring slots
+one by one: the CA-PRNG's *conditional* word consumption (a failed
+crossover decision skips the cut word) makes each slot's stream position
+depend on the previous slot's outcome.  Turbo mode drops bit-identity in
+favour of throughput and removes that serial dependency entirely:
+
+* **Word-parallel CA-PRNG advance** — every generation pre-draws one
+  fixed-width block of words per replica from the shared orbit
+  (:meth:`repro.rng.cellular_automaton.CAStreamBank.block2d`), so the RNG
+  is one gather per generation instead of one per slot.
+* **One `searchsorted` selection** — all ``replica x slot`` parent picks
+  run through a single flattened cumulative-sum search, the same
+  row-offset trick the exact engine applies per slot, applied once.
+* **Array-wide crossover** — decision and cut fields for every slot at
+  once; the combine mask is built exactly as in the exact engine
+  (``inv = (0xFFFF << cut) & 0xFFFF``), just across the whole array.
+* **Binomial-sampled mutation** (Cicirello, PAPERS.md) — instead of one
+  decision word per offspring, the *number* of mutation events per replica
+  per generation is drawn from ``Binomial(pop - 1, threshold / 16)`` by
+  inverse-CDF on a single word, then only the events themselves consume
+  words: O(flips) draws instead of O(offspring).
+
+Equivalence contract (documented in ``docs/architecture.md``): turbo keeps
+every operator's *distribution* — proportionate selection thresholds,
+crossover probability and cut law, the Binomial mutation-event count — but
+reallocates which orbit words feed which decision, so populations are not
+bit-identical to exact mode.  Mutation events land on offspring *with
+replacement* (two events may hit the same offspring — a second-order
+difference from exact mode's at-most-one-flip-per-offspring, vanishing as
+``1/pop``).  Per-replica word consumption is a pure function of that
+replica's own stream, so a turbo run is deterministic for its
+``(params, seed)`` regardless of slab composition or chunking — the same
+composition-independence the exact engine guarantees.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+_BINOMIAL_CDF_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def binomial_cdf(n: int, threshold: int) -> np.ndarray:
+    """CDF of ``Binomial(n, threshold / 16)`` as an ``(n + 1,)`` float64
+    array; ``cdf[k] = P(X <= k)``.  Cached per ``(n, threshold)``.
+
+    Inverse-CDF sampling: for ``u`` uniform on [0, 1),
+    ``k = sum(cdf < u)`` is Binomial-distributed — one uniform word buys
+    the whole generation's mutation-event count.
+    """
+    key = (n, threshold)
+    cached = _BINOMIAL_CDF_CACHE.get(key)
+    if cached is not None:
+        return cached
+    p = threshold / 16.0
+    q = 1.0 - p
+    pmf = [comb(n, k) * p**k * q ** (n - k) for k in range(n + 1)]
+    cdf = np.cumsum(np.asarray(pmf, dtype=np.float64))
+    cdf[-1] = 1.0  # guard the float tail: k can never exceed n
+    if len(_BINOMIAL_CDF_CACHE) >= 64:
+        _BINOMIAL_CDF_CACHE.clear()
+    _BINOMIAL_CDF_CACHE[key] = cdf
+    return cdf
+
+
+class TurboKernel:
+    """Precomputed per-batch state for the vectorised generation step.
+
+    One instance per :class:`~repro.core.batch.BatchBehavioralGA` in turbo
+    mode; :meth:`generation` evolves one full offspring generation for all
+    replicas with a handful of array operations and advances the stream
+    bank in place.
+    """
+
+    def __init__(self, params_list, rows: np.ndarray, row_offsets: np.ndarray):
+        n = len(params_list)
+        pop = params_list[0].population_size
+        self.pop = pop
+        self.n_offspring = pop - 1
+        # each slot selects two parents and yields two offspring (the last
+        # slot yields one when pop - 1 is odd), exactly the exact engine's
+        # pairing
+        self.n_slots = (self.n_offspring + 1) // 2
+        # per-generation block: 2 selection words per slot, one crossover
+        # word per slot (decision nibble + cut nibble), one binomial word
+        self.block_width = 3 * self.n_slots + 1
+        self._rows = rows
+        self._row_offsets = row_offsets
+        self._xover_col = np.array(
+            [p.crossover_threshold for p in params_list], dtype=np.int64
+        )[:, None]
+        self._cdf_rows = np.stack(
+            [binomial_cdf(self.n_offspring, p.mutation_threshold) for p in params_list]
+        )
+        # flat index of each replica's last member: the hardware's
+        # last-member fallback clamp, repeated for every pick of a row
+        self._sel_cap = np.repeat(rows * pop, 2 * self.n_slots) + (pop - 1)
+
+    def generation(
+        self,
+        bank,
+        inds: np.ndarray,
+        fits: np.ndarray,
+        best_ind: np.ndarray,
+    ) -> np.ndarray:
+        """One offspring generation for every replica; returns the new
+        ``(n_replicas, pop)`` population (column 0 = the carried elite).
+
+        Consumes ``block_width + k[r]`` words from replica ``r``'s stream,
+        where ``k[r]`` is its Binomial mutation-event count this
+        generation.
+        """
+        n = inds.shape[0]
+        n_slots, n_off = self.n_slots, self.n_offspring
+
+        words = bank.block2d(self.block_width).astype(np.int64)
+        sel_w = words[:, : 2 * n_slots]
+        xword = words[:, 2 * n_slots : 3 * n_slots]
+        xdec = xword & 0xF
+        xcut = (xword >> 4) & 0xF
+        u = words[:, -1].astype(np.float64) / 65536.0
+
+        # proportionate selection, every slot's two parents in a single
+        # flattened searchsorted: threshold = (rn * sum) >> 16, first
+        # member whose cumulative fitness exceeds it
+        cum = fits.cumsum(axis=1)
+        total = cum[:, -1:]
+        flat = (cum + self._row_offsets).ravel()
+        thresholds = (sel_w * total) >> 16
+        picks = np.minimum(
+            flat.searchsorted(
+                (thresholds + self._row_offsets).ravel(), side="right"
+            ),
+            self._sel_cap,
+        )
+        parents = inds.ravel()[picks].reshape(n, 2 * n_slots)
+        p1, p2 = parents[:, 0::2], parents[:, 1::2]
+
+        # single-point crossover as an XOR update, array-wide: the combine
+        # mask is zero wherever the slot's crossover decision failed
+        inv = (0xFFFF << xcut) & 0xFFFF
+        diff = (p1 ^ p2) & np.where(xdec < self._xover_col, inv, 0)
+        offspring = np.empty((n, 2 * n_slots), dtype=np.int64)
+        offspring[:, 0::2] = p1 ^ diff
+        offspring[:, 1::2] = p2 ^ diff
+
+        new_inds = np.empty((n, self.pop), dtype=np.int64)
+        new_inds[:, 0] = best_ind  # elitism
+        new_inds[:, 1:] = offspring[:, :n_off]
+
+        # binomial-sampled mutation: one inverse-CDF word per replica
+        # yields this generation's event count k[r]; only the events
+        # themselves draw further words (offspring via multiply-shift,
+        # bit from the low nibble), each replica advancing its own stream
+        # by exactly k[r] — composition-independent by construction
+        k = (self._cdf_rows < u[:, None]).sum(axis=1)
+        mw = bank.draw_ragged(k)
+        if mw.shape[1]:
+            mw = mw.astype(np.int64)
+            live = np.nonzero(np.arange(mw.shape[1])[None, :] < k[:, None])
+            w = mw[live]
+            flat = live[0] * self.pop + 1 + ((w * n_off) >> 16)
+            np.bitwise_xor.at(
+                new_inds.reshape(-1), flat, np.int64(1) << (w & 0xF)
+            )
+        return new_inds

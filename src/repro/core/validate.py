@@ -1,0 +1,46 @@
+"""Shared input validation for the behavioural GA engines.
+
+The serial and batched engines accept caller-supplied initial populations
+(the island model carrying populations across epochs, the service layer
+resuming suspended slabs).  Both must enforce the same contract — 16-bit
+non-negative integer chromosomes in the engine's expected layout — and,
+critically, must *disagree on nothing*: a payload that raises from one
+engine raises the same named error from the other (the parity property in
+``tests/core/test_validate.py``).  Before this helper existed the serial
+engine silently masked out-of-range members with ``& 0xFFFF`` while the
+batch engine raised, so the same bad job produced different populations
+depending on which engine the scheduler happened to route it through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def validate_initial_population(
+    initial, expected_shape: tuple[int, ...]
+) -> np.ndarray:
+    """Check an initial population and return it as a fresh int64 array.
+
+    ``expected_shape`` is ``(population_size,)`` for the serial engine and
+    ``(n_replicas, population_size)`` for the batched one.  Raises
+    ``ValueError`` naming the defect (dtype, shape, or member range) —
+    never silently coerces.
+    """
+    arr = np.asarray(initial)
+    if arr.dtype == np.bool_ or not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(
+            "initial populations must be an integer array of 16-bit "
+            f"chromosomes, got dtype {arr.dtype}"
+        )
+    if arr.shape != expected_shape:
+        raise ValueError(
+            f"initial populations have shape {arr.shape}, "
+            f"expected {expected_shape}"
+        )
+    if arr.size and (int(arr.min()) < 0 or int(arr.max()) > 0xFFFF):
+        raise ValueError(
+            "initial population members must be 16-bit values in "
+            f"[0, 65535]; got range [{int(arr.min())}, {int(arr.max())}]"
+        )
+    return arr.astype(np.int64, copy=True)

@@ -59,16 +59,25 @@ def _epoch_worker(args: tuple) -> tuple[int, list[int], int, int, int, int]:
     """Run one island for one epoch.  Module-level so it pickles.
 
     args: (fitness_name, island_index, params_dict, epoch_gens, rng_state,
-    rng_seed, population_or_None)
+    rng_seed, population_or_None, engine_mode)
     returns: (island, final_population, best_ind, best_fit, rng_state,
     evaluations)
     """
-    fn_name, island, params_dict, epoch_gens, rng_state, rng_seed, population = args
+    (
+        fn_name,
+        island,
+        params_dict,
+        epoch_gens,
+        rng_state,
+        rng_seed,
+        population,
+        engine_mode,
+    ) = args
     fn = by_name(fn_name)
     params = GAParameters(**params_dict).with_(n_generations=epoch_gens)
     rng = CellularAutomatonPRNG(rng_seed)
     rng.state = rng_state
-    ga = BehavioralGA(params, fn, rng=rng, record_members=False)
+    ga = BehavioralGA(params, fn, rng=rng, record_members=False, mode=engine_mode)
     initial = np.asarray(population, dtype=np.int64) if population is not None else None
     result = ga.run(initial=initial)
     return (
@@ -92,11 +101,20 @@ class IslandGA:
         migration_interval: int = 8,
         processes: int = 1,
         tracer=None,
+        engine_mode: str = "exact",
     ):
         if n_islands < 2:
             raise ValueError("island model needs at least 2 islands")
         if migration_interval < 1:
             raise ValueError("migration interval must be >= 1")
+        if engine_mode not in ("exact", "turbo"):
+            raise ValueError(
+                f"engine_mode must be 'exact' or 'turbo': {engine_mode!r}"
+            )
+        #: ``"exact"`` or ``"turbo"``; turbo islands stay deterministic in
+        #: both execution modes because the turbo engine's word consumption
+        #: is composition-independent (solo == batch row, per stream)
+        self.engine_mode = engine_mode
         self.params = params
         self.fitness = fitness
         self.n_islands = n_islands
@@ -144,6 +162,7 @@ class IslandGA:
                 states[i],
                 self.seeds[i],
                 populations[i],
+                self.engine_mode,
             )
             for i in range(self.n_islands)
         ]
@@ -158,7 +177,7 @@ class IslandGA:
         ]
         batch = BatchBehavioralGA(
             params_list, self.fitness, record_members=False, rng_states=states,
-            tracer=self.tracer,
+            tracer=self.tracer, mode=self.engine_mode,
         )
         initial = (
             np.asarray(populations, dtype=np.int64)

@@ -55,13 +55,19 @@ class BatchPolicy:
 def compat_key(record: "JobRecord") -> tuple:
     """Jobs sharing this key may ride one slab.
 
-    Only the population size is structural (it is the member axis of the
-    2-D population array); hardened jobs are never batched — their fault
-    streams are addressed per solo run — so each gets a unique key.
+    Population size is structural (it is the member axis of the 2-D
+    population array), and the engine mode is too — a slab runs entirely
+    exact or entirely turbo, never mixed; hardened jobs are never batched —
+    their fault streams are addressed per solo run — so each gets a unique
+    key.
     """
     if record.request.protection is not None:
         return ("hardened", record.seq)
-    return ("batch", record.request.params.population_size)
+    return (
+        "batch",
+        record.request.params.population_size,
+        record.request.engine_mode,
+    )
 
 
 @dataclass
@@ -136,6 +142,7 @@ class Slab:
         if self.hardened and len(entries) != 1:
             raise ValueError("hardened jobs run in single-job slabs")
         self.pop = entries[0].request.params.population_size
+        self.engine_mode = entries[0].request.engine_mode
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -188,6 +195,7 @@ class Slab:
             "chunk_gens": chunk_gens,
             "entries": spec_entries,
             "protection": protection,
+            "mode": self.engine_mode,
         }
 
     def apply_chunk(self, out: dict, chunk_gens: int) -> list[JobRecord]:

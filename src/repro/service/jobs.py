@@ -75,8 +75,21 @@ class GARequest:
     protection: str | None = None
     upset_rate: float = 0.0
     campaign_seed: int = 2026
+    #: ``"exact"`` (bit-identical to serial, the default) or ``"turbo"``
+    #: (vectorised engine — same operator distributions, different RNG
+    #: word allocation; see ``docs/architecture.md``)
+    engine_mode: str = "exact"
 
     def __post_init__(self) -> None:
+        if self.engine_mode not in ("exact", "turbo"):
+            raise ValueError(
+                f"engine_mode must be 'exact' or 'turbo': {self.engine_mode!r}"
+            )
+        if self.engine_mode == "turbo" and self.protection is not None:
+            raise ValueError(
+                "turbo jobs cannot request a protection preset; hardened "
+                "execution requires the exact engine"
+            )
         if self.fitness_name not in REGISTRY:
             raise ValueError(
                 f"unknown fitness slot {self.fitness_name!r}; "
@@ -106,6 +119,7 @@ class GARequest:
             "protection": self.protection,
             "upset_rate": self.upset_rate,
             "campaign_seed": self.campaign_seed,
+            "engine_mode": self.engine_mode,
         }
 
     @classmethod
@@ -119,6 +133,7 @@ class GARequest:
             protection=data.get("protection"),
             upset_rate=float(data.get("upset_rate", 0.0)),
             campaign_seed=int(data.get("campaign_seed", 2026)),
+            engine_mode=data.get("engine_mode", "exact"),
         )
 
 

@@ -44,6 +44,7 @@ def run_slab_chunk(spec: dict) -> dict:
     ``spec``::
 
         {"chunk_gens": int,
+         "mode": "exact" | "turbo",   # engine mode, default "exact"
          "protection": None | {"preset", "upset_rate", "campaign_seed"},
          "entries": [{"job_id", "params": {...}, "fitness",
                       "population": [..] | None,   # None -> fresh draw
@@ -109,7 +110,13 @@ def _run_batched(spec: dict, tracer=None) -> dict:
             states.append(entry["rng_state"])
             base_evals.append(0)
 
-    batch = BatchBehavioralGA(params_list, fns, rng_states=states, tracer=tracer)
+    batch = BatchBehavioralGA(
+        params_list,
+        fns,
+        rng_states=states,
+        tracer=tracer,
+        mode=spec.get("mode", "exact"),
+    )
     initial = np.asarray(populations, dtype=np.int64)
     results = batch.run(initial=initial)
 

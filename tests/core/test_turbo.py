@@ -1,0 +1,256 @@
+"""Differential conformance suite for the turbo engine mode.
+
+Turbo trades bit-identity for throughput under a documented equivalence
+contract (``docs/architecture.md``): every operator keeps its
+distribution, only the RNG word allocation changes.  This suite pins the
+contract down from four sides:
+
+* determinism — turbo is a pure function of ``(params, seed)``:
+  composition-independent (solo == batch row) and chunking-invariant
+  (``step()`` resumption is invisible);
+* anchoring — generation 0 is byte-identical to exact mode (same initial
+  draw, same evaluation, same elite);
+* statistics — on the Tables VII-IX functions, turbo's success rate /
+  mean best / convergence match exact mode within seeded bounds;
+* observability — turbo traces parse with the same ``obs.analyze``
+  helpers as every other engine's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import convergence_generation
+from repro.core.batch import BatchBehavioralGA
+from repro.core.behavioral import BehavioralGA
+from repro.core.params import GAParameters
+from repro.fitness.functions import by_name
+from repro.obs.analyze import best_series, phase_breakdown, sum_series
+from repro.obs.tracer import Tracer
+from repro.rng.cellular_automaton import CellularAutomatonPRNG
+
+
+def _params(seed, pop=32, gens=24, xt=12, mt=1):
+    return GAParameters(
+        n_generations=gens, population_size=pop,
+        crossover_threshold=xt, mutation_threshold=mt, rng_seed=seed,
+    )
+
+
+FN = by_name("mBF6_2")
+
+
+# -- determinism ------------------------------------------------------
+
+
+def test_turbo_solo_equals_batch_row():
+    """Word consumption is per-stream: a replica's result cannot depend
+    on its slab-mates."""
+    plist = [_params(seed) for seed in (0x061F, 0x2961, 0x7B41, 0x1D05)]
+    batch = BatchBehavioralGA(plist, FN, mode="turbo")
+    batched = batch.run()
+    for i, params in enumerate(plist):
+        solo_engine = BatchBehavioralGA([params], FN, mode="turbo")
+        (solo,) = solo_engine.run()
+        assert solo.best_individual == batched[i].best_individual
+        assert solo.best_fitness == batched[i].best_fitness
+        assert [g.best_fitness for g in solo.history] == [
+            g.best_fitness for g in batched[i].history
+        ]
+        np.testing.assert_array_equal(
+            solo_engine.final_populations[0], batch.final_populations[i]
+        )
+        assert int(solo_engine.rng_states[0]) == int(batch.rng_states[i])
+
+
+def test_turbo_chunked_stepping_matches_one_shot():
+    plist = [_params(seed, gens=25) for seed in (0x1234, 0x4321, 0x0BAD)]
+    whole = BatchBehavioralGA(plist, FN, mode="turbo")
+    results = whole.run()
+
+    chunked = BatchBehavioralGA(plist, FN, mode="turbo")
+    chunked.begin()
+    while chunked.step(7):
+        pass
+    stepped = chunked.finalize()
+
+    for a, b in zip(results, stepped):
+        assert a.best_individual == b.best_individual
+        assert a.best_fitness == b.best_fitness
+        assert a.evaluations == b.evaluations
+        assert [g.best_fitness for g in a.history] == [
+            g.best_fitness for g in b.history
+        ]
+    np.testing.assert_array_equal(
+        whole.final_populations, chunked.final_populations
+    )
+    np.testing.assert_array_equal(whole.rng_states, chunked.rng_states)
+
+
+def test_turbo_rerun_is_bit_identical():
+    plist = [_params(0x5A5A), _params(0x0F0F)]
+    a = BatchBehavioralGA(plist, FN, mode="turbo")
+    b = BatchBehavioralGA(plist, FN, mode="turbo")
+    ra, rb = a.run(), b.run()
+    for x, y in zip(ra, rb):
+        assert x.best_individual == y.best_individual
+        assert [g.fitness_sum for g in x.history] == [
+            g.fitness_sum for g in y.history
+        ]
+    np.testing.assert_array_equal(a.final_populations, b.final_populations)
+
+
+# -- anchoring to exact mode ------------------------------------------
+
+
+def test_turbo_generation_zero_identical_to_exact():
+    """Both modes draw the initial population the same way, so their
+    generation-0 records must agree byte for byte."""
+    plist = [_params(seed) for seed in (0x061F, 0x2961, 0x2468)]
+    exact = BatchBehavioralGA(plist, FN, mode="exact").run()
+    turbo = BatchBehavioralGA(plist, FN, mode="turbo").run()
+    for e, t in zip(exact, turbo):
+        ge, gt = e.history[0], t.history[0]
+        assert (ge.best_fitness, ge.best_individual, ge.fitness_sum) == (
+            gt.best_fitness, gt.best_individual, gt.fitness_sum
+        )
+
+
+def test_turbo_word_budget_per_generation():
+    """Turbo consumes ``3 * n_slots + 1`` words per replica per
+    generation plus one word per mutation event — never a function of
+    slab composition."""
+    params = _params(0x061F, pop=32, gens=10, mt=0)  # mt=0: no events
+    engine = BatchBehavioralGA([params], FN, mode="turbo")
+    engine.run()
+    n_slots = (params.population_size - 1 + 1) // 2
+    expected = params.population_size + 10 * (3 * n_slots + 1)
+    assert int(engine.bank.draws[0]) == expected
+
+
+# -- serial facade ----------------------------------------------------
+
+
+def test_serial_turbo_matches_one_replica_batch():
+    params = _params(0x1D05, gens=20)
+    serial = BehavioralGA(params, FN, mode="turbo")
+    result = serial.run()
+    batch = BatchBehavioralGA([params], FN, mode="turbo")
+    (expected,) = batch.run()
+    assert result.best_individual == expected.best_individual
+    assert result.best_fitness == expected.best_fitness
+    assert result.evaluations == expected.evaluations
+    np.testing.assert_array_equal(
+        serial.final_population, batch.final_populations[0]
+    )
+    # the facade keeps the caller's stream live for carried-state reuse
+    assert serial.rng.state == int(batch.rng_states[0])
+    assert serial.rng.draws == int(batch.bank.draws[0])
+
+
+def test_serial_turbo_carries_stream_state_across_runs():
+    params = _params(0x7EED, gens=12)
+    rng = CellularAutomatonPRNG(params.rng_seed)
+    ga = BehavioralGA(params, FN, rng=rng, mode="turbo")
+    first = ga.run()
+    second = ga.run(initial=ga.final_population)
+    # the stream advanced, so the continuation explores new populations
+    assert second.evaluations == first.evaluations - params.population_size
+    assert rng.draws > 0
+
+
+# -- statistical conformance (Tables VII-IX functions) ----------------
+
+_CONF_SEEDS = [
+    0x061F, 0x2961, 0x7B41, 0x1D05, 0x5A5A, 0x0F0F,
+    0x1234, 0x4321, 0x2468, 0x1357, 0x0BAD, 0x7EED,
+    0x1111, 0x2222, 0x3333, 0x4444, 0x5555, 0x6666,
+    0x0A0A, 0x0B0B, 0x0C0C, 0x0D0D, 0x0E0E, 0x0FED,
+]
+
+
+@pytest.mark.parametrize("fname", ["mBF6_2", "mBF7_2", "mShubert2D"])
+def test_turbo_statistics_conform_to_exact(fname):
+    """Seeded 24-replica sweep per table function: the two modes must
+    agree on mean best fitness (<= 6% relative), 98%-of-optimum success
+    count (<= 6 of 24 apart) and mean convergence generation (<= 16
+    generations apart).  Measured gaps are about half these bounds; the
+    runs are fully seeded so the comparison is reproducible.
+    """
+    fn = by_name(fname)
+    optimum = int(fn.table().max())
+    stats = {}
+    for mode in ("exact", "turbo"):
+        plist = [_params(s, gens=64) for s in _CONF_SEEDS]
+        results = BatchBehavioralGA(plist, fn, mode=mode).run()
+        bests = [r.best_fitness for r in results]
+        stats[mode] = (
+            float(np.mean(bests)),
+            sum(b >= 0.98 * optimum for b in bests),
+            float(np.mean([convergence_generation(r.history) for r in results])),
+        )
+    exact, turbo = stats["exact"], stats["turbo"]
+    assert abs(turbo[0] - exact[0]) / exact[0] <= 0.06
+    assert abs(turbo[1] - exact[1]) <= 6
+    assert abs(turbo[2] - exact[2]) <= 16
+
+
+# -- observability ----------------------------------------------------
+
+
+def test_turbo_trace_parses_with_analyze_helpers():
+    plist = [_params(0x061F, gens=16), _params(0x2961, gens=16)]
+    tracer = Tracer()
+    engine = BatchBehavioralGA(plist, FN, tracer=tracer, mode="turbo")
+    results = engine.run()
+    records = tracer.records
+    for replica, result in enumerate(results):
+        assert best_series(records, replica=replica) == [
+            g.best_fitness for g in result.history
+        ]
+        assert sum_series(records, replica=replica) == [
+            g.fitness_sum for g in result.history
+        ]
+    phases = phase_breakdown(records)
+    # the fused kernel reports under "selection"; the peer keys stay
+    # present (zero-valued) so downstream consumers see a stable schema
+    for key in ("selection", "crossover", "mutation", "eval", "elitism"):
+        assert key in phases
+    assert phases["selection"] > 0.0
+
+
+def test_turbo_tracing_does_not_perturb_results():
+    plist = [_params(0x4321, gens=16)]
+    silent = BatchBehavioralGA(plist, FN, mode="turbo")
+    traced = BatchBehavioralGA(plist, FN, tracer=Tracer(), mode="turbo")
+    (a,), (b,) = silent.run(), traced.run()
+    assert a.best_individual == b.best_individual
+    assert [g.fitness_sum for g in a.history] == [
+        g.fitness_sum for g in b.history
+    ]
+
+
+# -- mode validation --------------------------------------------------
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="exact.*turbo|turbo.*exact"):
+        BatchBehavioralGA([_params(1)], FN, mode="fast")
+    with pytest.raises(ValueError, match="exact.*turbo|turbo.*exact"):
+        BehavioralGA(_params(1), FN, mode="fast")
+
+
+def test_turbo_rejects_resilience_harness():
+    class FakeHarness:
+        pass
+
+    with pytest.raises(ValueError, match="resilience"):
+        BatchBehavioralGA(
+            [_params(1)], FN, mode="turbo", resilience=FakeHarness()
+        )
+
+
+def test_turbo_requires_default_ca_stream():
+    rng = CellularAutomatonPRNG(0x061F, spacing=3)
+    ga = BehavioralGA(_params(0x061F), FN, rng=rng, mode="turbo")
+    with pytest.raises(ValueError, match="spacing"):
+        ga.run()

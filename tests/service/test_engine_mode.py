@@ -1,0 +1,140 @@
+"""Engine-mode plumbing through the serving layer.
+
+Turbo jobs ride the same scheduler/batcher/worker stack as exact ones but
+must never share a slab with them (a slab runs entirely one mode), and a
+turbo job's result must be deterministic per ``(params, seed)`` no matter
+how the scheduler chunks or batches it — the serving-layer face of the
+turbo composition-independence contract.
+"""
+
+import time
+
+import pytest
+
+from repro.core.params import GAParameters
+from repro.service.batcher import BatchPolicy, JobRecord, compat_key
+from repro.service.jobs import GARequest, JobHandle
+from repro.service.server import GAService
+
+
+def _request(seed, mode="exact", gens=24, pop=32, protection=None):
+    return GARequest(
+        params=GAParameters(
+            n_generations=gens, population_size=pop,
+            crossover_threshold=12, mutation_threshold=1, rng_seed=seed,
+        ),
+        engine_mode=mode,
+        protection=protection,
+    )
+
+
+def _record(request, seq=0):
+    return JobRecord(
+        job_id=seq, request=request,
+        handle=JobHandle(seq, request, time.time()),
+        submitted_at=time.time(), seq=seq,
+    )
+
+
+# -- request validation and wire format -------------------------------
+
+
+def test_engine_mode_round_trips_through_wire_format():
+    request = _request(0x061F, mode="turbo")
+    data = request.to_dict()
+    assert data["engine_mode"] == "turbo"
+    assert GARequest.from_dict(data) == request
+
+
+def test_engine_mode_defaults_to_exact_for_old_clients():
+    data = _request(0x061F).to_dict()
+    del data["engine_mode"]  # a pre-turbo client's payload
+    assert GARequest.from_dict(data).engine_mode == "exact"
+
+
+def test_unknown_engine_mode_rejected():
+    with pytest.raises(ValueError, match="engine_mode"):
+        _request(0x061F, mode="warp")
+
+
+def test_turbo_plus_protection_rejected():
+    with pytest.raises(ValueError, match="exact"):
+        _request(0x061F, mode="turbo", protection="hardened")
+
+
+# -- batching ---------------------------------------------------------
+
+
+def test_modes_never_share_a_slab():
+    exact = _record(_request(0x061F, mode="exact"), seq=0)
+    turbo = _record(_request(0x2961, mode="turbo"), seq=1)
+    same_mode = _record(_request(0x7B41, mode="turbo"), seq=2)
+    assert compat_key(exact) != compat_key(turbo)
+    assert compat_key(turbo) == compat_key(same_mode)
+
+
+def test_slab_spec_carries_mode():
+    from repro.service.batcher import Slab
+
+    slab = Slab([_record(_request(0x061F, mode="turbo"))], BatchPolicy())
+    spec = slab.make_spec(chunk_gens=8)
+    assert spec["mode"] == "turbo"
+
+
+# -- end to end -------------------------------------------------------
+
+
+def _run_jobs(mode, admit_interval):
+    policy = BatchPolicy(
+        max_batch=8, max_wait_s=0.005, admit_interval=admit_interval
+    )
+    service = GAService(workers=2, mode="thread", policy=policy).start()
+    try:
+        handles = [
+            service.submit(_request(100 + i, mode=mode, gens=40))
+            for i in range(6)
+        ]
+        return [h.result(60).to_dict() for h in handles]
+    finally:
+        service.shutdown()
+
+
+def test_turbo_jobs_deterministic_across_chunkings():
+    """Chunk length and slab composition are scheduling artefacts; a
+    turbo job's full result is a function of its request alone."""
+    a = _run_jobs("turbo", admit_interval=16)
+    b = _run_jobs("turbo", admit_interval=7)
+    for x, y in zip(a, b):
+        for key in ("best_individual", "best_fitness", "evaluations",
+                    "history"):
+            assert x[key] == y[key]
+
+
+def test_mixed_mode_burst_completes():
+    policy = BatchPolicy(max_batch=8, max_wait_s=0.005, admit_interval=16)
+    service = GAService(workers=2, mode="thread", policy=policy).start()
+    try:
+        requests = [
+            _request(200 + i, mode=("turbo" if i % 2 else "exact"), gens=24)
+            for i in range(8)
+        ]
+        results = service.run_all(requests, timeout=60)
+    finally:
+        service.shutdown()
+    assert [r.job_id for r in results] == sorted(r.job_id for r in results)
+    assert all(r.best_fitness > 0 for r in results)
+
+    # the exact jobs must be untouched by turbo slab-mates: bit-identical
+    # to running them alone
+    service = GAService(workers=1, mode="thread", policy=policy).start()
+    try:
+        solo = service.run_all(
+            [r for i, r in enumerate(requests) if i % 2 == 0], timeout=60
+        )
+    finally:
+        service.shutdown()
+    mixed_exact = [r for i, r in enumerate(results) if i % 2 == 0]
+    for a, b in zip(mixed_exact, solo):
+        assert a.best_individual == b.best_individual
+        assert a.best_fitness == b.best_fitness
+        assert a.evaluations == b.evaluations
