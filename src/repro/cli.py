@@ -148,7 +148,32 @@ def cmd_run(args) -> None:
             "--engine-mode turbo is a behavioural-engine fast path; "
             "it cannot be combined with --cycle-accurate"
         )
+    islands = getattr(args, "islands", 1)
+    if islands > 1 and args.cycle_accurate:
+        raise SystemExit(
+            "--islands runs the vectorized archipelago on the behavioural "
+            "engines; it cannot be combined with --cycle-accurate"
+        )
     try:
+        if islands > 1:
+            from repro.parallel import IslandGA
+
+            result = IslandGA(
+                params, fn,
+                n_islands=islands,
+                migration_interval=args.migration_interval,
+                topology=args.topology,
+                tracer=tracer,
+                engine_mode=engine_mode,
+            ).run()
+            print(
+                f"{fn.name}: best {result.best_fitness} at "
+                f"{result.best_individual} (optimum {int(fn.table().max())}), "
+                f"{islands} islands/{args.topology}, "
+                f"{result.migrations} migrations, "
+                f"{result.evaluations} evaluations"
+            )
+            return
         if args.cycle_accurate:
             result = GASystem(params, fn, tracer=tracer).run()
             extra = f", {result.cycles} GA cycles"
@@ -352,17 +377,26 @@ def cmd_submit(args) -> None:
         protection=args.protection or None,
         upset_rate=args.upset_rate,
         engine_mode=getattr(args, "engine_mode", "exact"),
+        n_islands=getattr(args, "islands", 1),
+        migration_interval=getattr(args, "migration_interval", 8),
+        topology=getattr(args, "topology", "ring"),
     )
     result = submit_remote(args.host, args.port, request, timeout=args.timeout_s)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
+        island_note = (
+            f", {result.island_stats['islands']} islands/"
+            f"{result.island_stats['topology']}"
+            if result.island_stats
+            else ""
+        )
         print(
             f"job {result.job_id}: {result.fitness_name} best "
             f"{result.best_fitness} at {result.best_individual} "
             f"({result.evaluations} evaluations, "
             f"{result.latency_s * 1e3:.1f} ms latency, "
-            f"{result.n_chunks} chunk(s)"
+            f"{result.n_chunks} chunk(s){island_note}"
             f"{', DEADLINE MISSED' if result.deadline_missed else ''})"
         )
 
@@ -408,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--mut", type=int, default=1)
             p.add_argument("--seed", default="0x061F")
             p.add_argument("--cycle-accurate", action="store_true")
+            p.add_argument("--islands", type=int, default=1,
+                           help="archipelago size; >1 runs the vectorized "
+                                "island model (one batched slab)")
+            p.add_argument("--migration-interval", type=int, default=8)
+            p.add_argument("--topology", default="ring",
+                           help="ring | torus | random[:k]")
             p.add_argument("--engine-mode", choices=["exact", "turbo"],
                            default="exact",
                            help="behavioural engine mode: exact is "
@@ -491,6 +531,12 @@ def build_parser() -> argparse.ArgumentParser:
                            default="exact",
                            help="request exact (bit-identical) or turbo "
                            "(vectorised) slab execution")
+            p.add_argument("--islands", type=int, default=1,
+                           help="archipelago size; >1 submits an island "
+                                "job (one vectorized slab, routed solo)")
+            p.add_argument("--migration-interval", type=int, default=8)
+            p.add_argument("--topology", default="ring",
+                           help="ring | torus | random[:k]")
             p.add_argument("--timeout-s", type=float, default=300.0)
             p.add_argument("--json", action="store_true",
                            help="print the full result as JSON")

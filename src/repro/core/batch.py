@@ -190,6 +190,7 @@ class BatchBehavioralGA:
         resilience=None,
         tracer=None,
         mode: str = "exact",
+        record_history: bool = True,
     ):
         if mode not in ("exact", "turbo"):
             raise ValueError(f"mode must be 'exact' or 'turbo': {mode!r}")
@@ -218,6 +219,11 @@ class BatchBehavioralGA:
         self.n_generations = first.n_generations
         self.pop = first.population_size
         self.record_members = record_members
+        #: When off, per-generation :class:`GenerationStats` rows are not
+        #: accumulated — the archipelago engine runs thousands of replicas
+        #: and cannot afford O(replicas x generations) Python objects; the
+        #: evolution itself (and any armed tracer's events) is unchanged.
+        self.record_history = record_history
         self.resilience = resilience
 
         if isinstance(fitness, FitnessFunction):
@@ -315,24 +321,28 @@ class BatchBehavioralGA:
         best_ind: np.ndarray,
         sums: np.ndarray,
     ) -> None:
+        tracing = self.tracer is not None and self.tracer.enabled
+        if not self.record_history and not tracing:
+            return
         # tolist() batches the numpy-scalar -> int conversions; the loop
         # below is on the per-generation path of both engine modes
         bf, bi = best_fit.tolist(), best_ind.tolist()
         sm = sums.tolist()
-        members = fits.tolist() if self.record_members else None
-        pop = self.pop
-        for r in range(self.n_replicas):
-            self.histories[r].append(
-                GenerationStats(
-                    generation=generation,
-                    best_fitness=bf[r],
-                    best_individual=bi[r],
-                    fitness_sum=sm[r],
-                    population_size=pop,
-                    fitnesses=members[r] if members is not None else [],
+        if self.record_history:
+            members = fits.tolist() if self.record_members else None
+            pop = self.pop
+            for r in range(self.n_replicas):
+                self.histories[r].append(
+                    GenerationStats(
+                        generation=generation,
+                        best_fitness=bf[r],
+                        best_individual=bi[r],
+                        fitness_sum=sm[r],
+                        population_size=pop,
+                        fitnesses=members[r] if members is not None else [],
+                    )
                 )
-            )
-        if self.tracer is not None and self.tracer.enabled:
+        if tracing:
             self.tracer.event(
                 "ga.generation",
                 generation=generation,
@@ -417,6 +427,75 @@ class BatchBehavioralGA:
     def done(self) -> bool:
         """True once every programmed generation has executed."""
         return self.generation >= self.n_generations
+
+    # ------------------------------------------------------------------
+    # slab inspection / surgery helpers: the archipelago layer treats the
+    # replica axis as an island axis, so it needs to read each replica's
+    # champion, find worst members, splice migrants in, and re-anchor the
+    # best-tracking registers — all as array operations between step()s.
+    # ------------------------------------------------------------------
+    def _require_live(self, what: str) -> None:
+        if not hasattr(self, "_gen"):
+            raise RuntimeError(f"call begin() before {what}")
+        if self._finalized:
+            raise RuntimeError(f"run already finalized; cannot {what}")
+
+    def champions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current best ``(individuals, fitnesses)`` per replica — the
+        running strict-improvement best since :meth:`begin` (or the last
+        :meth:`reanchor_best`).  Returns copies; mutating them does not
+        touch the run."""
+        self._require_live("champions()")
+        return self._best_ind.copy(), self._best_fit.copy()
+
+    def worst_member_order(self) -> np.ndarray:
+        """Member indices per replica sorted worst-fitness-first.
+
+        Column 0 is each replica's first-occurrence ``argmin`` (the member
+        the hardware-style migration replaces); stable sort, so ties
+        resolve to the lowest index exactly like repeated ``argmin`` picks.
+        """
+        self._require_live("worst_member_order()")
+        return np.argsort(self._fits, axis=1, kind="stable")
+
+    def replace_members(
+        self, rows: np.ndarray, cols: np.ndarray, individuals: np.ndarray
+    ) -> None:
+        """Overwrite members ``(rows, cols)`` with ``individuals`` and
+        re-evaluate their fitness in place (the migration scatter).
+
+        Consumes no RNG words and touches no other state: stepping after a
+        replacement behaves exactly as if the new population had been
+        passed to a fresh :meth:`begin` with the same streams (modulo best
+        tracking — see :meth:`reanchor_best`).
+        """
+        self._require_live("replace_members()")
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        inds = np.asarray(individuals, dtype=np.int64)
+        self._inds[rows, cols] = inds
+        if self._table is not None:
+            self._fits[rows, cols] = self._table[inds]
+        else:
+            self._fits[rows, cols] = self._tables_flat[
+                rows * self._table_width + inds
+            ]
+
+    def reanchor_best(self) -> None:
+        """Reset best tracking to the *current* populations — the
+        first-occurrence row argmax, exactly what a fresh :meth:`begin`
+        over these populations would compute.
+
+        The archipelago calls this at every migration boundary so each
+        epoch's champion race restarts from the migrated populations (a
+        freshly arrived migrant can be an island's champion), keeping the
+        carried slab bit-identical to the legacy one-engine-per-epoch
+        loop.
+        """
+        self._require_live("reanchor_best()")
+        best_idx = self._fits.argmax(axis=1)
+        self._best_fit = self._fits[self._rows, best_idx]
+        self._best_ind = self._inds[self._rows, best_idx]
 
     def step(self, n_generations: int | None = None) -> int:
         """Advance up to ``n_generations`` generations (all remaining when

@@ -16,6 +16,77 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Topology names the archipelago layer implements
+#: (:mod:`repro.parallel.archipelago` builds its wiring factory from this
+#: tuple, so the wire layer can validate a request without importing it).
+#: ``random`` optionally carries a fan-in: ``"random:3"`` wires three
+#: incoming edges per island.
+KNOWN_TOPOLOGIES: tuple[str, ...] = ("ring", "torus", "random")
+
+
+def validate_island_params(
+    n_islands: int, migration_interval: int, topology: str
+) -> None:
+    """Check island-model parameters with named errors.
+
+    The same contract is enforced — via this one helper, so the messages
+    cannot drift — by :class:`~repro.parallel.islands.IslandGA`,
+    :class:`~repro.parallel.archipelago.VectorIslandGA`, the service wire
+    layer (:class:`~repro.service.jobs.GARequest`), and the CLI.
+    ``n_islands == 1`` is the degenerate single-population archipelago
+    (no migration edges), which is how a non-island job is encoded on the
+    wire.
+    """
+    if not isinstance(n_islands, int) or isinstance(n_islands, bool):
+        raise ValueError(f"n_islands must be an integer: {n_islands!r}")
+    if n_islands < 1:
+        raise ValueError(f"n_islands must be >= 1: {n_islands}")
+    if not isinstance(migration_interval, int) or isinstance(
+        migration_interval, bool
+    ):
+        raise ValueError(
+            f"migration_interval must be an integer: {migration_interval!r}"
+        )
+    if migration_interval < 1:
+        raise ValueError(
+            f"migration_interval must be >= 1: {migration_interval}"
+        )
+    parse_topology(topology)
+
+
+def parse_topology(topology: str) -> tuple[str, int]:
+    """Split a topology spec into ``(name, fan_in)`` with named errors.
+
+    ``"ring"`` and ``"torus"`` have fixed wiring (fan-in reported as 0);
+    ``"random"`` defaults to 2 incoming edges per island and accepts an
+    explicit count as ``"random:<k>"``.
+    """
+    if not isinstance(topology, str):
+        raise ValueError(f"topology must be a string: {topology!r}")
+    name, _, arg = topology.partition(":")
+    if name not in KNOWN_TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {topology!r}; "
+            f"available: {sorted(KNOWN_TOPOLOGIES)}"
+        )
+    if name != "random":
+        if arg:
+            raise ValueError(
+                f"topology {name!r} takes no argument: {topology!r}"
+            )
+        return name, 0
+    if not arg:
+        return name, 2
+    try:
+        k = int(arg)
+    except ValueError:
+        raise ValueError(
+            f"random topology fan-in must be an integer: {topology!r}"
+        ) from None
+    if k < 1:
+        raise ValueError(f"random topology fan-in must be >= 1: {topology!r}")
+    return name, k
+
 
 def validate_initial_population(
     initial, expected_shape: tuple[int, ...]

@@ -36,9 +36,11 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     REGISTRY,
+    archipelago_rates,
     engine_rates,
     get_registry,
     percentile,
+    record_archipelago_run,
     record_engine_run,
 )
 from repro.obs.profile import ProfileScope, SamplingProfiler
@@ -69,6 +71,8 @@ __all__ = [
     "percentile",
     "record_engine_run",
     "engine_rates",
+    "record_archipelago_run",
+    "archipelago_rates",
     "ProfileScope",
     "SamplingProfiler",
     "events",

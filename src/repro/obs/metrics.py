@@ -272,3 +272,37 @@ def engine_rates(registry: MetricsRegistry | None = None) -> dict:
         "evaluations_per_s": round(reg.rate("engine.evaluations"), 1),
         "runs": reg.counter("engine.runs").value,
     }
+
+
+def record_archipelago_run(islands: int, generations: int, epochs: int,
+                           migrations: int, seconds: float,
+                           registry: MetricsRegistry | None = None) -> None:
+    """Fold one finished archipelago run into the registry.
+
+    ``island.island_generations`` counts island-generations (islands x
+    generations) — the unit the vectorized slab actually advances — so
+    :func:`archipelago_rates` can report islands-per-second throughput at
+    any generation budget.  Called once per run, like
+    :func:`record_engine_run` (which the underlying slab also reports to).
+    """
+    reg = registry or REGISTRY
+    reg.counter("island.runs").inc()
+    reg.counter("island.islands").inc(islands)
+    reg.counter("island.island_generations").inc(islands * generations)
+    reg.counter("island.epochs").inc(epochs)
+    reg.counter("island.migrations").inc(migrations)
+    reg.histogram("island.run_seconds").observe(seconds)
+
+
+def archipelago_rates(registry: MetricsRegistry | None = None) -> dict:
+    """Derived archipelago throughput: island-generations/sec plus the
+    raw migration and run counters."""
+    reg = registry or REGISTRY
+    return {
+        "island_generations_per_s": round(
+            reg.rate("island.island_generations"), 1
+        ),
+        "islands": reg.counter("island.islands").value,
+        "migrations": reg.counter("island.migrations").value,
+        "runs": reg.counter("island.runs").value,
+    }

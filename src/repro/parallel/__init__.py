@@ -8,6 +8,23 @@ individual migration.  :mod:`repro.parallel.islands` implements it over
 single-process mode for tests.
 """
 
+from repro.parallel.archipelago import (
+    MigrationTopology,
+    VectorIslandGA,
+    build_topology,
+    ring_topology,
+    random_topology,
+    torus_topology,
+)
 from repro.parallel.islands import IslandGA, IslandResult
 
-__all__ = ["IslandGA", "IslandResult"]
+__all__ = [
+    "IslandGA",
+    "IslandResult",
+    "MigrationTopology",
+    "VectorIslandGA",
+    "build_topology",
+    "ring_topology",
+    "random_topology",
+    "torus_topology",
+]

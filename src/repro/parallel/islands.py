@@ -3,8 +3,9 @@
 Models a fabric carrying several GA IP cores (the multi-core direction of
 Sec. II-B / the hybrid system of Fig. 5): ``n_islands`` behavioural engines
 evolve independent populations in epochs of ``migration_interval``
-generations; at each epoch boundary every island's champion migrates to its
-ring neighbour, replacing the neighbour's worst member.  Populations are
+generations; at each epoch boundary champions migrate over a programmable
+:class:`~repro.parallel.archipelago.MigrationTopology` (ring by default),
+each migrant replacing a worst member of its destination.  Populations are
 carried across epochs (no restarts).  When ``n_generations`` is not a
 multiple of ``migration_interval`` a final partial epoch runs the
 remainder, so exactly ``n_generations`` generations execute per island;
@@ -13,13 +14,18 @@ evolve the migrants).
 
 Two execution modes:
 
-* ``processes=1`` — all islands evolve in one :class:`BatchBehavioralGA`
-  call per epoch (the batched fast path: one 2-D numpy population array,
-  one multi-stream RNG bank), fully deterministic;
-* ``processes>1`` — epochs fan out over a ``multiprocessing`` pool; results
-  are identical to the batched mode because each island owns an
-  independently seeded RNG and migration happens at synchronised epoch
-  barriers (property-tested).
+* ``processes=1`` — the run delegates to
+  :class:`~repro.parallel.archipelago.VectorIslandGA`: the whole
+  archipelago is one resumable :class:`BatchBehavioralGA` slab (replica
+  axis = island) stepped ``migration_interval`` generations at a time,
+  with migration as a pure array operation;
+* ``processes>1`` — epochs fan out over a persistent ``multiprocessing``
+  pool (created once per :class:`IslandGA`, reused across epochs *and*
+  runs; workers cache fitness tables by name so an epoch boundary ships
+  only populations and RNG states).  Results are identical to the
+  vectorized mode because each island owns an independently seeded RNG
+  and migration happens at synchronised epoch barriers (property-tested
+  in ``tests/parallel/test_archipelago.py``).
 """
 
 from __future__ import annotations
@@ -31,8 +37,14 @@ import numpy as np
 from repro.core.batch import BatchBehavioralGA
 from repro.core.behavioral import BehavioralGA
 from repro.core.params import GAParameters
+from repro.core.validate import validate_island_params
 from repro.fitness.base import FitnessFunction
 from repro.fitness.functions import by_name
+from repro.parallel.archipelago import (
+    VectorIslandGA,
+    build_topology,
+    island_seeds,
+)
 from repro.rng.cellular_automaton import CellularAutomatonPRNG
 
 
@@ -42,8 +54,12 @@ class IslandResult:
 
     ``epoch_champions[e][i]`` is island ``i``'s ``(individual, fitness)``
     champion at the end of epoch ``e`` — the full migration-candidate
-    history, not just the final survivor — which is what job result
-    traces (and migration-policy analysis) need.
+    history, not just the final survivor — which is what migration-policy
+    analysis needs; it is O(epochs x islands) and sits behind the
+    ``record_champions`` flag so thousand-island runs can drop it.
+    ``epoch_summary[e]`` is the O(epochs) digest that always stays on:
+    ``(best_fitness, best_individual, champion_fitness_sum)`` at the end
+    of epoch ``e`` (the rows a service job's history is built from).
     """
 
     best_individual: int
@@ -53,6 +69,23 @@ class IslandResult:
     evaluations: int
     best_per_epoch: list[int]
     epoch_champions: list[list[tuple[int, int]]] = field(default_factory=list)
+    epoch_summary: list[tuple[int, int, int]] = field(default_factory=list)
+
+
+#: Worker-process fitness cache: pooled epochs used to rebuild the fitness
+#: function — and recompute its full 2^16-entry table — once per island
+#: per epoch; the table is pure and keyed by name, so each worker now
+#: computes it once per fitness for the life of the pool.
+_FN_CACHE: dict[str, FitnessFunction] = {}
+
+
+def _worker_fitness(name: str) -> FitnessFunction:
+    fn = _FN_CACHE.get(name)
+    if fn is None:
+        fn = by_name(name)
+        fn.table()  # materialise the LUT once, outside the epoch loop
+        _FN_CACHE[name] = fn
+    return fn
 
 
 def _epoch_worker(args: tuple) -> tuple[int, list[int], int, int, int, int]:
@@ -73,7 +106,7 @@ def _epoch_worker(args: tuple) -> tuple[int, list[int], int, int, int, int]:
         population,
         engine_mode,
     ) = args
-    fn = by_name(fn_name)
+    fn = _worker_fitness(fn_name)
     params = GAParameters(**params_dict).with_(n_generations=epoch_gens)
     rng = CellularAutomatonPRNG(rng_seed)
     rng.state = rng_state
@@ -91,7 +124,7 @@ def _epoch_worker(args: tuple) -> tuple[int, list[int], int, int, int, int]:
 
 
 class IslandGA:
-    """Ring-topology island model over behavioural GA engines."""
+    """Programmable-topology island model over behavioural GA engines."""
 
     def __init__(
         self,
@@ -102,11 +135,10 @@ class IslandGA:
         processes: int = 1,
         tracer=None,
         engine_mode: str = "exact",
+        topology: str = "ring",
+        record_champions: bool = True,
     ):
-        if n_islands < 2:
-            raise ValueError("island model needs at least 2 islands")
-        if migration_interval < 1:
-            raise ValueError("migration interval must be >= 1")
+        validate_island_params(n_islands, migration_interval, topology)
         if engine_mode not in ("exact", "turbo"):
             raise ValueError(
                 f"engine_mode must be 'exact' or 'turbo': {engine_mode!r}"
@@ -120,19 +152,26 @@ class IslandGA:
         self.n_islands = n_islands
         self.migration_interval = migration_interval
         self.processes = processes
+        #: archipelago wiring, seed-deterministic for ``"random[:k]"``
+        self.topology = build_topology(topology, n_islands, params.rng_seed)
+        if self.topology.max_fan_in >= params.population_size:
+            raise ValueError(
+                f"topology fan-in {self.topology.max_fan_in} would replace "
+                f"a whole population of {params.population_size}"
+            )
+        self.record_champions = record_champions
         #: optional :class:`~repro.obs.tracer.Tracer`: one ``ga.run`` span,
         #: an ``island.epoch`` span per epoch (nesting the batched engine's
         #: per-generation events on the in-process path) and an
-        #: ``island.migration`` event per ring rotation.  Results are
-        #: identical with tracing on or off, in both execution modes; the
+        #: ``island.migration`` event per boundary.  Results are identical
+        #: with tracing on or off, in both execution modes; the
         #: ``processes>1`` pool traces at epoch granularity only (the
         #: tracer does not cross process boundaries).
         self.tracer = tracer
         # Island seeds: decorrelated offsets of the programmed seed
         # (the programmable-seed feature, once per core).
-        self.seeds = [
-            ((params.rng_seed + 0x9E37 * i) & 0xFFFF) or 1 for i in range(n_islands)
-        ]
+        self.seeds = island_seeds(params, n_islands)
+        self._pool = None
 
     # ------------------------------------------------------------------
     def epoch_schedule(self) -> list[int]:
@@ -144,6 +183,37 @@ class IslandGA:
         if remainder:
             schedule.append(remainder)
         return schedule
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (no-op if never started)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "IslandGA":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.terminate()
+            except Exception:
+                pass
+
+    def _ensure_pool(self):
+        """The persistent pool: spawned once, reused across epochs and
+        across :meth:`run` calls (the workers' fitness-table caches are
+        the state worth keeping warm)."""
+        if self._pool is None:
+            import multiprocessing as mp
+
+            self._pool = mp.Pool(self.processes)
+        return self._pool
 
     def _epoch_jobs(self, epoch_gens, states, populations):
         params_dict = dict(
@@ -168,7 +238,7 @@ class IslandGA:
         ]
 
     def _batched_epoch(self, epoch_gens, states, populations):
-        """The ``processes=1`` fast path: evolve every island in one
+        """The in-process reference path: evolve every island in one
         :class:`BatchBehavioralGA` call (bit-identical to the per-island
         workers — same per-stream draw sequence, same operators)."""
         params_list = [
@@ -198,19 +268,56 @@ class IslandGA:
         ]
 
     def _migrate(self, populations, champions):
-        """Ring migration: island i's champion replaces the worst member of
-        island (i+1) mod N."""
+        """Topology migration: edge ``e`` sends island ``sources[e]``'s
+        champion into destination ``dests[e]``, replacing its
+        ``rank[e]``-th worst member.  Member ranks are computed from the
+        pre-migration populations (one stable argsort per destination) so
+        this reference loop is operation-for-operation the vectorized
+        slab's scatter."""
+        topo = self.topology
+        if topo.n_edges == 0:
+            return
         table = self.fitness.table()
-        for i in range(self.n_islands):
-            migrant, _fit = champions[(i - 1) % self.n_islands]
-            pop = np.asarray(populations[i], dtype=np.int64)
-            fits = table[pop]
-            worst = int(fits.argmin())
-            pop[worst] = migrant
-            populations[i] = pop.tolist()
+        pops = {
+            d: np.asarray(populations[d], dtype=np.int64)
+            for d in set(topo.dests.tolist())
+        }
+        orders = {
+            d: np.argsort(table[pop], kind="stable") for d, pop in pops.items()
+        }
+        for e in range(topo.n_edges):
+            src = int(topo.sources[e])
+            dst = int(topo.dests[e])
+            migrant, _fit = champions[src]
+            pops[dst][orders[dst][int(topo.rank[e])]] = migrant
+        for d, pop in pops.items():
+            populations[d] = pop.tolist()
 
     def run(self) -> IslandResult:
-        """Run all epochs; batched in-process or pooled per ``processes``."""
+        """Run all epochs; vectorized in-process or pooled per
+        ``processes``."""
+        if self.processes == 1:
+            return VectorIslandGA(
+                self.params,
+                self.fitness,
+                n_islands=self.n_islands,
+                migration_interval=self.migration_interval,
+                topology=self.topology,
+                record_champions=self.record_champions,
+                tracer=self.tracer,
+                engine_mode=self.engine_mode,
+            ).run()
+        return self.run_epoch_loop()
+
+    def run_epoch_loop(self) -> IslandResult:
+        """The legacy epoch loop: one engine pass per island per epoch.
+
+        With ``processes>1`` epochs fan out over the persistent pool;
+        with ``processes=1`` each epoch is one fresh batched engine call
+        — kept as the reference implementation the vectorized archipelago
+        is property-tested against (and the baseline its benchmark
+        measures the speedup over).
+        """
         from contextlib import nullcontext
 
         schedule = self.epoch_schedule()
@@ -221,14 +328,11 @@ class IslandGA:
         migrations = 0
         best_per_epoch: list[int] = []
         epoch_champions: list[list[tuple[int, int]]] = []
+        epoch_summary: list[tuple[int, int, int]] = []
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
 
-        pool = None
-        if self.processes > 1:
-            import multiprocessing as mp
-
-            pool = mp.Pool(self.processes)
+        pool = self._ensure_pool() if self.processes > 1 else None
         run_scope = (
             tracer.span(
                 "ga.run",
@@ -236,57 +340,65 @@ class IslandGA:
                 fitness=self.fitness.name,
                 islands=self.n_islands,
                 migration_interval=self.migration_interval,
+                topology=self.topology.name,
                 generations=self.params.n_generations,
             )
             if tracing
             else nullcontext()
         )
-        try:
-            with run_scope:
-                for epoch, epoch_gens in enumerate(schedule):
-                    epoch_scope = (
-                        tracer.span("island.epoch", epoch=epoch, gens=epoch_gens)
-                        if tracing
-                        else nullcontext()
-                    )
-                    with epoch_scope:
-                        if pool is not None:
-                            jobs = self._epoch_jobs(epoch_gens, states, populations)
-                            results = pool.map(_epoch_worker, jobs)
-                        else:
-                            results = self._batched_epoch(
-                                epoch_gens, states, populations
+        with run_scope:
+            for epoch, epoch_gens in enumerate(schedule):
+                epoch_scope = (
+                    tracer.span("island.epoch", epoch=epoch, gens=epoch_gens)
+                    if tracing
+                    else nullcontext()
+                )
+                with epoch_scope:
+                    if pool is not None:
+                        jobs = self._epoch_jobs(epoch_gens, states, populations)
+                        results = pool.map(_epoch_worker, jobs)
+                    else:
+                        results = self._batched_epoch(
+                            epoch_gens, states, populations
+                        )
+                    champions: list[tuple[int, int]] = [
+                        (0, -1)
+                    ] * self.n_islands
+                    for island, final_pop, cand, fit, state, evals in results:
+                        states[island] = state
+                        populations[island] = final_pop
+                        evaluations += evals
+                        champions[island] = (cand, fit)
+                        if fit > island_best[island][1]:
+                            island_best[island] = (cand, fit)
+                    if epoch < len(schedule) - 1 and self.topology.n_edges:
+                        # no migration after the final epoch: the
+                        # migrants would never evolve and would inflate
+                        # the migration count
+                        self._migrate(populations, champions)
+                        migrations += self.topology.n_edges
+                        if tracing:
+                            tracer.event(
+                                "island.migration",
+                                epoch=epoch,
+                                migrants=self.topology.n_edges,
+                                champions=(
+                                    [[int(c), int(f)] for c, f in champions]
+                                    if self.record_champions
+                                    else None
+                                ),
                             )
-                        champions: list[tuple[int, int]] = [
-                            (0, -1)
-                        ] * self.n_islands
-                        for island, final_pop, cand, fit, state, evals in results:
-                            states[island] = state
-                            populations[island] = final_pop
-                            evaluations += evals
-                            champions[island] = (cand, fit)
-                            if fit > island_best[island][1]:
-                                island_best[island] = (cand, fit)
-                        if epoch < len(schedule) - 1:
-                            # no migration after the final epoch: the
-                            # migrants would never evolve and would inflate
-                            # the migration count
-                            self._migrate(populations, champions)
-                            migrations += self.n_islands
-                            if tracing:
-                                tracer.event(
-                                    "island.migration",
-                                    epoch=epoch,
-                                    champions=[
-                                        [int(c), int(f)] for c, f in champions
-                                    ],
-                                )
-                        best_per_epoch.append(max(f for _c, f in island_best))
+                    overall_now = max(island_best, key=lambda cf: cf[1])
+                    best_per_epoch.append(overall_now[1])
+                    epoch_summary.append(
+                        (
+                            overall_now[1],
+                            overall_now[0],
+                            sum(f for _c, f in champions),
+                        )
+                    )
+                    if self.record_champions:
                         epoch_champions.append([(c, f) for c, f in champions])
-        finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
 
         overall = max(island_best, key=lambda cf: cf[1])
         return IslandResult(
@@ -297,4 +409,5 @@ class IslandGA:
             evaluations=evaluations,
             best_per_epoch=best_per_epoch,
             epoch_champions=epoch_champions,
+            epoch_summary=epoch_summary,
         )

@@ -59,10 +59,13 @@ def compat_key(record: "JobRecord") -> tuple:
     population array), and the engine mode is too — a slab runs entirely
     exact or entirely turbo, never mixed; hardened jobs are never batched —
     their fault streams are addressed per solo run — so each gets a unique
-    key.
+    key.  Island jobs (``n_islands > 1``) are their *own* slab already
+    (replica axis = island), so they too run solo under a unique key.
     """
     if record.request.protection is not None:
         return ("hardened", record.seq)
+    if record.request.n_islands > 1:
+        return ("island", record.seq)
     return (
         "batch",
         record.request.params.population_size,
@@ -89,6 +92,7 @@ class JobRecord:
     best_individual: int = 0
     best_fitness: int = -1
     protection_stats: dict = field(default_factory=dict)
+    island_stats: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.remaining = self.request.params.n_generations
@@ -124,6 +128,7 @@ class JobRecord:
             n_chunks=self.chunks,
             deadline_missed=completed_at > self.deadline_at,
             protection_stats=self.protection_stats,
+            island_stats=self.island_stats,
         )
 
 
@@ -141,6 +146,9 @@ class Slab:
         self.hardened = entries[0].request.protection is not None
         if self.hardened and len(entries) != 1:
             raise ValueError("hardened jobs run in single-job slabs")
+        self.island = entries[0].request.n_islands > 1
+        if self.island and len(entries) != 1:
+            raise ValueError("island jobs run in single-job slabs")
         self.pop = entries[0].request.params.population_size
         self.engine_mode = entries[0].request.engine_mode
 
@@ -149,23 +157,24 @@ class Slab:
 
     @property
     def capacity_left(self) -> int:
-        if self.hardened:
+        if self.hardened or self.island:
             return 0
         return self.policy.max_batch - len(self.entries)
 
     def admit(self, records: list[JobRecord]) -> None:
         """Merge late arrivals at a chunk boundary."""
-        if self.hardened and records:
-            raise ValueError("hardened slabs do not admit")
+        if (self.hardened or self.island) and records:
+            raise ValueError("solo slabs do not admit")
         self.entries.extend(records)
 
     def next_chunk_gens(self) -> int:
         """Chunk length: the admission interval, clamped to the shortest
         remaining job so retirements land on chunk boundaries.  Hardened
-        slabs run to completion in one chunk (their fault injection is
-        addressed against an uninterrupted run)."""
+        and island slabs run to completion in one chunk (fault injection
+        and migration schedules are addressed against an uninterrupted
+        run)."""
         shortest = min(r.remaining for r in self.entries)
-        if self.hardened:
+        if self.hardened or self.island:
             return shortest
         return min(self.policy.admit_interval, shortest)
 
@@ -191,10 +200,19 @@ class Slab:
                 "upset_rate": req.upset_rate,
                 "campaign_seed": req.campaign_seed,
             }
+        island = None
+        if self.island:
+            req = self.entries[0].request
+            island = {
+                "n_islands": req.n_islands,
+                "migration_interval": req.migration_interval,
+                "topology": req.topology,
+            }
         return {
             "chunk_gens": chunk_gens,
             "entries": spec_entries,
             "protection": protection,
+            "island": island,
             "mode": self.engine_mode,
         }
 
@@ -221,6 +239,7 @@ class Slab:
             record.best_individual = entry_out["best_individual"]
             record.best_fitness = entry_out["best_fitness"]
             record.protection_stats = entry_out["protection_stats"]
+            record.island_stats = entry_out.get("island_stats", {})
             record.chunks += 1
             record.remaining -= chunk_gens
             if record.remaining <= 0:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.core.params import GAParameters
 from repro.core.stats import GenerationStats
+from repro.core.validate import validate_island_params
 from repro.fitness.functions import REGISTRY
 
 
@@ -79,6 +80,13 @@ class GARequest:
     #: (vectorised engine — same operator distributions, different RNG
     #: word allocation; see ``docs/architecture.md``)
     engine_mode: str = "exact"
+    #: ``n_islands > 1`` requests an archipelago run: the job executes as
+    #: one :class:`~repro.parallel.archipelago.VectorIslandGA` slab
+    #: (replica axis = island), routed solo to a worker like hardened
+    #: jobs.  ``n_islands == 1`` is an ordinary job and batches normally.
+    n_islands: int = 1
+    migration_interval: int = 8
+    topology: str = "ring"
 
     def __post_init__(self) -> None:
         if self.engine_mode not in ("exact", "turbo"):
@@ -89,6 +97,14 @@ class GARequest:
             raise ValueError(
                 "turbo jobs cannot request a protection preset; hardened "
                 "execution requires the exact engine"
+            )
+        validate_island_params(
+            self.n_islands, self.migration_interval, self.topology
+        )
+        if self.n_islands > 1 and self.protection is not None:
+            raise ValueError(
+                "island jobs cannot request a protection preset; the "
+                "resilience harness addresses solo engine runs"
             )
         if self.fitness_name not in REGISTRY:
             raise ValueError(
@@ -120,6 +136,9 @@ class GARequest:
             "upset_rate": self.upset_rate,
             "campaign_seed": self.campaign_seed,
             "engine_mode": self.engine_mode,
+            "n_islands": self.n_islands,
+            "migration_interval": self.migration_interval,
+            "topology": self.topology,
         }
 
     @classmethod
@@ -134,6 +153,9 @@ class GARequest:
             upset_rate=float(data.get("upset_rate", 0.0)),
             campaign_seed=int(data.get("campaign_seed", 2026)),
             engine_mode=data.get("engine_mode", "exact"),
+            n_islands=int(data.get("n_islands", 1)),
+            migration_interval=int(data.get("migration_interval", 8)),
+            topology=data.get("topology", "ring"),
         )
 
 
@@ -157,6 +179,10 @@ class JobResult:
     deadline_missed: bool = False
     #: harness counters for hardened jobs (rollbacks, corrected words, ...)
     protection_stats: dict = field(default_factory=dict)
+    #: archipelago counters for island jobs (islands, migrations,
+    #: island_bests, topology); empty for ordinary jobs.  An island job's
+    #: ``history`` rows are per *epoch*, not per generation.
+    island_stats: dict = field(default_factory=dict)
 
     def best_series(self) -> list[int]:
         """Best fitness per generation (matches ``GAResult.best_series``)."""
@@ -180,6 +206,7 @@ class JobResult:
             "n_chunks": self.n_chunks,
             "deadline_missed": self.deadline_missed,
             "protection_stats": self.protection_stats,
+            "island_stats": self.island_stats,
         }
 
     @classmethod
@@ -204,6 +231,7 @@ class JobResult:
             n_chunks=int(data.get("n_chunks", 0)),
             deadline_missed=bool(data.get("deadline_missed", False)),
             protection_stats=dict(data.get("protection_stats", {})),
+            island_stats=dict(data.get("island_stats", {})),
         )
 
 

@@ -154,7 +154,7 @@ class Scheduler:
     def _group_ready(self, key: tuple, records: list[JobRecord], now: float) -> bool:
         if self._closing:
             return True
-        if key[0] == "hardened":
+        if key[0] in ("hardened", "island"):
             return True  # solo by construction; waiting buys nothing
         if len(records) >= self.policy.max_batch:
             return True
@@ -240,9 +240,12 @@ class Scheduler:
         """Continuous batching: pull compatible pending jobs into freed
         replica rows at the chunk boundary (lock held)."""
         capacity = slab.capacity_left
-        if capacity <= 0 or slab.hardened:
+        if capacity <= 0 or slab.hardened or slab.island:
             return
-        key = ("batch", slab.pop)
+        # key must mirror compat_key exactly — it silently stopped
+        # matching when the engine mode joined the key, killing late
+        # admission into running slabs
+        key = ("batch", slab.pop, slab.engine_mode)
         records = self._pending.get(key)
         if not records:
             return

@@ -75,6 +75,7 @@ def run_slab_chunk(spec: dict) -> dict:
             job_ids=[entry["job_id"] for entry in spec["entries"]],
             chunk_gens=spec.get("chunk_gens"),
             hardened=spec.get("protection") is not None,
+            island=spec.get("island") is not None,
         )
         if tracer.enabled
         else nullcontext()
@@ -82,6 +83,8 @@ def run_slab_chunk(spec: dict) -> dict:
     with ProfileScope("service.slab_chunk"), span:
         if spec.get("protection") is not None:
             return _run_hardened(spec, tracer)
+        if spec.get("island") is not None:
+            return _run_island(spec, tracer)
         return _run_batched(spec, tracer)
 
 
@@ -193,6 +196,63 @@ def _run_hardened(spec: dict, tracer=None) -> dict:
                     "corrected": int(harness.corrected[0]),
                     "elite_repairs": int(harness.elite_repairs[0]),
                     "failovers": int(harness.failovers[0]),
+                },
+            }
+        ]
+    }
+
+
+def _run_island(spec: dict, tracer=None) -> dict:
+    """Solo, unchunked execution of one archipelago job.
+
+    The whole archipelago *is* one
+    :class:`~repro.parallel.archipelago.VectorIslandGA` slab (replica
+    axis = island), so the job runs to completion in a single chunk; the
+    returned ``stats`` rows are per *epoch* —
+    ``(best_fitness, best_individual, champion_fitness_sum)`` — and
+    ``island_stats`` carries the archipelago counters.  Results are
+    bit-identical to a local ``IslandGA(processes=1).run()`` of the same
+    request by construction (same engine, same seeds, same topology
+    wiring from the job's ``rng_seed``).
+    """
+    from repro.parallel.archipelago import VectorIslandGA
+
+    (entry,) = spec["entries"]
+    isl = spec["island"]
+    params = GAParameters(**entry["params"])
+    ga = VectorIslandGA(
+        params,
+        by_name(entry["fitness"]),
+        n_islands=isl["n_islands"],
+        migration_interval=isl["migration_interval"],
+        topology=isl["topology"],
+        record_champions=False,
+        tracer=tracer,
+        engine_mode=spec.get("mode", "exact"),
+    )
+    result = ga.run()
+    stats = (
+        [tuple(row) for row in result.epoch_summary]
+        if entry.get("record_stats", True)
+        else []
+    )
+    return {
+        "entries": [
+            {
+                "job_id": entry["job_id"],
+                "population": None,
+                "rng_state": None,
+                "evaluations": result.evaluations,
+                "stats": stats,
+                "best_individual": result.best_individual,
+                "best_fitness": result.best_fitness,
+                "protection_stats": {},
+                "island_stats": {
+                    "islands": isl["n_islands"],
+                    "migration_interval": isl["migration_interval"],
+                    "topology": isl["topology"],
+                    "migrations": result.migrations,
+                    "island_bests": result.island_bests,
                 },
             }
         ]

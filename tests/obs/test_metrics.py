@@ -117,6 +117,45 @@ def test_record_engine_run_and_rates():
     assert rates["generations_per_s"] > 0
 
 
+def test_record_archipelago_run_and_rates():
+    from repro.obs import archipelago_rates, record_archipelago_run
+
+    reg = MetricsRegistry()
+    record_archipelago_run(256, 64, 8, 256 * 7, 0.5, registry=reg)
+    record_archipelago_run(4, 16, 2, 4, 0.1, registry=reg)
+    assert reg.counter("island.runs").value == 2
+    assert reg.counter("island.islands").value == 260
+    assert reg.counter("island.island_generations").value == 256 * 64 + 64
+    assert reg.counter("island.epochs").value == 10
+    assert reg.counter("island.migrations").value == 256 * 7 + 4
+    assert reg.histogram("island.run_seconds").count == 2
+    rates = archipelago_rates(registry=reg)
+    assert rates["runs"] == 2
+    assert rates["islands"] == 260
+    assert rates["migrations"] == 256 * 7 + 4
+    assert rates["island_generations_per_s"] > 0
+
+
+def test_archipelago_run_records_into_default_registry():
+    from repro.obs import REGISTRY, archipelago_rates
+    from repro.core.params import GAParameters
+    from repro.fitness.functions import by_name
+    from repro.parallel import VectorIslandGA
+
+    before = REGISTRY.counter("island.runs").value
+    VectorIslandGA(
+        GAParameters(
+            n_generations=6, population_size=8, crossover_threshold=10,
+            mutation_threshold=2, rng_seed=3,
+        ),
+        by_name("F3"),
+        n_islands=3,
+        migration_interval=3,
+    ).run()
+    assert REGISTRY.counter("island.runs").value == before + 1
+    assert archipelago_rates()["runs"] >= 1
+
+
 # -- concurrency ----------------------------------------------------------
 def test_registry_totals_exact_under_thread_hammering():
     reg = MetricsRegistry()

@@ -20,13 +20,24 @@ def params(**overrides):
 
 
 class TestConstruction:
-    def test_needs_two_islands(self):
+    def test_needs_positive_islands(self):
+        # n_islands=1 is the legal degenerate archipelago (no edges);
+        # zero or negative is a named error
         with pytest.raises(ValueError):
-            IslandGA(params(), F3(), n_islands=1)
+            IslandGA(params(), F3(), n_islands=0)
+
+    def test_single_island_runs(self):
+        result = IslandGA(params(), F3(), n_islands=1).run()
+        assert result.migrations == 0
+        assert len(result.island_bests) == 1
 
     def test_migration_interval_positive(self):
         with pytest.raises(ValueError):
             IslandGA(params(), F3(), migration_interval=0)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            IslandGA(params(), F3(), topology="star")
 
     def test_island_seeds_distinct_and_nonzero(self):
         ga = IslandGA(params(), F3(), n_islands=8)
