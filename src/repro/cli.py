@@ -324,6 +324,8 @@ def cmd_campaign(args) -> None:
 
 
 def cmd_serve(args) -> None:
+    import threading
+
     from repro.service import BatchPolicy, GAService, serve
 
     policy = BatchPolicy(
@@ -331,10 +333,40 @@ def cmd_serve(args) -> None:
         max_wait_s=args.max_wait_ms / 1e3,
         admit_interval=args.admit_interval,
         max_pending=args.max_pending,
+        chunk_timeout_s=args.chunk_timeout_s or None,
+        checkpoint_every_chunks=args.checkpoint_every,
+        shed_queue_depth=args.shed_queue_depth or None,
+        max_backlog_s=args.max_backlog_s or None,
     )
+    if args.resume and not args.spill_dir:
+        raise SystemExit("--resume requires --spill-dir")
     service = GAService(
-        workers=args.workers, mode=args.mode, policy=policy
+        workers=args.workers,
+        mode=args.mode,
+        policy=policy,
+        spill_dir=args.spill_dir or None,
+        resume=args.resume,
     ).start()
+    if service.resumed_handles:
+        print(
+            f"resumed {len(service.resumed_handles)} spilled job(s) "
+            f"from {args.spill_dir}",
+            file=sys.stderr,
+        )
+
+        def report_resumed() -> None:
+            for handle in service.resumed_handles:
+                try:
+                    result = handle.result()
+                    print(
+                        f"resumed job {result.job_id} completed: best "
+                        f"{result.best_fitness} at {result.best_individual}",
+                        file=sys.stderr,
+                    )
+                except Exception as exc:
+                    print(f"resumed job failed: {exc}", file=sys.stderr)
+
+        threading.Thread(target=report_resumed, daemon=True).start()
 
     def ready(host: str, port: int) -> None:
         print(f"serving on {host}:{port}", flush=True)
@@ -361,7 +393,7 @@ def cmd_submit(args) -> None:
     import json
 
     from repro import GAParameters
-    from repro.service import GARequest, submit_remote
+    from repro.service import GARequest, RetryPolicy, submit_remote
 
     request = GARequest(
         params=GAParameters(
@@ -380,6 +412,12 @@ def cmd_submit(args) -> None:
         n_islands=getattr(args, "islands", 1),
         migration_interval=getattr(args, "migration_interval", 8),
         topology=getattr(args, "topology", "ring"),
+        retry=RetryPolicy(
+            max_attempts=args.retries,
+            backoff_s=args.retry_backoff_ms / 1e3,
+            max_backoff_s=max(2.0, args.retry_backoff_ms / 1e3),
+        ),
+        deadline_mode=args.deadline_mode,
     )
     result = submit_remote(args.host, args.port, request, timeout=args.timeout_s)
     if args.json:
@@ -512,6 +550,24 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--max-pending", type=int, default=1024)
             p.add_argument("--max-jobs", type=int, default=0,
                            help="exit after serving N jobs (0 = forever)")
+            p.add_argument("--chunk-timeout-s", type=float, default=0.0,
+                           help="hung-chunk watchdog: retry chunks older "
+                                "than this (0 = disabled)")
+            p.add_argument("--checkpoint-every", type=int, default=1,
+                           help="spill a resumable checkpoint every N "
+                                "chunks (needs --spill-dir)")
+            p.add_argument("--spill-dir", default="",
+                           help="directory for resumable slab checkpoints "
+                                "(arms crash recovery)")
+            p.add_argument("--resume", action="store_true",
+                           help="re-dispatch slabs spilled by a previous "
+                                "(crashed) server from --spill-dir")
+            p.add_argument("--shed-queue-depth", type=int, default=0,
+                           help="start shedding lowest-priority jobs at "
+                                "this queue depth (0 = disabled)")
+            p.add_argument("--max-backlog-s", type=float, default=0.0,
+                           help="shed when the estimated backlog exceeds "
+                                "this many seconds (0 = disabled)")
         elif name == "submit":
             p.add_argument("--host", default="127.0.0.1")
             p.add_argument("--port", type=int, default=7117)
@@ -524,6 +580,16 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--priority", type=int, default=0)
             p.add_argument("--deadline-ms", type=float, default=0.0,
                            help="advisory deadline (0 = none)")
+            p.add_argument("--deadline-mode", choices=["observe", "enforce"],
+                           default="observe",
+                           help="observe reports misses; enforce cancels "
+                                "the job at the next chunk boundary")
+            p.add_argument("--retries", type=int, default=3,
+                           help="total attempts per chunk on worker "
+                                "crashes/timeouts (1 = no retries)")
+            p.add_argument("--retry-backoff-ms", type=float, default=50.0,
+                           help="base retry backoff (exponential, "
+                                "seed-jittered)")
             p.add_argument("--protection", default="",
                            help="resilience preset for hardened execution")
             p.add_argument("--upset-rate", type=float, default=0.0)

@@ -102,6 +102,77 @@ class ProtectionConfig:
         return CODEWORD_BITS if self.secded else DATA_BITS
 
 
+# ---------------------------------------------------------------------------
+# checkpoint codec
+# ---------------------------------------------------------------------------
+#
+# The rollback checkpoint tuple — (generation, individuals, fitnesses,
+# best_individual, best_fitness, rng_state) — is also the serialization
+# format the serving layer spills resumable slab state in (ROADMAP's
+# checkpoint/resume item), so the codec lives here rather than privately
+# inside :class:`ResilienceHarness`.  The service generalizes it to batch
+# slabs by encoding one checkpoint per job record; ``fitnesses`` may be
+# ``None`` there (carried populations are re-evaluated on resume).
+
+CHECKPOINT_VERSION = 1
+
+
+def encode_checkpoint(
+    generation: int,
+    individuals,
+    fitnesses,
+    best_individual: int,
+    best_fitness: int,
+    rng_state,
+) -> dict:
+    """The checkpoint tuple as a plain JSON-ready dict.
+
+    ``individuals``/``fitnesses`` may be numpy arrays, lists, or ``None``;
+    ``rng_state`` may be ``None`` for jobs that have not drawn yet.
+    """
+
+    def as_list(arr):
+        if arr is None:
+            return None
+        return [int(v) for v in arr]
+
+    return {
+        "version": CHECKPOINT_VERSION,
+        "generation": int(generation),
+        "individuals": as_list(individuals),
+        "fitnesses": as_list(fitnesses),
+        "best_individual": int(best_individual),
+        "best_fitness": int(best_fitness),
+        "rng_state": None if rng_state is None else int(rng_state),
+    }
+
+
+def decode_checkpoint(data: dict) -> tuple:
+    """Invert :func:`encode_checkpoint` back to the harness tuple
+    ``(generation, individuals, fitnesses, best_individual, best_fitness,
+    rng_state)`` with int64 arrays (``None`` fields pass through)."""
+    version = data.get("version", CHECKPOINT_VERSION)
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+
+    def as_array(values):
+        if values is None:
+            return None
+        return np.asarray(values, dtype=np.int64)
+
+    return (
+        int(data["generation"]),
+        as_array(data["individuals"]),
+        as_array(data["fitnesses"]),
+        int(data["best_individual"]),
+        int(data["best_fitness"]),
+        None if data["rng_state"] is None else int(data["rng_state"]),
+    )
+
+
 UNPROTECTED = ProtectionConfig()
 HARDENED = ProtectionConfig(
     name="hardened",
@@ -436,6 +507,27 @@ class ResilienceHarness:
         inds[r, slots] = data & 0xFFFF
         fits[r, slots] = (data >> 16) & 0xFFFF
         return False
+
+    # -- checkpoint persistence ------------------------------------------
+    def export_checkpoints(self) -> list[dict | None]:
+        """Every replica's last checkpoint through the module codec
+        (``None`` where no checkpoint was captured yet) — the persistable
+        form the serving layer's spill store also uses."""
+        return [
+            None if ck is None else encode_checkpoint(*ck)
+            for ck in self._checkpoints
+        ]
+
+    def restore_checkpoints(self, encoded: list[dict | None]) -> None:
+        """Reload checkpoints exported by :meth:`export_checkpoints`."""
+        if len(encoded) != self.n_replicas:
+            raise ValueError(
+                f"expected {self.n_replicas} checkpoints, got {len(encoded)}"
+            )
+        self._checkpoints = [
+            None if data is None else decode_checkpoint(data)
+            for data in encoded
+        ]
 
     # -- reporting -------------------------------------------------------
     def outcomes(self, results) -> list[dict]:

@@ -9,6 +9,15 @@ executes them in chunks on a :class:`WorkerPool`, admits late arrivals at
 generation boundaries (continuous batching), and streams each job's
 result back bit-identical to a solo serial run of the same seed.
 
+The layer is fault tolerant (see ``docs/architecture.md``): chunks lost
+to worker crashes or the hung-chunk watchdog are retried under a per-job
+:class:`RetryPolicy` (bit-identically — chunk re-execution is stateless),
+broken process pools respawn, in-flight slabs checkpoint to a
+:class:`CheckpointStore` for ``--resume`` after a crash, overload sheds
+the worst-ordered jobs with :class:`OverloadedError`, and the whole stack
+is soak-tested under seed-deterministic fault plans
+(:class:`ChaosPlan` / :class:`ChaosMonkey`).
+
 Quickstart::
 
     from repro import GAParameters
@@ -26,15 +35,23 @@ Quickstart::
 """
 
 from repro.service.batcher import BatchPolicy, Slab, compat_key
+from repro.service.chaos import ChaosMonkey, ChaosPlan
+from repro.service.checkpoint import CheckpointStore
 from repro.service.jobs import (
+    ChunkTimeoutError,
+    DeadlineExceededError,
     GARequest,
     JobCancelledError,
     JobFailedError,
     JobHandle,
     JobResult,
+    OverloadedError,
     QueueFullError,
+    RetryPolicy,
     ServiceClosedError,
     ServiceError,
+    ShutdownTimeoutError,
+    WorkerCrashError,
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import Scheduler
@@ -48,19 +65,28 @@ from repro.service.workers import WorkerPool, run_slab_chunk
 
 __all__ = [
     "BatchPolicy",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "CheckpointStore",
+    "ChunkTimeoutError",
+    "DeadlineExceededError",
     "GARequest",
     "GAService",
     "JobCancelledError",
     "JobFailedError",
     "JobHandle",
     "JobResult",
+    "OverloadedError",
     "QueueFullError",
+    "RetryPolicy",
     "Scheduler",
     "ServiceClosedError",
     "ServiceError",
     "ServiceMetrics",
     "ServiceTCPServer",
+    "ShutdownTimeoutError",
     "Slab",
+    "WorkerCrashError",
     "WorkerPool",
     "compat_key",
     "run_slab_chunk",

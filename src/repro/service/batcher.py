@@ -28,7 +28,7 @@ from repro.service.jobs import GARequest, JobHandle, JobResult, params_to_dict
 
 @dataclass(frozen=True)
 class BatchPolicy:
-    """Knobs of the scheduler's batching and admission behaviour."""
+    """Knobs of the scheduler's batching, admission, and fault handling."""
 
     #: slab width cap (the replica axis of one BatchBehavioralGA)
     max_batch: int = 32
@@ -38,6 +38,21 @@ class BatchPolicy:
     admit_interval: int = 16
     #: admission-control bound on the pending queue (backpressure)
     max_pending: int = 1024
+    #: hung-chunk watchdog: a dispatched chunk older than this is treated
+    #: as lost (process pools are respawned, the chunk retried); ``None``
+    #: disables the watchdog
+    chunk_timeout_s: float | None = None
+    #: queue depth at which load shedding starts (lowest-priority pending
+    #: jobs fail with ``OverloadedError``); ``None`` disables shedding
+    shed_queue_depth: int | None = None
+    #: estimated backlog seconds (pending generations / observed
+    #: generations-per-second) beyond which shedding starts; ``None``
+    #: disables the estimate.  No shedding happens before the first
+    #: completed chunk establishes a rate.
+    max_backlog_s: float | None = None
+    #: spill a resumable checkpoint of every in-flight slab each N chunk
+    #: completions (only when the scheduler has a spill store)
+    checkpoint_every_chunks: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -50,6 +65,23 @@ class BatchPolicy:
             )
         if self.max_pending < 1:
             raise ValueError(f"max_pending must be >= 1: {self.max_pending}")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ValueError(
+                f"chunk_timeout_s must be positive: {self.chunk_timeout_s}"
+            )
+        if self.shed_queue_depth is not None and self.shed_queue_depth < 1:
+            raise ValueError(
+                f"shed_queue_depth must be >= 1: {self.shed_queue_depth}"
+            )
+        if self.max_backlog_s is not None and self.max_backlog_s <= 0:
+            raise ValueError(
+                f"max_backlog_s must be positive: {self.max_backlog_s}"
+            )
+        if self.checkpoint_every_chunks < 1:
+            raise ValueError(
+                f"checkpoint_every_chunks must be >= 1: "
+                f"{self.checkpoint_every_chunks}"
+            )
 
 
 def compat_key(record: "JobRecord") -> tuple:
@@ -93,6 +125,11 @@ class JobRecord:
     best_fitness: int = -1
     protection_stats: dict = field(default_factory=dict)
     island_stats: dict = field(default_factory=dict)
+    #: consecutive failed executions of the current chunk (reset on every
+    #: chunk that completes); bounded by ``request.retry.max_attempts``
+    attempts: int = 0
+    #: cooperative-cancellation flag: honoured at the next chunk boundary
+    cancel_requested: bool = False
 
     def __post_init__(self) -> None:
         self.remaining = self.request.params.n_generations
@@ -151,6 +188,11 @@ class Slab:
             raise ValueError("island jobs run in single-job slabs")
         self.pop = entries[0].request.params.population_size
         self.engine_mode = entries[0].request.engine_mode
+        #: chunks completed by this slab (drives the checkpoint cadence)
+        self.chunks_done = 0
+        #: monotonic time of the first unrecovered chunk failure, for the
+        #: recovery-latency histogram; cleared on the next success
+        self.failed_at: float | None = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -242,7 +284,85 @@ class Slab:
             record.island_stats = entry_out.get("island_stats", {})
             record.chunks += 1
             record.remaining -= chunk_gens
+            record.attempts = 0  # the retry budget is per chunk
             if record.remaining <= 0:
                 finished.append(record)
         self.entries = [r for r in self.entries if r.remaining > 0]
+        self.chunks_done += 1
         return finished
+
+    # -- checkpoint spill (scheduler restart / crash recovery) ----------
+    def checkpoint_payload(self) -> dict:
+        """This slab's resumable state as a plain JSON-ready dict.
+
+        Each entry rides the resilience layer's checkpoint codec
+        (:func:`repro.resilience.harden.encode_checkpoint`): the carried
+        population + RNG stream position + best tracking at the last
+        chunk boundary, plus the splice bookkeeping (``stats``,
+        ``chunks``, ``remaining``, ``evaluations``) that makes the
+        resumed trace bit-identical to an uninterrupted run's.
+        """
+        from repro.resilience.harden import encode_checkpoint
+
+        entries = []
+        for record in self.entries:
+            done = record.request.params.n_generations - record.remaining
+            entries.append(
+                {
+                    "request": record.request.to_dict(),
+                    "job_id": record.job_id,
+                    "remaining": record.remaining,
+                    "evaluations": record.evaluations,
+                    "chunks": record.chunks,
+                    "stats": [list(row) for row in record.stats],
+                    "state": encode_checkpoint(
+                        generation=done,
+                        individuals=record.population,
+                        fitnesses=None,
+                        best_individual=record.best_individual,
+                        best_fitness=record.best_fitness,
+                        rng_state=record.rng_state,
+                    ),
+                }
+            )
+        return {"engine_mode": self.engine_mode, "entries": entries}
+
+
+def restore_records(payload: dict, seq_source, now: float) -> list[JobRecord]:
+    """Rebuild a spilled slab's :class:`JobRecord` list with fresh handles.
+
+    ``seq_source`` is the scheduler's sequence counter (resumed jobs get
+    new queue positions but keep their original ``job_id`` for
+    reporting); ``now`` becomes the records' submission time, so latency
+    accounting restarts at resume — wall-clock spent crashed is not
+    attributed to the service.
+    """
+    from repro.resilience.harden import decode_checkpoint
+
+    records = []
+    for entry in payload["entries"]:
+        request = GARequest.from_dict(entry["request"])
+        seq = next(seq_source)
+        job_id = int(entry["job_id"])
+        record = JobRecord(
+            job_id=job_id,
+            request=request,
+            handle=JobHandle(job_id, request, now),
+            submitted_at=now,
+            seq=seq,
+        )
+        _gen, individuals, _fits, best_ind, best_fit, rng_state = (
+            decode_checkpoint(entry["state"])
+        )
+        record.remaining = int(entry["remaining"])
+        record.evaluations = int(entry["evaluations"])
+        record.chunks = int(entry["chunks"])
+        record.stats = [tuple(int(v) for v in row) for row in entry["stats"]]
+        record.population = (
+            None if individuals is None else [int(v) for v in individuals]
+        )
+        record.rng_state = rng_state
+        record.best_individual = best_ind
+        record.best_fitness = best_fit
+        records.append(record)
+    return records

@@ -1,0 +1,177 @@
+"""Deterministic chaos injection for the serving stack.
+
+The service-level analogue of the resilience layer's
+:class:`~repro.resilience.campaign.ResilienceCampaign`: where that sweeps
+seed-addressed SEUs through the *engines*, this schedules seed-derived
+*infrastructure* faults — worker kills, chunk delays, dropped TCP
+connections — through the serving stack, so the fault-tolerance layer
+(retry, pool respawn, hung-chunk watchdog, checkpoint resume) can be
+soak-tested against a reproducible fault plan.
+
+A :class:`ChaosPlan` is a pure schedule: explicit dispatch/connection
+indices at which each fault fires, derived from a seed by
+:meth:`ChaosPlan.from_seed` (or written out by hand in tests).  A
+:class:`ChaosMonkey` consumes the plan at runtime: the
+:class:`~repro.service.workers.WorkerPool` asks it before every chunk
+dispatch and merges the returned fault into the chunk spec, and the TCP
+server asks it per accepted connection.  Faults execute *inside*
+``run_slab_chunk``:
+
+* ``kill`` — in a process worker, ``os._exit`` (a real worker death; the
+  parent observes ``BrokenProcessPool`` and respawns the pool); in a
+  thread worker, a :class:`~repro.service.jobs.WorkerCrashError` (same
+  retry path, no pool respawn needed).
+* ``delay`` — ``time.sleep`` inside the chunk; long enough delays trip
+  the scheduler's hung-chunk watchdog.
+
+The determinism contract this enables (``tests/service/test_chaos.py``):
+because lost chunks re-execute from carried state that only moves at
+chunk boundaries, every completed job's :class:`~repro.service.jobs.JobResult`
+is bit-identical to a fault-free run, under every fault plan.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.jobs import WorkerCrashError
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A pre-computed fault schedule, addressed by dispatch index.
+
+    ``kill_chunks``/``delay_chunks`` are 0-based indices into the stream
+    of chunk dispatches (retries consume indices too, so a killed chunk's
+    re-execution lands on a *later* index and eventually misses the kill
+    set); ``drop_connections`` indexes accepted TCP connections.
+    """
+
+    kill_chunks: tuple[int, ...] = ()
+    delay_chunks: tuple[int, ...] = ()
+    delay_s: float = 0.05
+    drop_connections: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0: {self.delay_s}")
+        for name in ("kill_chunks", "delay_chunks", "drop_connections"):
+            if any(i < 0 for i in getattr(self, name)):
+                raise ValueError(f"{name} indices must be >= 0")
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        horizon: int = 64,
+        kill_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_s: float = 0.05,
+        drop_rate: float = 0.0,
+        connection_horizon: int = 32,
+    ) -> "ChaosPlan":
+        """Derive a schedule from a seed: each of the first ``horizon``
+        chunk dispatches is independently marked kill/delay/none with the
+        given rates (kill wins ties), and each of the first
+        ``connection_horizon`` connections is dropped at ``drop_rate``.
+        The same seed always yields the same plan."""
+        rng = random.Random(seed)
+        kills, delays = [], []
+        for i in range(horizon):
+            draw = rng.random()
+            if draw < kill_rate:
+                kills.append(i)
+            elif draw < kill_rate + delay_rate:
+                delays.append(i)
+        drops = [
+            i for i in range(connection_horizon) if rng.random() < drop_rate
+        ]
+        return cls(
+            kill_chunks=tuple(kills),
+            delay_chunks=tuple(delays),
+            delay_s=delay_s,
+            drop_connections=tuple(drops),
+        )
+
+
+@dataclass
+class ChaosMonkey:
+    """Runtime consumer of a :class:`ChaosPlan` (thread-safe).
+
+    One monkey serves one service instance: the worker pool calls
+    :meth:`chunk_fault` per dispatch, the TCP server calls
+    :meth:`drop_connection` per accepted connection.  ``kills``/
+    ``delays``/``drops`` count the faults actually injected, for test
+    assertions and the soak report.
+    """
+
+    plan: ChaosPlan
+    kills: int = 0
+    delays: int = 0
+    drops: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _chunk_seq: itertools.count = field(
+        default_factory=itertools.count, repr=False
+    )
+    _conn_seq: itertools.count = field(
+        default_factory=itertools.count, repr=False
+    )
+    #: the scheduler's pid, so a worker can tell process from thread mode
+    parent_pid: int = field(default_factory=os.getpid, repr=False)
+
+    def chunk_fault(self) -> dict | None:
+        """The fault (if any) for the next chunk dispatch, as the plain
+        dict ``run_slab_chunk`` executes (``spec["chaos"]``)."""
+        with self._lock:
+            index = next(self._chunk_seq)
+            if index in self.plan.kill_chunks:
+                self.kills += 1
+                return {
+                    "action": "kill",
+                    "parent_pid": self.parent_pid,
+                    "index": index,
+                }
+            if index in self.plan.delay_chunks:
+                self.delays += 1
+                return {
+                    "action": "delay",
+                    "delay_s": self.plan.delay_s,
+                    "index": index,
+                }
+            return None
+
+    def drop_connection(self) -> bool:
+        """True when the next accepted TCP connection should be dropped
+        without a response."""
+        with self._lock:
+            index = next(self._conn_seq)
+            if index in self.plan.drop_connections:
+                self.drops += 1
+                return True
+            return False
+
+
+def apply_chunk_fault(chaos: dict) -> None:
+    """Execute an injected fault inside ``run_slab_chunk`` (worker side).
+
+    ``kill`` in a forked worker is a hard ``os._exit`` — the executor
+    observes a dead process exactly as a real crash; in a thread worker it
+    raises :class:`WorkerCrashError` instead (threads cannot die alone).
+    ``delay`` just sleeps, modelling a stuck dependency.
+    """
+    action = chaos.get("action")
+    if action == "delay":
+        time.sleep(float(chaos.get("delay_s", 0.0)))
+    elif action == "kill":
+        if os.getpid() != chaos.get("parent_pid"):
+            os._exit(70)  # hard worker death, bypassing atexit/finally
+        raise WorkerCrashError(
+            f"chaos: worker killed at dispatch {chaos.get('index')}"
+        )
+    else:
+        raise ValueError(f"unknown chaos action {action!r}")

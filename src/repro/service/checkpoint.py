@@ -1,0 +1,94 @@
+"""Slab spill store: checkpointed in-flight state for scheduler restart.
+
+Between chunks, a job's whole evolution state is the carried
+``(population, rng_state)`` pair plus splicing bookkeeping — exactly the
+rollback checkpoint tuple of :mod:`repro.resilience.harden`, generalized
+to one checkpoint per slab entry.  The scheduler serializes every
+in-flight slab through :func:`repro.resilience.harden.encode_checkpoint`
+into this store every N chunks, and discards the file when the slab
+retires; after a crash, ``Scheduler.resume_spilled()`` (surfaced as
+``repro serve --resume``) reloads each spilled slab and re-dispatches it
+from its last checkpoint — results stay bit-identical to an uninterrupted
+run because chunk boundaries are generation boundaries.
+
+Files are JSON, one per slab, written atomically (temp file + rename) so
+a crash mid-write can never leave a half checkpoint that resume would
+trust.  Corrupt or unreadable files are skipped with a warning rather
+than failing the restart.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+log = logging.getLogger("repro.service")
+
+#: format version of one spill file (the per-entry state rides the
+#: resilience checkpoint codec, which carries its own version field)
+SPILL_VERSION = 1
+
+
+class CheckpointStore:
+    """A directory of resumable slab checkpoints."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: distinguishes files written by different scheduler lifetimes
+        #: (slab ids restart from 0 in every process)
+        self._pid = os.getpid()
+
+    def _path(self, slab_id: int) -> Path:
+        return self.root / f"slab-{self._pid}-{slab_id}.json"
+
+    def save(self, slab_id: int, payload: dict) -> Path:
+        """Atomically persist one slab's checkpoint payload."""
+        payload = {"spill_version": SPILL_VERSION, **payload}
+        path = self._path(slab_id)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        return path
+
+    def discard(self, slab_id: int) -> None:
+        """Drop a retired slab's checkpoint (missing file is fine)."""
+        try:
+            self._path(slab_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def spilled(self) -> list[Path]:
+        """Every spill file currently in the store (any process's)."""
+        return sorted(self.root.glob("slab-*.json"))
+
+    def claim_all(self) -> list[dict]:
+        """Read and remove every spilled payload (crash-recovery sweep).
+
+        The claim deletes the source file immediately: the resuming
+        scheduler re-checkpoints at its own cadence under fresh file
+        names, so a stale copy must not be replayed twice.  Unreadable
+        or version-mismatched files are skipped with a warning.
+        """
+        payloads = []
+        for path in self.spilled():
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+                if payload.get("spill_version") != SPILL_VERSION:
+                    raise ValueError(
+                        f"spill_version {payload.get('spill_version')!r}"
+                    )
+            except (OSError, ValueError) as exc:
+                log.warning("skipping unreadable checkpoint %s: %s", path, exc)
+                continue
+            finally:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            payloads.append(payload)
+        return payloads

@@ -15,6 +15,7 @@ run of the same seed and parameters (the parity property locked down in
 from __future__ import annotations
 
 import threading
+import zlib
 from dataclasses import dataclass, field
 
 from repro.core.params import GAParameters
@@ -51,7 +52,102 @@ class JobFailedError(ServiceError):
 
 
 class JobCancelledError(ServiceError):
-    """The job was dropped by a non-draining shutdown before it finished."""
+    """The job was cancelled: by a non-draining shutdown, by
+    :meth:`JobHandle.cancel`, or because its TCP client disconnected."""
+
+
+class OverloadedError(ServiceError):
+    """Admission control shed this job: the service is overloaded (queue
+    depth or estimated backlog time beyond the shedding limits)."""
+
+
+class DeadlineExceededError(ServiceError):
+    """An ``deadline_mode="enforce"`` job blew its deadline and was
+    cancelled at the next chunk boundary."""
+
+
+class WorkerCrashError(ServiceError):
+    """A worker died mid-chunk (or chaos killed it).  Retryable: the lost
+    chunk is stateless and re-executes bit-identically."""
+
+
+class ChunkTimeoutError(ServiceError):
+    """A chunk exceeded the per-chunk wall-clock watchdog
+    (``BatchPolicy.chunk_timeout_s``).  Retryable, like a crash."""
+
+
+class ShutdownTimeoutError(ServiceError):
+    """``Scheduler.shutdown(timeout=...)`` expired with the scheduler
+    thread still alive; jobs still in flight fail with this error."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-job chunk-retry behaviour for infrastructure failures.
+
+    A chunk lost to a worker crash, a broken process pool, or the hung-chunk
+    watchdog is re-executed up to ``max_attempts`` times (total attempts,
+    so ``1`` disables retries); the attempt counter resets on every chunk
+    that completes, so the bound is on *consecutive* failures, not failures
+    across a long job's lifetime.  Application exceptions raised by the job
+    itself are never retried — re-execution is bit-identical, so they would
+    simply recur.
+
+    Backoff is exponential with *deterministic* jitter: the jitter fraction
+    is derived from ``(rng_seed, attempt)`` by a stable hash, so a retried
+    schedule is reproducible run to run — the same discipline as the
+    engine's seed-addressed fault streams.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0: {self.backoff_s}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+        if self.max_backoff_s < self.backoff_s:
+            raise ValueError(
+                f"max_backoff_s ({self.max_backoff_s}) must be >= "
+                f"backoff_s ({self.backoff_s})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+
+    def delay_s(self, attempt: int, seed: int) -> float:
+        """Backoff before re-executing after the ``attempt``-th failure
+        (1-based), with seed-derived deterministic jitter."""
+        base = min(
+            self.backoff_s * self.multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        frac = zlib.crc32(f"{seed}:{attempt}".encode()) % 1000 / 999.0
+        return base * (1.0 + self.jitter * frac)
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "multiplier": self.multiplier,
+            "max_backoff_s": self.max_backoff_s,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(
+            max_attempts=int(data.get("max_attempts", 3)),
+            backoff_s=float(data.get("backoff_s", 0.05)),
+            multiplier=float(data.get("multiplier", 2.0)),
+            max_backoff_s=float(data.get("max_backoff_s", 2.0)),
+            jitter=float(data.get("jitter", 0.25)),
+        )
 
 
 @dataclass(frozen=True)
@@ -87,6 +183,13 @@ class GARequest:
     n_islands: int = 1
     migration_interval: int = 8
     topology: str = "ring"
+    #: chunk-retry behaviour for infrastructure failures (crashes, hung
+    #: chunks); application errors are never retried
+    retry: RetryPolicy = RetryPolicy()
+    #: ``"observe"`` reports misses via ``JobResult.deadline_missed``
+    #: (the historical behaviour); ``"enforce"`` cancels the job with
+    #: :class:`DeadlineExceededError` at the next chunk boundary
+    deadline_mode: str = "observe"
 
     def __post_init__(self) -> None:
         if self.engine_mode not in ("exact", "turbo"):
@@ -113,6 +216,13 @@ class GARequest:
             )
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive: {self.deadline_s}")
+        if self.deadline_mode not in ("observe", "enforce"):
+            raise ValueError(
+                f"deadline_mode must be 'observe' or 'enforce': "
+                f"{self.deadline_mode!r}"
+            )
+        if self.deadline_mode == "enforce" and self.deadline_s is None:
+            raise ValueError("deadline_mode='enforce' requires deadline_s")
         if self.protection is not None:
             from repro.resilience import PROTECTION_PRESETS
 
@@ -139,6 +249,8 @@ class GARequest:
             "n_islands": self.n_islands,
             "migration_interval": self.migration_interval,
             "topology": self.topology,
+            "retry": self.retry.to_dict(),
+            "deadline_mode": self.deadline_mode,
         }
 
     @classmethod
@@ -156,6 +268,8 @@ class GARequest:
             n_islands=int(data.get("n_islands", 1)),
             migration_interval=int(data.get("migration_interval", 8)),
             topology=data.get("topology", "ring"),
+            retry=RetryPolicy.from_dict(data.get("retry", {})),
+            deadline_mode=data.get("deadline_mode", "observe"),
         )
 
 
@@ -245,12 +359,18 @@ class JobHandle:
         self._event = threading.Event()
         self._result: JobResult | None = None
         self._error: BaseException | None = None
+        #: set by the scheduler at submission; called by :meth:`cancel`
+        self._canceller = None
 
     def done(self) -> bool:
         return self._event.is_set()
 
     def result(self, timeout: float | None = None) -> JobResult:
-        """Block until the job completes; raises on failure/cancellation."""
+        """Block until the job completes; raises on failure/cancellation.
+
+        A timed-out wait leaves the job running — call :meth:`cancel` if
+        the result is no longer wanted.
+        """
         if not self._event.wait(timeout):
             raise TimeoutError(f"job {self.job_id} not done after {timeout}s")
         if self._error is not None:
@@ -258,11 +378,24 @@ class JobHandle:
         assert self._result is not None
         return self._result
 
+    def cancel(self) -> bool:
+        """Request cancellation: a pending job is dropped immediately, an
+        in-flight one is cancelled cooperatively at its next chunk
+        boundary (either way the handle fails with
+        :class:`JobCancelledError`).  Returns ``True`` if the request was
+        accepted, ``False`` if the job already completed (or the handle
+        was never registered with a scheduler)."""
+        if self._event.is_set() or self._canceller is None:
+            return False
+        return bool(self._canceller(self.job_id))
+
     # -- scheduler side -------------------------------------------------
     def _fulfil(self, result: JobResult) -> None:
-        self._result = result
-        self._event.set()
+        if not self._event.is_set():
+            self._result = result
+            self._event.set()
 
     def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self._event.set()
+        if not self._event.is_set():
+            self._error = error
+            self._event.set()

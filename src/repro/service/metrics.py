@@ -49,6 +49,22 @@ class ServiceMetrics:
         self._wait = reg.histogram(
             "service.job_wait_s", max_samples=self.MAX_SAMPLES
         )
+        # fault-tolerance instruments (retry / watchdog / shedding /
+        # checkpoint-resume; see docs/architecture.md "Fault tolerance")
+        self._shed = reg.counter("service.jobs.shed")
+        self._cancelled = reg.counter("service.jobs.cancelled")
+        self._deadline_enforced = reg.counter("service.jobs.deadline_enforced")
+        self._retries = reg.counter("service.chunks.retried")
+        self._timeouts = reg.counter("service.chunks.timed_out")
+        self._respawns = reg.counter("service.pool.respawns")
+        self._checkpoints = reg.counter("service.slabs.checkpointed")
+        self._resumed = reg.counter("service.jobs.resumed")
+        self._dropped_connections = reg.counter(
+            "service.connections.dropped"
+        )
+        self._recovery = reg.histogram(
+            "service.recovery_latency_s", max_samples=self.MAX_SAMPLES
+        )
 
     # -- recording hooks ------------------------------------------------
     def job_submitted(self, depth: int) -> None:
@@ -74,6 +90,38 @@ class ServiceMetrics:
 
     def job_failed(self) -> None:
         self._failed.inc()
+
+    def job_shed(self) -> None:
+        self._shed.inc()
+
+    def job_cancelled(self) -> None:
+        self._cancelled.inc()
+
+    def job_deadline_enforced(self) -> None:
+        self._deadline_enforced.inc()
+
+    def chunk_retried(self, n_jobs: int) -> None:
+        self._retries.inc()
+
+    def chunk_timed_out(self) -> None:
+        self._timeouts.inc()
+
+    def pool_respawned(self) -> None:
+        self._respawns.inc()
+
+    def slab_checkpointed(self) -> None:
+        self._checkpoints.inc()
+
+    def jobs_resumed(self, n_jobs: int) -> None:
+        self._resumed.inc(n_jobs)
+
+    def connection_dropped(self) -> None:
+        self._dropped_connections.inc()
+
+    def chunk_recovered(self, recovery_latency_s: float) -> None:
+        """A previously failed slab completed a chunk again; the latency
+        runs from the first unrecovered failure to this success."""
+        self._recovery.observe(recovery_latency_s)
 
     # -- readable attributes (the pre-registry public surface) ----------
     @property
@@ -121,6 +169,49 @@ class ServiceMetrics:
         return self._generations.value
 
     @property
+    def shed(self) -> int:
+        return self._shed.value
+
+    @property
+    def cancelled(self) -> int:
+        return self._cancelled.value
+
+    @property
+    def deadline_enforced(self) -> int:
+        return self._deadline_enforced.value
+
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
+    @property
+    def respawns(self) -> int:
+        return self._respawns.value
+
+    @property
+    def checkpoints(self) -> int:
+        return self._checkpoints.value
+
+    @property
+    def resumed(self) -> int:
+        return self._resumed.value
+
+    @property
+    def dropped_connections(self) -> int:
+        return self._dropped_connections.value
+
+    def generations_rate(self) -> float:
+        """Observed generations/second over the service lifetime (0.0
+        before any chunk completes) — the backlog-time estimator's
+        denominator."""
+        uptime = max(time.monotonic() - self.started_at, 1e-9)
+        return self.generations_executed / uptime
+
+    @property
     def latencies_s(self) -> list[float]:
         return self._latency.samples
 
@@ -138,6 +229,7 @@ class ServiceMetrics:
         """The full service state as a plain JSON-serializable dict."""
         uptime = max(time.monotonic() - self.started_at, 1e-9)
         lat = self._latency.summary()
+        rec = self._recovery.summary()
         chunks = self.chunks
         return {
             "uptime_s": round(uptime, 3),
@@ -171,6 +263,19 @@ class ServiceMetrics:
                 "generations_per_s": round(
                     self.generations_executed / uptime, 1
                 ),
+            },
+            "faults": {
+                "chunk_retries": self.retries,
+                "chunk_timeouts": self.timeouts,
+                "pool_respawns": self.respawns,
+                "jobs_shed": self.shed,
+                "jobs_cancelled": self.cancelled,
+                "deadlines_enforced": self.deadline_enforced,
+                "slabs_checkpointed": self.checkpoints,
+                "jobs_resumed": self.resumed,
+                "connections_dropped": self.dropped_connections,
+                "recovery_p50_ms": round(rec["p50"] * 1e3, 3),
+                "recovery_p95_ms": round(rec["p95"] * 1e3, 3),
             },
         }
 

@@ -2,27 +2,47 @@
 
 :class:`GAService` is the embeddable form — construct, ``start()``,
 ``submit()`` :class:`~repro.service.jobs.GARequest` objects, read
-``metrics``.  It wires the policy, metrics, worker pool, and scheduler
-together and owns their lifecycle (it is also a context manager; leaving
-the block drains and shuts down).
+``metrics``.  It wires the policy, metrics, worker pool, scheduler, and
+(optionally) the checkpoint spill store and chaos monkey together and
+owns their lifecycle (it is also a context manager; leaving the block
+drains and shuts down).  ``spill_dir`` arms checkpointed resume;
+``resume=True`` makes ``start()`` reclaim whatever a crashed process
+spilled there (``repro serve --resume``).
 
 The TCP layer is a deliberately tiny JSON-lines protocol for the
 ``repro serve`` / ``repro submit`` CLI pair: one request object per line,
 one response line back.  Ops: ``submit`` (blocks until the job's result
 streams back), ``metrics`` (snapshot), ``ping``.  It is a front door for
 the scheduler, not a message bus — every connection is handled by a
-thread that parks in ``JobHandle.result()``, so the batching and
-backpressure semantics are exactly the in-process ones.
+thread that polls the job handle, so the batching and backpressure
+semantics are exactly the in-process ones.
+
+The framing is hardened against untrusted peers (fuzzed in
+``tests/service/test_server_fuzz.py``): request lines are capped at
+``MAX_LINE_BYTES``, a missing line terminator or non-object frame is
+rejected, and every rejection is a *typed* error frame::
+
+    {"ok": false, "error": {"kind": "MalformedJSON", "detail": "..."}}
+
+where ``kind`` is the server-side exception class name for service
+errors (``QueueFullError``, ``OverloadedError``, ...) or one of the
+protocol kinds (``LineTooLong``, ``TruncatedFrame``, ``MalformedJSON``,
+``BadRequest``, ``Timeout``).  A client that disconnects while its job
+is in flight gets the job cancelled at the next chunk boundary instead
+of evolving generations nobody will read.
 """
 
 from __future__ import annotations
 
 import json
+import select
 import socket
 import socketserver
 import threading
+import time
 
 from repro.service.batcher import BatchPolicy
+from repro.service.checkpoint import CheckpointStore
 from repro.service.jobs import (
     GARequest,
     JobHandle,
@@ -33,6 +53,10 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import Scheduler
 from repro.service.workers import WorkerPool
 
+#: hard cap on one JSON-lines request frame — far above any legitimate
+#: request, far below what a hostile peer needs to exhaust memory
+MAX_LINE_BYTES = 1_000_000
+
 
 class GAService:
     """The embeddable GA serving stack: pool + scheduler + metrics."""
@@ -42,13 +66,27 @@ class GAService:
         workers: int = 2,
         mode: str = "thread",
         policy: BatchPolicy | None = None,
+        spill_dir=None,
+        resume: bool = False,
+        chaos=None,
     ):
         self.policy = policy or BatchPolicy()
         self.metrics = ServiceMetrics(max_batch=self.policy.max_batch)
-        self.pool = WorkerPool(workers, mode)
-        self.scheduler = Scheduler(self.pool, self.policy, self.metrics)
+        self.chaos = chaos
+        self.pool = WorkerPool(workers, mode, chaos=chaos)
+        self.store = (
+            CheckpointStore(spill_dir) if spill_dir is not None else None
+        )
+        self.scheduler = Scheduler(
+            self.pool, self.policy, self.metrics, store=self.store
+        )
+        self._resume = resume
+        #: handles of jobs reclaimed from the spill store at ``start()``
+        self.resumed_handles: list[JobHandle] = []
 
     def start(self) -> "GAService":
+        if self._resume:
+            self.resumed_handles = self.scheduler.resume_spilled()
         self.scheduler.start()
         return self
 
@@ -81,20 +119,71 @@ class GAService:
 # ---------------------------------------------------------------------------
 
 
+def _error_frame(kind: str, detail: str) -> dict:
+    return {"ok": False, "error": {"kind": kind, "detail": detail}}
+
+
+def _peer_disconnected(sock: socket.socket) -> bool:
+    """True when the client hung up (readable socket, zero-byte peek)."""
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+        if not readable:
+            return False
+        return sock.recv(1, socket.MSG_PEEK) == b""
+    except (OSError, ValueError):
+        return True
+
+
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # one request line, one response line
         server: ServiceTCPServer = self.server  # type: ignore[assignment]
-        line = self.rfile.readline()
+        chaos = server.service.chaos
+        if chaos is not None and chaos.drop_connection():
+            # scheduled connection fault: vanish without a byte
+            server.service.metrics.connection_dropped()
+            return
+        line = self.rfile.readline(MAX_LINE_BYTES + 1)
         if not line.strip():
+            return
+        if len(line) > MAX_LINE_BYTES:
+            self._reply(
+                _error_frame(
+                    "LineTooLong",
+                    f"request line exceeds {MAX_LINE_BYTES} bytes",
+                )
+            )
+            return
+        if not line.endswith(b"\n"):
+            self._reply(
+                _error_frame(
+                    "TruncatedFrame", "request line not newline-terminated"
+                )
+            )
             return
         try:
             message = json.loads(line)
-            response = server.dispatch(message)
+        except ValueError as exc:
+            self._reply(_error_frame("MalformedJSON", str(exc)))
+            return
+        if not isinstance(message, dict):
+            self._reply(
+                _error_frame("BadRequest", "request frame must be a JSON object")
+            )
+            return
+        try:
+            response = server.dispatch(message, connection=self.connection)
         except ServiceError as exc:
-            response = {"ok": False, "error": type(exc).__name__, "detail": str(exc)}
+            response = _error_frame(type(exc).__name__, str(exc))
         except Exception as exc:  # malformed input must not kill the server
-            response = {"ok": False, "error": "BadRequest", "detail": str(exc)}
-        self.wfile.write((json.dumps(response) + "\n").encode())
+            response = _error_frame("BadRequest", str(exc))
+        if response is not None:
+            self._reply(response)
+
+    def _reply(self, response: dict) -> None:
+        try:
+            self.wfile.write((json.dumps(response) + "\n").encode())
+        except OSError:
+            pass  # peer already gone; nothing left to tell it
 
 
 class ServiceTCPServer(socketserver.ThreadingTCPServer):
@@ -120,7 +209,7 @@ class ServiceTCPServer(socketserver.ThreadingTCPServer):
     def endpoint(self) -> tuple[str, int]:
         return self.server_address[0], self.server_address[1]
 
-    def dispatch(self, message: dict) -> dict:
+    def dispatch(self, message: dict, connection=None) -> dict | None:
         op = message.get("op", "submit")
         if op == "ping":
             return {"ok": True, "op": "ping"}
@@ -129,10 +218,39 @@ class ServiceTCPServer(socketserver.ThreadingTCPServer):
         if op == "submit":
             request = GARequest.from_dict(message["job"])
             handle = self.service.submit(request)
-            result = handle.result(timeout=message.get("timeout_s"))
+            try:
+                result = self._await_result(
+                    handle, message.get("timeout_s"), connection
+                )
+            except TimeoutError as exc:
+                handle.cancel()
+                return _error_frame("Timeout", str(exc))
+            if result is None:
+                return None  # client hung up; job cancelled, nobody to tell
             self._count_served()
             return {"ok": True, "result": result.to_dict()}
-        return {"ok": False, "error": "BadRequest", "detail": f"unknown op {op!r}"}
+        return _error_frame("BadRequest", f"unknown op {op!r}")
+
+    def _await_result(
+        self,
+        handle: JobHandle,
+        timeout_s: float | None,
+        connection: socket.socket | None,
+    ) -> JobResult | None:
+        """Park on the handle, watching the client socket: a disconnect
+        cancels the job (returns None), a timeout cancels and raises."""
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while not handle._event.wait(0.1):
+            if connection is not None and _peer_disconnected(connection):
+                handle.cancel()
+                return None
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {handle.job_id} not done after {timeout_s}s"
+                )
+        return handle.result(timeout=0)
 
     def _count_served(self) -> None:
         if self.max_jobs is None:
@@ -177,6 +295,15 @@ def call(host: str, port: int, message: dict, timeout: float | None = None) -> d
     return json.loads(line)
 
 
+def error_kind(response: dict) -> str:
+    """The kind of a failed response frame (tolerates the pre-typed,
+    flat-string shape for mixed-version fleets)."""
+    err = response.get("error")
+    if isinstance(err, dict):
+        return str(err.get("kind", "ServiceError"))
+    return str(err or "ServiceError")
+
+
 def submit_remote(
     host: str, port: int, request: GARequest, timeout: float | None = None
 ) -> JobResult:
@@ -187,8 +314,12 @@ def submit_remote(
         timeout=timeout,
     )
     if not response.get("ok"):
-        raise ServiceError(
-            f"{response.get('error', 'ServiceError')}: "
-            f"{response.get('detail', 'remote submission failed')}"
-        )
+        err = response.get("error")
+        if isinstance(err, dict):
+            kind = err.get("kind", "ServiceError")
+            detail = err.get("detail", "remote submission failed")
+        else:
+            kind = err or "ServiceError"
+            detail = response.get("detail", "remote submission failed")
+        raise ServiceError(f"{kind}: {detail}")
     return JobResult.from_dict(response["result"])

@@ -27,6 +27,7 @@ solo hardened run by construction.
 from __future__ import annotations
 
 import concurrent.futures
+import threading
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.fitness.functions import by_name
 from repro.obs.profile import ProfileScope
 from repro.obs.tracer import get_tracer
 from repro.rng.cellular_automaton import CellularAutomatonPRNG
+from repro.service.chaos import apply_chunk_fault
 
 
 def run_slab_chunk(spec: dict) -> dict:
@@ -45,6 +47,7 @@ def run_slab_chunk(spec: dict) -> dict:
 
         {"chunk_gens": int,
          "mode": "exact" | "turbo",   # engine mode, default "exact"
+         "chaos": None | {"action": "kill" | "delay", ...},  # injected fault
          "protection": None | {"preset", "upset_rate", "campaign_seed"},
          "entries": [{"job_id", "params": {...}, "fitness",
                       "population": [..] | None,   # None -> fresh draw
@@ -81,6 +84,10 @@ def run_slab_chunk(spec: dict) -> dict:
         else nullcontext()
     )
     with ProfileScope("service.slab_chunk"), span:
+        if spec.get("chaos") is not None:
+            # injected fault (see repro.service.chaos): may sleep, raise
+            # WorkerCrashError, or os._exit this worker outright
+            apply_chunk_fault(spec["chaos"])
         if spec.get("protection") is not None:
             return _run_hardened(spec, tracer)
         if spec.get("island") is not None:
@@ -266,28 +273,98 @@ class WorkerPool:
     chunks run truly in parallel; ``thread`` keeps everything in-process,
     which tests prefer (no fork cost, full tracebacks) and which still
     overlaps numpy work releasing the GIL.
+
+    Fault tolerance: a crashed process worker poisons its whole
+    ``ProcessPoolExecutor`` (every queued future fails with
+    ``BrokenProcessPool``), so the pool supports :meth:`respawn` — tear
+    the broken executor down and stand up a fresh one.  ``generation``
+    counts respawns; the scheduler passes the generation it *observed* the
+    failure under so that a cascade of broken futures from one crash
+    triggers exactly one respawn.  An optional
+    :class:`~repro.service.chaos.ChaosMonkey` injects per-dispatch faults
+    into outgoing chunk specs.
     """
 
-    def __init__(self, n_workers: int = 2, mode: str = "process"):
+    def __init__(self, n_workers: int = 2, mode: str = "process", chaos=None):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1: {n_workers}")
         if mode not in ("process", "thread"):
             raise ValueError(f"mode must be 'process' or 'thread': {mode!r}")
         self.n_workers = n_workers
         self.mode = mode
-        if mode == "process":
-            self._executor: concurrent.futures.Executor = (
-                concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+        self.chaos = chaos
+        self._generation = 0
+        self._lock = threading.Lock()
+        self._executor = self._make_executor()
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        if self.mode == "process":
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.n_workers
             )
-        else:
-            self._executor = concurrent.futures.ThreadPoolExecutor(
-                max_workers=n_workers, thread_name_prefix="ga-slab"
-            )
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="ga-slab"
+        )
+
+    @property
+    def generation(self) -> int:
+        """How many times the executor has been respawned."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def can_respawn(self) -> bool:
+        """Thread pools never break wholesale; only processes respawn."""
+        return self.mode == "process"
+
+    def respawn(self, seen_generation: int | None = None) -> bool:
+        """Replace a broken executor with a fresh one.
+
+        ``seen_generation`` is the generation under which the caller
+        observed the failure; if the pool has already moved past it the
+        call is a no-op (one worker crash fails every queued future, and
+        each failure callback asks for a respawn).  Returns True when a
+        new executor was actually created.
+        """
+        if not self.can_respawn:
+            return False
+        with self._lock:
+            if seen_generation is not None and self._generation > seen_generation:
+                return False
+            old = self._executor
+            # a broken pool's shutdown() can hang on dead children; kill
+            # any stragglers outright before abandoning it
+            processes = list(getattr(old, "_processes", {}).values())
+            for proc in processes:
+                if proc.is_alive():
+                    proc.terminate()
+            old.shutdown(wait=False, cancel_futures=True)
+            self._executor = self._make_executor()
+            self._generation += 1
+            return True
 
     def submit_chunk(self, spec: dict, callback) -> None:
         """Run ``run_slab_chunk(spec)``; invoke ``callback(result_or_exc)``
-        from a pool thread when it lands."""
-        future = self._executor.submit(run_slab_chunk, spec)
+        from a pool thread when it lands.
+
+        A broken process pool raises *synchronously* from ``submit``; the
+        exception is then delivered through ``callback`` from a fresh
+        thread instead of propagating, so the scheduler sees every
+        failure on the same (callback) path and its lock is never held
+        across the delivery.
+        """
+        if self.chaos is not None:
+            fault = self.chaos.chunk_fault()
+            if fault is not None:
+                spec = {**spec, "chaos": fault}
+        try:
+            with self._lock:
+                future = self._executor.submit(run_slab_chunk, spec)
+        except (concurrent.futures.BrokenExecutor, RuntimeError) as exc:
+            threading.Thread(
+                target=callback, args=(exc,), daemon=True
+            ).start()
+            return
 
         def _done(fut: concurrent.futures.Future) -> None:
             exc = fut.exception()
@@ -296,4 +373,5 @@ class WorkerPool:
         future.add_done_callback(_done)
 
     def shutdown(self, wait: bool = True) -> None:
-        self._executor.shutdown(wait=wait)
+        with self._lock:
+            self._executor.shutdown(wait=wait)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.params import GAParameters
 from repro.core.stats import GenerationStats
-from repro.service.jobs import GARequest, JobHandle, JobResult
+from repro.service.jobs import GARequest, JobHandle, JobResult, RetryPolicy
 
 
 def params(**overrides) -> GAParameters:
@@ -46,8 +46,54 @@ class TestGARequest:
             protection="hardened",
             upset_rate=5e-4,
             campaign_seed=7,
+            retry=RetryPolicy(max_attempts=5, backoff_s=0.01, jitter=0.5),
+            deadline_mode="enforce",
         )
         assert GARequest.from_dict(request.to_dict()) == request
+
+    def test_deadline_mode_validation(self):
+        with pytest.raises(ValueError, match="deadline_mode"):
+            GARequest(params=params(), deadline_mode="hope")
+        with pytest.raises(ValueError, match="requires deadline_s"):
+            GARequest(params=params(), deadline_mode="enforce")
+        GARequest(params=params(), deadline_mode="enforce", deadline_s=1.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="max_backoff_s"):
+            RetryPolicy(backoff_s=1.0, max_backoff_s=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_is_exponential_capped_and_deterministic(self):
+        policy = RetryPolicy(
+            backoff_s=0.1, multiplier=2.0, max_backoff_s=0.3, jitter=0.0
+        )
+        delays = [policy.delay_s(a, seed=45890) for a in (1, 2, 3, 4)]
+        assert delays == [
+            pytest.approx(0.1), pytest.approx(0.2),
+            pytest.approx(0.3), pytest.approx(0.3),  # capped
+        ]
+
+    def test_jitter_is_seed_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_s=0.1, jitter=0.25)
+        assert policy.delay_s(1, seed=7) == policy.delay_s(1, seed=7)
+        assert policy.delay_s(1, seed=7) != policy.delay_s(1, seed=8)
+        for seed in range(20):
+            delay = policy.delay_s(1, seed=seed)
+            assert 0.1 <= delay <= 0.1 * 1.25
+
+    def test_wire_round_trip(self):
+        policy = RetryPolicy(
+            max_attempts=7, backoff_s=0.2, multiplier=3.0,
+            max_backoff_s=5.0, jitter=0.1,
+        )
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
 
 
 class TestJobResult:
@@ -85,4 +131,24 @@ class TestJobHandle:
         handle._fail(RuntimeError("boom"))
         assert handle.done()
         with pytest.raises(RuntimeError, match="boom"):
+            handle.result(timeout=0.01)
+
+    def test_cancel_without_scheduler_is_a_noop(self):
+        handle = JobHandle(0, GARequest(params=params()), 0.0)
+        assert handle.cancel() is False  # never registered
+
+    def test_cancel_routes_through_the_canceller_until_done(self):
+        handle = JobHandle(3, GARequest(params=params()), 0.0)
+        seen = []
+        handle._canceller = lambda job_id: seen.append(job_id) or True
+        assert handle.cancel() is True
+        assert seen == [3]
+        handle._fail(RuntimeError("done"))
+        assert handle.cancel() is False  # completed handles cannot cancel
+
+    def test_settlement_is_idempotent_first_wins(self):
+        handle = JobHandle(0, GARequest(params=params()), 0.0)
+        handle._fail(RuntimeError("first"))
+        handle._fail(RuntimeError("second"))
+        with pytest.raises(RuntimeError, match="first"):
             handle.result(timeout=0.01)

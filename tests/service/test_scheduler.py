@@ -1,16 +1,23 @@
 """Scheduler behaviour: backpressure, shutdown, failures, metrics."""
 
+import time
+
 import pytest
 
 from repro.core.params import GAParameters
 from repro.service import (
     BatchPolicy,
+    DeadlineExceededError,
     GARequest,
     GAService,
     JobCancelledError,
     JobFailedError,
+    OverloadedError,
     QueueFullError,
+    Scheduler,
     ServiceClosedError,
+    ShutdownTimeoutError,
+    WorkerPool,
 )
 from repro.service.batcher import JobRecord
 from repro.service.jobs import JobHandle
@@ -86,6 +93,152 @@ class TestFailures:
             assert service.metrics.failed == 2
         finally:
             service.shutdown(drain=False)
+
+
+class TestLoadShedding:
+    def test_depth_bound_sheds_the_incoming_job_on_equal_priority(self):
+        policy = BatchPolicy(
+            max_batch=64, max_wait_s=60.0, max_pending=10, shed_queue_depth=2
+        )
+        service = GAService(workers=1, mode="thread", policy=policy).start()
+        try:
+            kept = [service.submit(request(seed=s)) for s in (1, 2)]
+            with pytest.raises(OverloadedError, match="queue depth"):
+                service.submit(request(seed=3))
+            assert service.metrics.shed == 1
+            assert service.metrics.rejected == 1
+        finally:
+            service.shutdown(drain=True)
+        assert all(h.result(timeout=30).best_fitness >= 0 for h in kept)
+
+    def test_higher_priority_arrival_sheds_the_worst_pending_victim(self):
+        policy = BatchPolicy(
+            max_batch=64, max_wait_s=60.0, max_pending=10, shed_queue_depth=2
+        )
+        service = GAService(workers=1, mode="thread", policy=policy).start()
+        try:
+            keeper = service.submit(request(seed=1))
+            victim = service.submit(request(seed=2))
+            urgent = service.submit(request(seed=3, priority=-5))
+            with pytest.raises(OverloadedError, match="shed"):
+                victim.result(timeout=5)
+            assert service.metrics.shed == 1
+        finally:
+            service.shutdown(drain=True)
+        assert keeper.result(timeout=30).best_fitness >= 0
+        assert urgent.result(timeout=30).best_fitness >= 0
+
+    def test_backlog_shedding_waits_for_an_observed_rate(self):
+        # no chunk has completed, so there is no generations/sec estimate
+        # and the backlog limit must not fire
+        policy = BatchPolicy(
+            max_batch=64, max_wait_s=60.0, max_pending=10, max_backlog_s=1e-9
+        )
+        service = GAService(workers=1, mode="thread", policy=policy).start()
+        try:
+            handles = [service.submit(request(seed=s)) for s in (1, 2, 3)]
+            assert service.metrics.shed == 0
+        finally:
+            service.shutdown(drain=True)
+        assert all(h.result(timeout=30).best_fitness >= 0 for h in handles)
+
+
+class TestDeadlineEnforcement:
+    def test_enforced_deadline_expires_in_queue(self):
+        service = GAService(workers=1, mode="thread", policy=PARKED).start()
+        try:
+            handle = service.submit(
+                request(deadline_s=0.05, deadline_mode="enforce")
+            )
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                handle.result(timeout=10)
+            assert service.metrics.deadline_enforced == 1
+        finally:
+            service.shutdown(drain=False)
+
+    def test_enforced_deadline_cancels_at_a_chunk_boundary(self):
+        policy = BatchPolicy(max_wait_s=0.005, admit_interval=2)
+        with GAService(workers=1, mode="thread", policy=policy) as service:
+            handle = service.submit(
+                request(gens=4096, deadline_s=0.02, deadline_mode="enforce")
+            )
+            with pytest.raises(DeadlineExceededError):
+                handle.result(timeout=30)
+            assert service.metrics.deadline_enforced == 1
+
+    def test_observe_mode_still_only_reports(self):
+        with GAService(workers=1, mode="thread") as service:
+            result = service.submit(
+                request(gens=32, deadline_s=1e-6)
+            ).result(timeout=30)
+        assert result.deadline_missed and result.best_fitness >= 0
+
+
+class TestCancellation:
+    def test_cancel_pending_job_fails_fast(self):
+        service = GAService(workers=1, mode="thread", policy=PARKED).start()
+        try:
+            handle = service.submit(request(seed=1))
+            assert handle.cancel() is True
+            with pytest.raises(JobCancelledError):
+                handle.result(timeout=5)
+            assert service.metrics.cancelled == 1
+            assert handle.cancel() is False  # already settled
+        finally:
+            service.shutdown(drain=False)
+
+    def test_cancel_inflight_job_stops_at_next_chunk_boundary(self):
+        policy = BatchPolicy(max_wait_s=0.005, admit_interval=2)
+        with GAService(workers=1, mode="thread", policy=policy) as service:
+            handle = service.submit(request(gens=4096))
+            deadline = time.monotonic() + 10
+            while service.metrics.chunks == 0 and time.monotonic() < deadline:
+                time.sleep(0.002)
+            assert handle.cancel() is True
+            with pytest.raises(JobCancelledError):
+                handle.result(timeout=30)
+            assert service.metrics.cancelled == 1
+
+    def test_cancelled_job_does_not_disturb_slab_mates(self):
+        policy = BatchPolicy(max_batch=4, max_wait_s=0.01, admit_interval=2)
+        with GAService(workers=1, mode="thread", policy=policy) as service:
+            doomed = service.submit(request(seed=1, gens=4096))
+            mate = service.submit(request(seed=2, gens=16))
+            doomed.cancel()
+            assert mate.result(timeout=30).best_fitness >= 0
+            with pytest.raises(JobCancelledError):
+                doomed.result(timeout=5)
+
+
+class TestShutdownTimeout:
+    def test_expired_timeout_abandons_with_named_error(self, monkeypatch):
+        import repro.service.workers as workers_mod
+
+        def stuck(spec):
+            time.sleep(3.0)
+            return {"entries": []}
+
+        monkeypatch.setattr(workers_mod, "run_slab_chunk", stuck)
+        pool = WorkerPool(1, "thread")
+        scheduler = Scheduler(
+            pool, BatchPolicy(max_wait_s=0.005, max_pending=4)
+        ).start()
+        inflight = scheduler.submit(request(seed=1))
+        deadline = time.monotonic() + 5
+        while not scheduler._inflight and time.monotonic() < deadline:
+            time.sleep(0.002)
+        queued = scheduler.submit(request(seed=2))
+        scheduler.shutdown(drain=True, timeout=0.2)
+        for handle in (inflight, queued):
+            with pytest.raises(ShutdownTimeoutError, match="abandoned"):
+                handle.result(timeout=1)
+        pool.shutdown(wait=False)
+
+    def test_timeout_that_completes_in_time_is_clean(self):
+        service = GAService(workers=1, mode="thread").start()
+        handle = service.submit(request(gens=4))
+        service.shutdown(drain=True, timeout=30.0)
+        assert handle.result(timeout=1).best_fitness >= 0
 
 
 class TestSchedulingHints:

@@ -67,12 +67,15 @@ class TestTCPServer:
 
     def test_unknown_op_and_malformed_json_are_soft_errors(self, live_server):
         host, port = live_server
-        assert not call(host, port, {"op": "explode"})["ok"]
+        bad_op = call(host, port, {"op": "explode"})
+        assert not bad_op["ok"] and bad_op["error"]["kind"] == "BadRequest"
         with socket.create_connection((host, port), timeout=10) as sock:
             sock.sendall(b"this is not json\n")
             line = sock.makefile("r").readline()
         response = json.loads(line)
-        assert not response["ok"] and response["error"] == "BadRequest"
+        assert not response["ok"]
+        assert response["error"]["kind"] == "MalformedJSON"
+        assert "detail" in response["error"]
 
     def test_remote_rejection_surfaces_as_service_error(self):
         # a closed service rejects submissions; the client must see a

@@ -1,0 +1,131 @@
+"""Protocol-robustness fuzzing of the TCP front end.
+
+The JSON-lines framing faces untrusted peers, so it must shrug off
+anything a byte stream can throw at it: garbage bytes, truncated frames,
+oversized lines, half-closed sockets, non-object JSON.  Every rejection
+is a typed error frame (or a silent close for empty input), the
+connection handler never takes the server down, and the service answers
+the next well-formed request as if nothing happened.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import GAService, ServiceTCPServer
+from repro.service.server import MAX_LINE_BYTES, call
+
+
+@pytest.fixture(scope="module")
+def fuzz_server():
+    service = GAService(workers=1, mode="thread").start()
+    server = ServiceTCPServer(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.endpoint
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        service.shutdown()
+
+
+def raw_exchange(endpoint, payload: bytes, shutdown_write: bool = True) -> bytes:
+    with socket.create_connection(endpoint, timeout=10) as sock:
+        sock.sendall(payload)
+        if shutdown_write:
+            sock.shutdown(socket.SHUT_WR)  # half-close: EOF on the server
+        sock.settimeout(10)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def error_kind(raw: bytes) -> str | None:
+    if not raw:
+        return None
+    frame = json.loads(raw)
+    assert frame["ok"] is False
+    return frame["error"]["kind"]
+
+
+class TestFraming:
+    def test_empty_connection_closes_silently(self, fuzz_server):
+        assert raw_exchange(fuzz_server, b"") == b""
+        assert raw_exchange(fuzz_server, b"\n") == b""
+        assert raw_exchange(fuzz_server, b"   \n") == b""
+
+    def test_garbage_bytes_get_malformed_json(self, fuzz_server):
+        assert error_kind(raw_exchange(fuzz_server, b"\x00\xff garbage\n")) == (
+            "MalformedJSON"
+        )
+
+    def test_half_closed_truncated_frame(self, fuzz_server):
+        # valid JSON but no newline before EOF: the framing is broken,
+        # not the JSON
+        raw = raw_exchange(fuzz_server, b'{"op": "ping"}')
+        assert error_kind(raw) == "TruncatedFrame"
+
+    def test_oversized_line_is_rejected_not_buffered(self, fuzz_server):
+        blob = b'{"op": "ping", "pad": "' + b"x" * MAX_LINE_BYTES + b'"}\n'
+        assert error_kind(raw_exchange(fuzz_server, blob)) == "LineTooLong"
+
+    def test_non_object_json_frame(self, fuzz_server):
+        assert error_kind(raw_exchange(fuzz_server, b"[1, 2, 3]\n")) == (
+            "BadRequest"
+        )
+        assert error_kind(raw_exchange(fuzz_server, b'"ping"\n')) == (
+            "BadRequest"
+        )
+
+    def test_submit_without_job_is_bad_request(self, fuzz_server):
+        assert error_kind(raw_exchange(fuzz_server, b'{"op": "submit"}\n')) == (
+            "BadRequest"
+        )
+
+    def test_error_frames_carry_detail(self, fuzz_server):
+        raw = raw_exchange(fuzz_server, b"not json\n")
+        frame = json.loads(raw)
+        assert isinstance(frame["error"]["detail"], str)
+        assert frame["error"]["detail"]
+
+
+class TestFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(payload=st.binary(min_size=1, max_size=512))
+    def test_arbitrary_bytes_never_crash_the_handler(self, fuzz_server, payload):
+        raw = raw_exchange(fuzz_server, payload + b"\n")
+        if raw:
+            frame = json.loads(raw)  # whatever comes back is one JSON line
+            assert isinstance(frame, dict) and "ok" in frame
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        message=st.dictionaries(
+            st.text(max_size=8),
+            st.one_of(
+                st.none(), st.booleans(), st.integers(), st.text(max_size=16)
+            ),
+            max_size=4,
+        )
+    )
+    def test_arbitrary_json_objects_get_a_reply(self, fuzz_server, message):
+        blob = json.dumps(message).encode() + b"\n"
+        raw = raw_exchange(fuzz_server, blob)
+        assert raw, "a JSON object frame always gets a response line"
+        frame = json.loads(raw)
+        assert "ok" in frame
+
+    def test_server_still_healthy_after_fuzzing(self, fuzz_server):
+        host, port = fuzz_server
+        assert call(host, port, {"op": "ping"}) == {"ok": True, "op": "ping"}
+        assert call(host, port, {"op": "metrics"})["ok"]
