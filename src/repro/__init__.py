@@ -25,6 +25,8 @@ a production-quality Python system:
   fault campaigns;
 * :mod:`repro.service`    — GA-as-a-service: async job scheduler with
   dynamic batching, a worker pool, and service metrics;
+* :mod:`repro.store`      — the content-addressed run store: canonical
+  job keys, cached results, in-flight coalescing, ``repro replay``;
 * :mod:`repro.obs`        — unified observability: structured tracing,
   the process-wide metrics registry, and profiling hooks (zero-cost
   when disabled, bit-identical results when enabled).

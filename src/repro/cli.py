@@ -132,11 +132,48 @@ def _run_params(args):
     )
 
 
+def _run_cached(args) -> None:
+    """``repro run --store-dir``: serve from / populate the run store."""
+    from repro import fitness_by_name
+    from repro.service.jobs import GARequest
+    from repro.store import RunStore, run_cached
+
+    request = GARequest(
+        params=_run_params(args),
+        fitness_name=args.fitness,
+        engine_mode=args.engine_mode,
+        n_islands=args.islands,
+        migration_interval=args.migration_interval,
+        topology=args.topology,
+    )
+    store = RunStore(args.store_dir)
+    result, hit, key = run_cached(store, request, use_cache=not args.no_cache)
+    fn = fitness_by_name(args.fitness)
+    source = "cache hit" if hit else "computed cold"
+    print(
+        f"{fn.name}: best {result.best_fitness} at {result.best_individual}"
+        f" (optimum {int(fn.table().max())}), {source}, key {key[:16]}..."
+    )
+
+
 def cmd_run(args) -> None:
     from repro import BehavioralGA, GASystem, fitness_by_name
     from repro.analysis.convergence import convergence_generation
     from repro.obs import Tracer
 
+    if getattr(args, "store_dir", ""):
+        if args.cycle_accurate:
+            raise SystemExit(
+                "--store-dir caches behavioural-engine jobs; it cannot be "
+                "combined with --cycle-accurate"
+            )
+        if getattr(args, "trace_out", ""):
+            raise SystemExit(
+                "--store-dir replays stored results, which have no trace; "
+                "drop --trace-out for cached runs"
+            )
+        _run_cached(args)
+        return
     params = _run_params(args)
     fn = fitness_by_name(args.fitness)
     tracer = None
@@ -338,19 +375,21 @@ def cmd_serve(args) -> None:
         shed_queue_depth=args.shed_queue_depth or None,
         max_backlog_s=args.max_backlog_s or None,
     )
-    if args.resume and not args.spill_dir:
-        raise SystemExit("--resume requires --spill-dir")
+    if args.resume and not (args.spill_dir or args.store_dir):
+        raise SystemExit("--resume requires --spill-dir or --store-dir")
     service = GAService(
         workers=args.workers,
         mode=args.mode,
         policy=policy,
         spill_dir=args.spill_dir or None,
         resume=args.resume,
+        store_dir=args.store_dir or None,
+        cache=not args.no_cache,
     ).start()
     if service.resumed_handles:
         print(
             f"resumed {len(service.resumed_handles)} spilled job(s) "
-            f"from {args.spill_dir}",
+            f"from {args.spill_dir or args.store_dir}",
             file=sys.stderr,
         )
 
@@ -418,6 +457,7 @@ def cmd_submit(args) -> None:
             max_backoff_s=max(2.0, args.retry_backoff_ms / 1e3),
         ),
         deadline_mode=args.deadline_mode,
+        use_cache=not args.no_cache,
     )
     result = submit_remote(args.host, args.port, request, timeout=args.timeout_s)
     if args.json:
@@ -435,8 +475,69 @@ def cmd_submit(args) -> None:
             f"({result.evaluations} evaluations, "
             f"{result.latency_s * 1e3:.1f} ms latency, "
             f"{result.n_chunks} chunk(s){island_note}"
-            f"{', DEADLINE MISSED' if result.deadline_missed else ''})"
+            f"{', DEADLINE MISSED' if result.deadline_missed else ''}"
+            f"{', from cache' if result.cache_hit else ''})"
         )
+
+
+def cmd_replay(args) -> None:
+    """Re-execute one stored run and assert bit-identity."""
+    from repro.store import RunStore, replay
+
+    store = RunStore(args.store_dir)
+    try:
+        report = replay(store, args.key)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    print(
+        f"key {report.key[:16]}...: {report.verdict} "
+        f"(stored best {report.stored_best}, replayed best "
+        f"{report.replayed_best}, {report.compute_s * 1e3:.1f} ms recompute)"
+    )
+    if not report.identical:
+        print(f"mismatched fields: {', '.join(report.mismatched_fields)}")
+        raise SystemExit(1)
+
+
+def cmd_store(args) -> None:
+    """Run-store maintenance: ``repro store ls | verify | gc``."""
+    from repro.store import RunStore
+
+    store = RunStore(args.store_dir)
+    if args.action == "ls":
+        rows = []
+        for entry in store.entries():
+            prov = entry.provenance
+            rows.append({
+                "key": entry.key[:16],
+                "fitness": entry.request.fitness_name,
+                "mode": entry.request.engine_mode,
+                "pop": entry.request.params.population_size,
+                "gens": entry.request.params.n_generations,
+                "seed": hex(entry.request.params.rng_seed),
+                "best": entry.result.best_fitness,
+                "source": prov.get("source", "?"),
+            })
+        _print_table(f"run store {store.root} ({len(rows)} entries)", rows)
+        return
+    if args.action == "verify":
+        rows = store.verify()
+        bad = [row for row in rows if not row["ok"]]
+        for row in bad:
+            print(f"BAD {row['key'][:16]}...: {row['reason']}")
+        print(f"{len(rows) - len(bad)}/{len(rows)} entries ok")
+        if bad:
+            raise SystemExit(1)
+        return
+    if args.action == "gc":
+        removed = store.gc(all_spills=args.all_spills)
+        print(
+            f"gc: removed {removed['tmp']} temp file(s), "
+            f"{removed['corrupt']} corrupt entr(ies), "
+            f"{removed['spills']} orphaned spill(s)"
+        )
+        return
+    raise SystemExit(f"unknown store action {args.action!r}")
 
 
 def cmd_list(_args) -> None:
@@ -461,6 +562,8 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "serve": cmd_serve,
     "submit": cmd_submit,
+    "replay": cmd_replay,
+    "store": cmd_store,
     "list": cmd_list,
 }
 
@@ -494,6 +597,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "distributions, different RNG word allocation)")
             p.add_argument("--trace-out", default="",
                            help="also write a JSON-lines trace to this path")
+            p.add_argument("--store-dir", default="",
+                           help="content-addressed run store: serve this "
+                                "run from cache when stored, else compute "
+                                "and write back")
+            p.add_argument("--no-cache", action="store_true",
+                           help="with --store-dir: skip the cache read, "
+                                "recompute, still write back")
         elif name == "trace":
             p.add_argument("--fitness", default="mBF6_2")
             p.add_argument("--pop", type=int, default=64)
@@ -568,6 +678,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--max-backlog-s", type=float, default=0.0,
                            help="shed when the estimated backlog exceeds "
                                 "this many seconds (0 = disabled)")
+            p.add_argument("--store-dir", default="",
+                           help="content-addressed run store: cached "
+                                "results, duplicate coalescing, and (unless "
+                                "--spill-dir overrides) slab checkpoints")
+            p.add_argument("--no-cache", action="store_true",
+                           help="with --store-dir: disable cache reads and "
+                                "coalescing, keep write-back (recorder mode)")
         elif name == "submit":
             p.add_argument("--host", default="127.0.0.1")
             p.add_argument("--port", type=int, default=7117)
@@ -606,6 +723,20 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--timeout-s", type=float, default=300.0)
             p.add_argument("--json", action="store_true",
                            help="print the full result as JSON")
+            p.add_argument("--no-cache", action="store_true",
+                           help="opt this job out of the server's cache "
+                                "read path (it is still written back)")
+        elif name == "replay":
+            p.add_argument("key", help="store entry key (full sha256 hex)")
+            p.add_argument("--store-dir", required=True,
+                           help="run store root to replay from")
+        elif name == "store":
+            p.add_argument("action", choices=["ls", "verify", "gc"])
+            p.add_argument("--store-dir", required=True,
+                           help="run store root to operate on")
+            p.add_argument("--all-spills", action="store_true",
+                           help="gc: reclaim every spill checkpoint, not "
+                                "just those of dead processes")
     return parser
 
 

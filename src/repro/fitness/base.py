@@ -12,6 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
+#: process-wide count of full 65,536-entry LUT builds, by fitness name —
+#: the memoization regression guard (``tests/fitness/test_memo.py``
+#: asserts shared instances build each registry table exactly once)
+TABLE_BUILDS: dict[str, int] = {}
+
 
 def decode_two_vars(chromosome: int | np.ndarray) -> tuple:
     """Split a 16-bit chromosome into ``(x, y)`` with x = bits[15:8]."""
@@ -57,6 +62,7 @@ class FitnessFunction:
         cached because several FEMs/benches share it.
         """
         if self._table is None:
+            TABLE_BUILDS[self.name] = TABLE_BUILDS.get(self.name, 0) + 1
             chroms = np.arange(65536, dtype=np.uint32)
             values = self.evaluate_array(chroms)
             if values.min() < 0 or values.max() > 0xFFFF:

@@ -20,6 +20,8 @@ deviations (``MBF7_2`` value, ``MShubert2D`` reconstruction).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.fitness.base import FitnessFunction
@@ -162,8 +164,37 @@ REGISTRY: dict[str, type[FitnessFunction]] = {
 }
 
 
+#: process-wide shared instances — registry functions are pure, so one
+#: instance (and therefore one 65,536-entry LUT build, see
+#: :meth:`FitnessFunction.table`) serves every caller in the process
+_SHARED: dict[str, FitnessFunction] = {}
+_SHARED_LOCK = threading.Lock()
+
+
 def by_name(name: str) -> FitnessFunction:
-    """Instantiate a paper test function by its name (e.g. ``"mBF6_2"``)."""
+    """The shared paper test function for a name (e.g. ``"mBF6_2"``).
+
+    Registry functions are stateless, so instances are memoized: every
+    engine, worker thread, and bench in the process shares one object and
+    its cached lookup table — the software analogue of the paper's one
+    block-ROM FEM image serving all replicas.  (Mutable fitness classes
+    outside the registry, e.g. ``ehw.fabric.FabricFitness``, are not
+    routed through here and keep per-instance tables.)
+    """
+    try:
+        with _SHARED_LOCK:
+            fn = _SHARED.get(name)
+            if fn is None:
+                fn = _SHARED[name] = REGISTRY[name]()
+            return fn
+    except KeyError:
+        raise KeyError(
+            f"unknown fitness function {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def fresh_instance(name: str) -> FitnessFunction:
+    """A private (non-shared) instance, for callers that mutate state."""
     try:
         return REGISTRY[name]()
     except KeyError:

@@ -72,22 +72,6 @@ class IslandResult:
     epoch_summary: list[tuple[int, int, int]] = field(default_factory=list)
 
 
-#: Worker-process fitness cache: pooled epochs used to rebuild the fitness
-#: function — and recompute its full 2^16-entry table — once per island
-#: per epoch; the table is pure and keyed by name, so each worker now
-#: computes it once per fitness for the life of the pool.
-_FN_CACHE: dict[str, FitnessFunction] = {}
-
-
-def _worker_fitness(name: str) -> FitnessFunction:
-    fn = _FN_CACHE.get(name)
-    if fn is None:
-        fn = by_name(name)
-        fn.table()  # materialise the LUT once, outside the epoch loop
-        _FN_CACHE[name] = fn
-    return fn
-
-
 def _epoch_worker(args: tuple) -> tuple[int, list[int], int, int, int, int]:
     """Run one island for one epoch.  Module-level so it pickles.
 
@@ -106,7 +90,10 @@ def _epoch_worker(args: tuple) -> tuple[int, list[int], int, int, int, int]:
         population,
         engine_mode,
     ) = args
-    fn = _worker_fitness(fn_name)
+    # the registry shares instances process-wide, so each worker builds a
+    # fitness LUT once per name for the life of the pool (the cache used
+    # to live here; it now serves every consumer, not just islands)
+    fn = by_name(fn_name)
     params = GAParameters(**params_dict).with_(n_generations=epoch_gens)
     rng = CellularAutomatonPRNG(rng_seed)
     rng.state = rng_state

@@ -130,6 +130,9 @@ class JobRecord:
     attempts: int = 0
     #: cooperative-cancellation flag: honoured at the next chunk boundary
     cancel_requested: bool = False
+    #: canonical run-store key (set at admission when a store is attached;
+    #: the write-back address and the in-flight coalescing handle)
+    store_key: str | None = None
 
     def __post_init__(self) -> None:
         self.remaining = self.request.params.n_generations

@@ -190,6 +190,11 @@ class GARequest:
     #: (the historical behaviour); ``"enforce"`` cancels the job with
     #: :class:`DeadlineExceededError` at the next chunk boundary
     deadline_mode: str = "observe"
+    #: ``False`` opts this job out of the run-store read path (no cache
+    #: hit, no riding another job's in-flight computation); completed
+    #: results are still written back.  Scheduling-only: excluded from
+    #: the canonical job key.
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.engine_mode not in ("exact", "turbo"):
@@ -251,6 +256,7 @@ class GARequest:
             "topology": self.topology,
             "retry": self.retry.to_dict(),
             "deadline_mode": self.deadline_mode,
+            "use_cache": self.use_cache,
         }
 
     @classmethod
@@ -270,6 +276,7 @@ class GARequest:
             topology=data.get("topology", "ring"),
             retry=RetryPolicy.from_dict(data.get("retry", {})),
             deadline_mode=data.get("deadline_mode", "observe"),
+            use_cache=bool(data.get("use_cache", True)),
         )
 
 
@@ -297,6 +304,13 @@ class JobResult:
     #: island_bests, topology); empty for ordinary jobs.  An island job's
     #: ``history`` rows are per *epoch*, not per generation.
     island_stats: dict = field(default_factory=dict)
+    #: cache provenance: ``True`` when this result was served from the
+    #: content-addressed run store (or rode another job's in-flight
+    #: computation) instead of dispatching to the worker pool
+    cache_hit: bool = False
+    #: the canonical job key this result is stored under (``None`` when
+    #: no run store was attached)
+    store_key: str | None = None
 
     def best_series(self) -> list[int]:
         """Best fitness per generation (matches ``GAResult.best_series``)."""
@@ -321,6 +335,8 @@ class JobResult:
             "deadline_missed": self.deadline_missed,
             "protection_stats": self.protection_stats,
             "island_stats": self.island_stats,
+            "cache_hit": self.cache_hit,
+            "store_key": self.store_key,
         }
 
     @classmethod
@@ -346,6 +362,9 @@ class JobResult:
             deadline_missed=bool(data.get("deadline_missed", False)),
             protection_stats=dict(data.get("protection_stats", {})),
             island_stats=dict(data.get("island_stats", {})),
+            # pre-PR-9 frames carry no cache provenance: default cold
+            cache_hit=bool(data.get("cache_hit", False)),
+            store_key=data.get("store_key"),
         )
 
 

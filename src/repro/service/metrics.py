@@ -65,6 +65,13 @@ class ServiceMetrics:
         self._recovery = reg.histogram(
             "service.recovery_latency_s", max_samples=self.MAX_SAMPLES
         )
+        # run-store cache instruments (admission lookups, in-flight
+        # coalescing, completion write-backs; see docs/architecture.md
+        # "Content-addressed run store")
+        self._cache_hits = reg.counter("service.cache.hits")
+        self._cache_misses = reg.counter("service.cache.misses")
+        self._coalesced = reg.counter("service.cache.coalesced")
+        self._cache_writes = reg.counter("service.cache.writes")
 
     # -- recording hooks ------------------------------------------------
     def job_submitted(self, depth: int) -> None:
@@ -117,6 +124,22 @@ class ServiceMetrics:
 
     def connection_dropped(self) -> None:
         self._dropped_connections.inc()
+
+    def cache_hit(self) -> None:
+        """A submission was served straight from the run store."""
+        self._cache_hits.inc()
+
+    def cache_miss(self) -> None:
+        """A store lookup found nothing; the job runs cold."""
+        self._cache_misses.inc()
+
+    def job_coalesced(self) -> None:
+        """A duplicate submission rode an identical in-flight job."""
+        self._coalesced.inc()
+
+    def cache_written(self) -> None:
+        """A completed result was written back to the run store."""
+        self._cache_writes.inc()
 
     def chunk_recovered(self, recovery_latency_s: float) -> None:
         """A previously failed slab completed a chunk again; the latency
@@ -204,6 +227,22 @@ class ServiceMetrics:
     def dropped_connections(self) -> int:
         return self._dropped_connections.value
 
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses.value
+
+    @property
+    def coalesced(self) -> int:
+        return self._coalesced.value
+
+    @property
+    def cache_writes(self) -> int:
+        return self._cache_writes.value
+
     def generations_rate(self) -> float:
         """Observed generations/second over the service lifetime (0.0
         before any chunk completes) — the backlog-time estimator's
@@ -276,6 +315,12 @@ class ServiceMetrics:
                 "connections_dropped": self.dropped_connections,
                 "recovery_p50_ms": round(rec["p50"] * 1e3, 3),
                 "recovery_p95_ms": round(rec["p95"] * 1e3, 3),
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "coalesced": self.coalesced,
+                "writes": self.cache_writes,
             },
         }
 

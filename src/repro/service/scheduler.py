@@ -83,6 +83,7 @@ from repro.service.jobs import (
     JobCancelledError,
     JobFailedError,
     JobHandle,
+    JobResult,
     OverloadedError,
     QueueFullError,
     ServiceClosedError,
@@ -91,6 +92,7 @@ from repro.service.jobs import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.workers import WorkerPool
+from repro.store.keys import job_key
 
 log = logging.getLogger("repro.service")
 
@@ -112,11 +114,26 @@ class Scheduler:
         policy: BatchPolicy | None = None,
         metrics: ServiceMetrics | None = None,
         store: CheckpointStore | None = None,
+        run_store=None,
+        cache: bool = True,
     ):
         self.pool = pool
         self.policy = policy or BatchPolicy()
         self.metrics = metrics or ServiceMetrics(max_batch=self.policy.max_batch)
         self.store = store
+        #: content-addressed result cache (:class:`repro.store.RunStore`):
+        #: admission lookups, in-flight coalescing, completion write-back
+        self.run_store = run_store
+        #: service-level cache-read switch (``repro serve --no-cache``):
+        #: ``False`` disables lookups and coalescing but keeps write-back,
+        #: so a no-cache server still populates the store it is given
+        self.cache = cache
+        #: store key -> primary job_id for every keyed job currently
+        #: pending, parked, or in flight (the coalescing target map)
+        self._active_keys: dict[str, int] = {}
+        #: store key -> handles of duplicate submissions riding the
+        #: primary computation (fulfilled/failed when the primary is)
+        self._followers: dict[str, list[JobHandle]] = {}
         self._cond = threading.Condition()
         self._pending: dict[tuple, list[JobRecord]] = {}
         self._pending_count = 0
@@ -159,6 +176,13 @@ class Scheduler:
     def submit(self, request: GARequest) -> JobHandle:
         """Enqueue one job; returns its handle immediately.
 
+        With a run store attached, admission first consults the cache: a
+        stored result fulfils the handle before it is even returned (no
+        queue, no worker dispatch), and a duplicate of a job already
+        pending or in flight becomes a *follower* riding that primary's
+        computation.  Cache hits and followers never occupy the pending
+        queue, so they are served even at the admission bound.
+
         Raises :class:`QueueFullError` (hard admission bound),
         :class:`OverloadedError` (load shedding) or
         :class:`ServiceClosedError` (shutdown in progress).
@@ -166,17 +190,44 @@ class Scheduler:
         with self._cond:
             if self._closing:
                 raise ServiceClosedError("service is shutting down")
+            now = time.monotonic()
+            key = None
+            if self.run_store is not None:
+                key = job_key(request)
+                if self.cache and request.use_cache:
+                    stored = self.run_store.get_result(key)
+                    if stored is not None:
+                        seq = next(self._seq)
+                        handle = JobHandle(seq, request, now)
+                        handle._fulfil(
+                            self._revive_cached(stored, seq, key, now, now)
+                        )
+                        self.metrics.cache_hit()
+                        self.metrics.job_submitted(self._pending_count)
+                        self.metrics.job_completed(0.0, 0.0)
+                        return handle
+                    if key in self._active_keys:
+                        seq = next(self._seq)
+                        handle = JobHandle(seq, request, now)
+                        handle._canceller = (
+                            lambda job_id, k=key, h=handle:
+                            self._cancel_follower(k, h)
+                        )
+                        self._followers.setdefault(key, []).append(handle)
+                        self.metrics.job_coalesced()
+                        self.metrics.job_submitted(self._pending_count)
+                        return handle
+                    self.metrics.cache_miss()
             if self._pending_count >= self.policy.max_pending:
                 self.metrics.job_rejected()
                 raise QueueFullError(
                     f"pending queue at bound ({self.policy.max_pending})"
                 )
             seq = next(self._seq)
-            now = time.monotonic()
             handle = JobHandle(seq, request, now)
             record = JobRecord(
                 job_id=seq, request=request, handle=handle,
-                submitted_at=now, seq=seq,
+                submitted_at=now, seq=seq, store_key=key,
             )
             handle._canceller = self._request_cancel
             reason = self._overload_reason()
@@ -188,6 +239,7 @@ class Scheduler:
                     self.metrics.job_shed()
                     raise OverloadedError(f"job shed: {reason}")
                 self._shed_pending(victim, reason)
+            self._register_primary(record)
             self._pending.setdefault(compat_key(record), []).append(record)
             self._pending_count += 1
             self._pending_gens += record.remaining
@@ -215,6 +267,11 @@ class Scheduler:
                     continue
                 for record in records:
                     record.handle._canceller = self._request_cancel
+                    if self.run_store is not None:
+                        # resumed jobs re-enter the coalescing map so later
+                        # duplicates ride them instead of recomputing
+                        record.store_key = job_key(record.request)
+                        self._register_primary(record)
                     handles.append(record.handle)
                 self._parked.append((0.0, Slab(records, self.policy)))
             if handles:
@@ -237,12 +294,12 @@ class Scheduler:
             if not drain:
                 for records in self._pending.values():
                     for record in records:
-                        record.handle._fail(
+                        self._fail_record(
+                            record,
                             JobCancelledError(
                                 f"job {record.job_id} cancelled by shutdown"
-                            )
+                            ),
                         )
-                        self.metrics.job_failed()
                 self._pending.clear()
                 self._pending_count = 0
                 self._pending_gens = 0
@@ -272,13 +329,26 @@ class Scheduler:
             for _, slab in self._parked:
                 leftovers.extend(slab.entries)
             for record in leftovers:
-                record.handle._fail(
+                self._fail_record(
+                    record,
                     ShutdownTimeoutError(
                         f"job {record.job_id} abandoned: scheduler did not "
                         f"stop within {timeout}s"
-                    )
+                    ),
                 )
-                self.metrics.job_failed()
+            # safety net: any follower whose primary was not among the
+            # leftovers can never be served now
+            for handles in self._followers.values():
+                for handle in handles:
+                    handle._fail(
+                        ShutdownTimeoutError(
+                            f"job {handle.job_id} abandoned: scheduler did "
+                            f"not stop within {timeout}s"
+                        )
+                    )
+                    self.metrics.job_failed()
+            self._followers.clear()
+            self._active_keys.clear()
             self._pending.clear()
             self._pending_count = 0
             self._pending_gens = 0
@@ -326,10 +396,9 @@ class Scheduler:
         self._pending_count -= 1
         self._pending_gens -= victim.remaining
         self.metrics.queue_drained_to(self._pending_count)
-        victim.handle._fail(
-            OverloadedError(f"job {victim.job_id} shed: {reason}")
+        self._fail_record(
+            victim, OverloadedError(f"job {victim.job_id} shed: {reason}")
         )
-        self.metrics.job_failed()
         self.metrics.job_shed()
 
     # -- cancellation ---------------------------------------------------
@@ -347,10 +416,9 @@ class Scheduler:
                     self._pending_count -= 1
                     self._pending_gens -= record.remaining
                     self.metrics.queue_drained_to(self._pending_count)
-                    record.handle._fail(
-                        JobCancelledError(f"job {job_id} cancelled")
+                    self._fail_record(
+                        record, JobCancelledError(f"job {job_id} cancelled")
                     )
-                    self.metrics.job_failed()
                     self.metrics.job_cancelled()
                     self._cond.notify_all()
                     return True
@@ -528,13 +596,13 @@ class Scheduler:
                 ):
                     self._pending_count -= 1
                     self._pending_gens -= record.remaining
-                    record.handle._fail(
+                    self._fail_record(
+                        record,
                         DeadlineExceededError(
                             f"job {record.job_id} blew its "
                             f"{record.request.deadline_s}s deadline in queue"
-                        )
+                        ),
                     )
-                    self.metrics.job_failed()
                     self.metrics.job_deadline_enforced()
                     changed = True
                 else:
@@ -592,11 +660,7 @@ class Scheduler:
                 self.metrics.chunk_recovered(now - slab.failed_at)
                 slab.failed_at = None
             for record in finished:
-                record.handle._fulfil(record.to_result(now))
-                self.metrics.job_completed(
-                    now - record.submitted_at,
-                    (record.started_at or now) - record.submitted_at,
-                )
+                self._complete_record(record, record.to_result(now), now)
             self._evict(slab, now)
             if self._closing and not self._draining:
                 self._cancel_slab(slab, "cancelled by shutdown")
@@ -618,13 +682,13 @@ class Scheduler:
         for record in slab.entries:
             record.attempts += 1
             if record.attempts >= record.request.retry.max_attempts:
-                record.handle._fail(
+                self._fail_record(
+                    record,
                     JobFailedError(
                         f"job {record.job_id} failed after "
                         f"{record.attempts} attempts: {exc!r}"
-                    )
+                    ),
                 )
-                self.metrics.job_failed()
             else:
                 survivors.append(record)
         slab.entries = survivors
@@ -650,19 +714,17 @@ class Scheduler:
 
     def _fail_slab(self, slab: Slab, exc: BaseException) -> None:
         for record in slab.entries:
-            record.handle._fail(
-                JobFailedError(f"job {record.job_id} failed: {exc!r}")
+            self._fail_record(
+                record, JobFailedError(f"job {record.job_id} failed: {exc!r}")
             )
-            self.metrics.job_failed()
         slab.entries = []
         self._retire_slab(slab)
 
     def _cancel_slab(self, slab: Slab, reason: str) -> None:
         for record in slab.entries:
-            record.handle._fail(
-                JobCancelledError(f"job {record.job_id} {reason}")
+            self._fail_record(
+                record, JobCancelledError(f"job {record.job_id} {reason}")
             )
-            self.metrics.job_failed()
         slab.entries = []
 
     def _evict(self, slab: Slab, now: float) -> None:
@@ -670,22 +732,21 @@ class Scheduler:
         keep: list[JobRecord] = []
         for record in slab.entries:
             if record.cancel_requested:
-                record.handle._fail(
-                    JobCancelledError(f"job {record.job_id} cancelled")
+                self._fail_record(
+                    record, JobCancelledError(f"job {record.job_id} cancelled")
                 )
-                self.metrics.job_failed()
                 self.metrics.job_cancelled()
             elif (
                 record.request.deadline_mode == "enforce"
                 and now > record.deadline_at
             ):
-                record.handle._fail(
+                self._fail_record(
+                    record,
                     DeadlineExceededError(
                         f"job {record.job_id} blew its "
                         f"{record.request.deadline_s}s deadline"
-                    )
+                    ),
                 )
-                self.metrics.job_failed()
                 self.metrics.job_deadline_enforced()
             else:
                 keep.append(record)
@@ -695,6 +756,104 @@ class Scheduler:
         """A slab leaves the scheduler: drop its spilled checkpoint."""
         if self.store is not None:
             self.store.discard(slab.slab_id)
+
+    # -- run-store cache (admission, coalescing, write-back) -------------
+    def _revive_cached(
+        self,
+        stored: JobResult,
+        job_id: int,
+        key: str,
+        submitted_at: float,
+        now: float,
+    ) -> JobResult:
+        """A stored result re-addressed to one submission (lock held).
+
+        The scientific payload (best individual/fitness, evaluations,
+        history, stats) is byte-for-byte the stored computation; only the
+        execution-bookkeeping fields are this submission's own.
+        """
+        result = JobResult.from_dict(stored.to_dict())
+        result.job_id = job_id
+        result.cache_hit = True
+        result.store_key = key
+        result.latency_s = max(now - submitted_at, 0.0)
+        result.wait_s = 0.0
+        result.n_chunks = 0
+        result.deadline_missed = False
+        return result
+
+    def _register_primary(self, record: JobRecord) -> None:
+        """Make a keyed job the coalescing target for later duplicates
+        (lock held).  No-op without a key or with caching disabled."""
+        if record.store_key is not None and self.cache:
+            self._active_keys[record.store_key] = record.job_id
+            self._followers.setdefault(record.store_key, [])
+
+    def _pop_followers(self, record: JobRecord) -> list[JobHandle]:
+        """Release a terminating primary's followers (lock held)."""
+        key = record.store_key
+        if key is None or self._active_keys.get(key) != record.job_id:
+            return []
+        del self._active_keys[key]
+        return self._followers.pop(key, [])
+
+    def _fail_record(self, record: JobRecord, exc: BaseException) -> None:
+        """The one terminal failure path: the primary's handle and every
+        follower riding it fail together (lock held).  Followers share
+        their primary's fate by design — the duplicate work they avoided
+        no longer exists to fall back on."""
+        record.handle._fail(exc)
+        self.metrics.job_failed()
+        for handle in self._pop_followers(record):
+            handle._fail(exc)
+            self.metrics.job_failed()
+
+    def _complete_record(
+        self, record: JobRecord, result: JobResult, now: float
+    ) -> None:
+        """The one terminal success path: write back to the run store,
+        fulfil the primary, serve every follower (lock held)."""
+        if self.run_store is not None and record.store_key is not None:
+            result.store_key = record.store_key
+            try:
+                self.run_store.put(
+                    record.request,
+                    result,
+                    compute_s=now - (record.started_at or now),
+                    source="service",
+                )
+                self.metrics.cache_written()
+            except OSError as exc:
+                log.warning(
+                    "run-store write-back failed for job %d: %s",
+                    record.job_id,
+                    exc,
+                )
+        record.handle._fulfil(result)
+        self.metrics.job_completed(
+            now - record.submitted_at,
+            (record.started_at or now) - record.submitted_at,
+        )
+        for handle in self._pop_followers(record):
+            served = self._revive_cached(
+                result, handle.job_id, record.store_key,
+                handle.submitted_at, now,
+            )
+            handle._fulfil(served)
+            self.metrics.job_completed(served.latency_s, 0.0)
+
+    def _cancel_follower(self, key: str, handle: JobHandle) -> bool:
+        """Handle-side cancel for a follower: drops only that handle,
+        never the primary computation other clients are riding."""
+        with self._cond:
+            followers = self._followers.get(key)
+            if followers is None or handle not in followers:
+                return False
+            followers.remove(handle)
+            handle._fail(JobCancelledError(f"job {handle.job_id} cancelled"))
+            self.metrics.job_failed()
+            self.metrics.job_cancelled()
+            return True
 
     def _admit_into(self, slab: Slab) -> None:
         """Continuous batching: pull compatible pending jobs into freed

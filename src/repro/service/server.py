@@ -69,16 +69,30 @@ class GAService:
         spill_dir=None,
         resume: bool = False,
         chaos=None,
+        store_dir=None,
+        cache: bool = True,
     ):
         self.policy = policy or BatchPolicy()
         self.metrics = ServiceMetrics(max_batch=self.policy.max_batch)
         self.chaos = chaos
         self.pool = WorkerPool(workers, mode, chaos=chaos)
-        self.store = (
-            CheckpointStore(spill_dir) if spill_dir is not None else None
-        )
+        #: content-addressed run store (``--store-dir``): cached results,
+        #: in-flight coalescing, and — unless ``spill_dir`` overrides —
+        #: the spill checkpoints, all under one root
+        self.run_store = None
+        if store_dir is not None:
+            from repro.store.runstore import RunStore
+
+            self.run_store = RunStore(store_dir)
+        if spill_dir is not None:
+            self.store = CheckpointStore(spill_dir)
+        elif self.run_store is not None:
+            self.store = self.run_store.checkpoint_store()
+        else:
+            self.store = None
         self.scheduler = Scheduler(
-            self.pool, self.policy, self.metrics, store=self.store
+            self.pool, self.policy, self.metrics, store=self.store,
+            run_store=self.run_store, cache=cache,
         )
         self._resume = resume
         #: handles of jobs reclaimed from the spill store at ``start()``

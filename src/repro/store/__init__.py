@@ -1,0 +1,58 @@
+"""Content-addressed run store: canonical keying, caching, replay.
+
+The determinism contract every engine in this repo carries — same
+request, bit-identical result — makes finished runs content-addressable.
+This package turns that into infrastructure (the ROADMAP's
+"fitness-evaluation caching and a content-addressed result store" item,
+the run-level generalization of the paper's LUT FEM, Sec. IV-C):
+
+* :mod:`repro.store.keys`     — canonical job keying over the request's
+  determinism surface (Table III ``(index, value)`` words, fitness slot,
+  seed, engine mode, island/protection config), property-tested so equal
+  requests hash equal and every determinism-relevant perturbation moves
+  the key;
+* :mod:`repro.store.runstore` — the persistent store itself: atomic
+  write-then-rename entries with provenance, plus the unified ``spill/``
+  home for in-progress slab checkpoints and a ``gc`` sweep;
+* :mod:`repro.store.replay`   — ``repro replay``: re-execute any entry
+  from its recorded request and assert bit-identity with the stored
+  result.
+
+The serving layer (:mod:`repro.service.scheduler`) integrates all three:
+cache lookup at admission, in-flight coalescing of duplicate requests,
+and write-back on completion.
+"""
+
+from repro.store.keys import (
+    KEY_SCHEMA_VERSION,
+    canonical_json,
+    canonical_request_dict,
+    canonical_result_dict,
+    job_key,
+    results_identical,
+)
+from repro.store.replay import (
+    ReplayReport,
+    execute_request,
+    replay,
+    replay_entry,
+    run_cached,
+)
+from repro.store.runstore import STORE_SCHEMA_VERSION, RunStore, StoreEntry
+
+__all__ = [
+    "KEY_SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "ReplayReport",
+    "RunStore",
+    "StoreEntry",
+    "canonical_json",
+    "canonical_request_dict",
+    "canonical_result_dict",
+    "execute_request",
+    "job_key",
+    "replay",
+    "replay_entry",
+    "results_identical",
+    "run_cached",
+]

@@ -1,0 +1,127 @@
+"""Repro replay: re-execute a store entry and verify bit-identity.
+
+``execute_request`` is the store's cold-compute path: it runs one
+:class:`~repro.service.jobs.GARequest` locally through the *same*
+stateless chunk executor the serving layer's workers use
+(:func:`repro.service.workers.run_slab_chunk`), folded through the same
+slab bookkeeping — so the produced :class:`~repro.service.jobs.JobResult`
+is bit-identical to what the service would stream back for the same
+request (chunking is invisible by the serving layer's splice contract,
+property-tested in ``tests/service/test_determinism.py``).
+
+``replay_entry`` is the reproducibility discipline on top: given a store
+entry, re-execute its recorded request from scratch and assert the fresh
+result's deterministic content is byte-identical to the stored one —
+the experiment-replay workflow surfaced as ``repro replay <key>``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.store.keys import (
+    canonical_json,
+    canonical_result_dict,
+    job_key,
+    results_identical,
+)
+from repro.store.runstore import RunStore, StoreEntry
+
+
+def execute_request(request, job_id: int = 0):
+    """Cold-compute one request locally; returns its canonical JobResult.
+
+    The run rides one full-length slab chunk (execution timings and chunk
+    counts are execution provenance, not result content — the
+    deterministic fields match the service's output bit for bit).
+    """
+    from repro.service.batcher import BatchPolicy, JobRecord, Slab
+    from repro.service.jobs import JobHandle
+    from repro.service.workers import run_slab_chunk
+
+    record = JobRecord(
+        job_id=job_id,
+        request=request,
+        handle=JobHandle(job_id, request, 0.0),
+        submitted_at=0.0,
+        seq=0,
+    )
+    policy = BatchPolicy(
+        max_batch=1, admit_interval=request.params.n_generations
+    )
+    slab = Slab([record], policy)
+    chunk = slab.next_chunk_gens()
+    out = run_slab_chunk(slab.make_spec(chunk))
+    finished = slab.apply_chunk(out, chunk)
+    assert finished == [record] and not slab.entries
+    return record.to_result(completed_at=record.submitted_at)
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-executing one store entry."""
+
+    key: str
+    identical: bool
+    stored_best: int
+    replayed_best: int
+    compute_s: float
+    #: first differing canonical field names (empty when identical)
+    mismatched_fields: list[str]
+
+    @property
+    def verdict(self) -> str:
+        return "bit-identical" if self.identical else "MISMATCH"
+
+
+def replay_entry(entry: StoreEntry) -> ReplayReport:
+    """Re-execute one entry's request; compare against its stored result."""
+    t0 = time.perf_counter()
+    fresh = execute_request(entry.request, job_id=entry.result.job_id)
+    compute_s = time.perf_counter() - t0
+    stored = canonical_result_dict(entry.result)
+    replayed = canonical_result_dict(fresh)
+    mismatched = [
+        field
+        for field in sorted(set(stored) | set(replayed))
+        if canonical_json({field: stored.get(field)})
+        != canonical_json({field: replayed.get(field)})
+    ]
+    return ReplayReport(
+        key=entry.key,
+        identical=results_identical(entry.result, fresh),
+        stored_best=entry.result.best_fitness,
+        replayed_best=fresh.best_fitness,
+        compute_s=compute_s,
+        mismatched_fields=mismatched,
+    )
+
+
+def replay(store: RunStore, key: str) -> ReplayReport:
+    """Load one entry by key and replay it (KeyError on a miss)."""
+    entry = store.get(key)
+    if entry is None:
+        raise KeyError(
+            f"no readable store entry {key!r} in {store.root} "
+            f"({len(store)} entries present)"
+        )
+    return replay_entry(entry)
+
+
+def run_cached(store: RunStore, request, use_cache: bool = True):
+    """The ``repro run --store-dir`` path: serve a hit, else compute and
+    write back.  Returns ``(result, cache_hit, key)``."""
+    key = job_key(request)
+    if use_cache:
+        cached = store.get_result(key)
+        if cached is not None:
+            cached.cache_hit = True
+            cached.store_key = key
+            return cached, True, key
+    t0 = time.perf_counter()
+    result = execute_request(request)
+    compute_s = time.perf_counter() - t0
+    store.put(request, result, compute_s=compute_s, source="cli.run")
+    result.store_key = key
+    return result, False, key

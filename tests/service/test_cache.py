@@ -1,0 +1,132 @@
+"""Service-level run-store caching: admission hits, coalescing, write-back.
+
+The acceptance property of the cache layer: a job submitted twice is
+computed once — the second submission returns a bit-identical result with
+``cache_hit=True`` without dispatching anything to the worker pool.
+"""
+
+import pytest
+
+from repro.core.params import GAParameters
+from repro.service import BatchPolicy, GARequest, GAService
+from repro.store import RunStore, job_key, results_identical
+
+
+def make_request(seed=0x061F, gens=16, pop=16, **kwargs):
+    return GARequest(
+        params=GAParameters(
+            n_generations=gens, population_size=pop,
+            crossover_threshold=10, mutation_threshold=1, rng_seed=seed,
+        ),
+        fitness_name=kwargs.pop("fitness_name", "mBF6_2"),
+        **kwargs,
+    )
+
+
+def test_second_submission_is_cache_hit_without_dispatch(tmp_path):
+    request = make_request()
+    with GAService(workers=2, mode="thread", store_dir=tmp_path) as service:
+        first = service.submit(request).result(30)
+        chunks_after_first = service.metrics.chunks
+        second = service.submit(request).result(30)
+        assert service.metrics.chunks == chunks_after_first  # no dispatch
+    assert not first.cache_hit and second.cache_hit
+    assert results_identical(first, second)
+    assert first.store_key == second.store_key == job_key(request)
+    assert second.n_chunks == 0 and second.wait_s == 0.0
+    assert service.metrics.cache_hits == 1
+    assert service.metrics.cache_misses == 1
+    assert service.metrics.cache_writes == 1
+    assert service.metrics.completed == 2
+    snapshot = service.snapshot()
+    assert snapshot["cache"] == {
+        "hits": 1, "misses": 1, "coalesced": 0, "writes": 1,
+    }
+
+
+def test_duplicate_burst_coalesces_to_one_computation(tmp_path):
+    request = make_request(gens=400, pop=16)
+    policy = BatchPolicy(max_batch=4, admit_interval=16)
+    with GAService(
+        workers=1, mode="thread", policy=policy, store_dir=tmp_path
+    ) as service:
+        handles = [service.submit(request) for _ in range(5)]
+        results = [handle.result(60) for handle in handles]
+    assert service.metrics.coalesced == 4
+    assert service.metrics.cache_writes == 1
+    primary = [r for r in results if not r.cache_hit]
+    followers = [r for r in results if r.cache_hit]
+    assert len(primary) == 1 and len(followers) == 4
+    for follower in followers:
+        assert results_identical(follower, primary[0])
+    assert len({r.job_id for r in results}) == 5  # everyone keeps their id
+
+
+def test_follower_cancel_leaves_primary_running(tmp_path):
+    request = make_request(gens=400, pop=16)
+    with GAService(
+        workers=1, mode="thread",
+        policy=BatchPolicy(max_batch=4, admit_interval=16),
+        store_dir=tmp_path,
+    ) as service:
+        primary = service.submit(request)
+        follower = service.submit(request)
+        assert follower.cancel()
+        with pytest.raises(Exception):
+            follower.result(5)
+        result = primary.result(60)
+    assert not result.cache_hit
+    assert service.metrics.cancelled == 1
+
+
+def test_use_cache_false_recomputes_but_writes_back(tmp_path):
+    cached = make_request()
+    opted_out = make_request(use_cache=False)
+    assert job_key(cached) == job_key(opted_out)  # scheduling-only field
+    with GAService(workers=2, mode="thread", store_dir=tmp_path) as service:
+        service.submit(cached).result(30)
+        again = service.submit(opted_out).result(30)
+        assert not again.cache_hit  # opted out of the read path
+        assert service.metrics.cache_writes == 2
+        third = service.submit(cached).result(30)
+        assert third.cache_hit
+
+
+def test_service_level_no_cache_is_recorder_mode(tmp_path):
+    request = make_request()
+    with GAService(
+        workers=2, mode="thread", store_dir=tmp_path, cache=False
+    ) as service:
+        first = service.submit(request).result(30)
+        second = service.submit(request).result(30)
+        assert not first.cache_hit and not second.cache_hit
+        assert service.metrics.cache_hits == 0
+        assert service.metrics.cache_writes == 2
+    # the store was still populated for future (caching) services
+    assert RunStore(tmp_path).has(job_key(request))
+
+
+def test_cache_persists_across_service_restart(tmp_path):
+    request = make_request(seed=0x7777)
+    with GAService(workers=2, mode="thread", store_dir=tmp_path) as service:
+        cold = service.submit(request).result(30)
+    with GAService(workers=2, mode="thread", store_dir=tmp_path) as service:
+        warm = service.submit(request).result(30)
+        assert service.metrics.chunks == 0  # nothing dispatched at all
+    assert warm.cache_hit
+    assert results_identical(cold, warm)
+
+
+def test_store_dir_arms_spill_checkpoints_under_store_root(tmp_path):
+    request = make_request(gens=64)
+    with GAService(
+        workers=1, mode="thread",
+        policy=BatchPolicy(max_batch=2, admit_interval=8),
+        store_dir=tmp_path,
+    ) as service:
+        service.submit(request).result(30)
+        assert service.metrics.checkpoints > 0
+    # retired slabs discard their spills; the directory itself is the
+    # store's spill/ subtree
+    assert (tmp_path / "spill").is_dir()
+    assert not list((tmp_path / "spill").glob("slab-*.json"))

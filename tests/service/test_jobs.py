@@ -121,6 +121,39 @@ class TestJobResult:
         assert back == result
         assert back.best_series() == [100, 101, 102]
 
+    def test_cache_provenance_round_trips(self):
+        result = JobResult(
+            job_id=9, best_individual=1, best_fitness=2, evaluations=3,
+            fitness_name="mBF6_2", params=params(),
+            cache_hit=True, store_key="ab" * 32,
+        )
+        back = JobResult.from_dict(result.to_dict())
+        assert back.cache_hit is True
+        assert back.store_key == "ab" * 32
+        assert back == result
+
+    def test_pre_cache_wire_payload_defaults_cold(self):
+        # frames from servers predating the run store carry no cache
+        # provenance; they must still parse, defaulting to a cold result
+        result = JobResult(
+            job_id=9, best_individual=1, best_fitness=2, evaluations=3,
+            fitness_name="mBF6_2", params=params(),
+        )
+        legacy = result.to_dict()
+        del legacy["cache_hit"]
+        del legacy["store_key"]
+        back = JobResult.from_dict(legacy)
+        assert back.cache_hit is False
+        assert back.store_key is None
+
+    def test_use_cache_is_wire_compatible(self):
+        request = GARequest(params=params(), use_cache=False)
+        assert GARequest.from_dict(request.to_dict()).use_cache is False
+        # pre-cache request frames default to cache-enabled
+        legacy = request.to_dict()
+        del legacy["use_cache"]
+        assert GARequest.from_dict(legacy).use_cache is True
+
 
 class TestJobHandle:
     def test_result_times_out_until_fulfilled(self):

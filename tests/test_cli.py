@@ -6,10 +6,16 @@ from repro.cli import COMMANDS, build_parser, main
 
 
 class TestParser:
+    # commands with required arguments: the minimal invocation that parses
+    REQUIRED = {
+        "replay": ["0" * 64, "--store-dir", "runs"],
+        "store": ["ls", "--store-dir", "runs"],
+    }
+
     def test_all_commands_registered(self):
         parser = build_parser()
         for name in COMMANDS:
-            args = parser.parse_args([name] if name != "run" else ["run"])
+            args = parser.parse_args([name, *self.REQUIRED.get(name, [])])
             assert args.command == name
 
     def test_missing_command_errors(self):
