@@ -1,0 +1,117 @@
+"""Experiment harness — cache-warm repeat sweeps vs cold execution.
+
+The harness claim: because every repeat is a content-addressed request,
+re-running an experiment against the same store serves the entire sweep
+from cache.  Measured and asserted:
+
+* **Warm sweep**: the second `Experiment.run` over an existing store
+  completes >= 10x faster than the cold run that populated it, with
+  bit-identical per-row outcomes.
+
+The sweep itself is a real multi-scenario, multi-repeat experiment (two
+sequential-logic workloads x 3 repeats) pushed through the full
+service + store + summary-writing path both times, so the ratio prices
+the whole harness, not just the store lookup.
+"""
+
+import json
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.core.params import GAParameters
+from repro.experiments.harness import Experiment, Scenario
+from repro.fitness.functions import by_name
+from repro.service import GARequest
+
+NB_REPEATS = 3
+MIN_WARM_SPEEDUP = 10.0
+
+
+def _sweep() -> Experiment:
+    def scenario(name, fitness, seed):
+        return Scenario(
+            name=name,
+            request=GARequest(
+                params=GAParameters(
+                    n_generations=192, population_size=32,
+                    crossover_threshold=10, mutation_threshold=2,
+                    rng_seed=seed,
+                ),
+                fitness_name=fitness,
+            ),
+        )
+
+    return Experiment(
+        name="bench-sweep",
+        scenarios=(
+            scenario("counter", "seq_counter4", 0x2961),
+            scenario("detector", "seq_detect101", 0x061F),
+        ),
+        nb_repeats=NB_REPEATS,
+    )
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_experiment_repeat_sweep_cache_speedup(benchmark, tmp_path):
+    exp = _sweep()
+    for scenario in exp.scenarios:
+        by_name(scenario.request.fitness_name).table()
+    store_dir = tmp_path / "store"
+
+    t0 = time.perf_counter()
+    cold = exp.run(tmp_path / "cold", store_dir=store_dir)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = exp.run(tmp_path / "warm", store_dir=store_dir)
+    t_warm = time.perf_counter() - t0
+
+    n_jobs = len(exp.scenarios) * NB_REPEATS
+    assert len(cold.rows) == len(warm.rows) == n_jobs
+    assert not any(row["cache_hit"] for row in cold.rows)
+    assert all(row["cache_hit"] for row in warm.rows)
+
+    def outcomes(result):
+        return [
+            (r["scenario"], r["repeat"], r["rng_seed"],
+             r["best_fitness"], r["best_individual"], r["store_key"])
+            for r in result.rows
+        ]
+
+    assert outcomes(cold) == outcomes(warm)
+    # the warm run still writes a full results/summary triple
+    for leaf in ("results.jsonl", "summary.json", "summary.md"):
+        assert (tmp_path / "warm" / exp.name / leaf).exists()
+
+    speedup = t_cold / t_warm
+    benchmark.extra_info["warm_speedup"] = round(speedup, 1)
+    benchmark.extra_info["cold_sweep_s"] = round(t_cold, 4)
+    benchmark.extra_info["warm_sweep_s"] = round(t_warm, 4)
+    benchmark.extra_info["jobs"] = n_jobs
+    benchmark.pedantic(
+        lambda: exp.run(tmp_path / "timed", store_dir=store_dir),
+        rounds=3,
+        iterations=1,
+    )
+
+    summary = json.loads(
+        (tmp_path / "warm" / exp.name / "summary.json").read_text()
+    )
+    rows = [
+        {"path": f"cold sweep ({n_jobs} jobs)",
+         "time_s": round(t_cold, 4), "speedup": "1.0x"},
+        {"path": "cache-warm sweep",
+         "time_s": round(t_warm, 4), "speedup": f"{speedup:.1f}x"},
+    ]
+    print_table("experiment harness repeat sweep", rows)
+    for name, agg in summary["scenarios"].items():
+        print(f"{name}: best {agg['best_fitness']} "
+              f"over {agg['repeats']} repeats, "
+              f"cache hits {agg['cache_hits']}")
+
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm sweep only {speedup:.1f}x over cold "
+        f"(need >= {MIN_WARM_SPEEDUP}x)"
+    )

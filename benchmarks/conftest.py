@@ -19,6 +19,11 @@ import os
 import time
 import warnings
 
+#: Version of the BENCH_results.json payload and the per-run trajectory
+#: rows appended to BENCH_trajectory.jsonl.  Bump when a field changes
+#: meaning so downstream trend tooling can branch on it.
+RESULTS_SCHEMA_VERSION = 1
+
 
 def print_table(title: str, rows: list[dict], keys: list[str] | None = None) -> None:
     """Render rows as an aligned text table to the captured stdout."""
@@ -70,6 +75,7 @@ def pytest_sessionfinish(session, exitstatus):
             }
         )
     payload = {
+        "schema": RESULTS_SCHEMA_VERSION,
         "generated_unix": time.time(),
         "pytest_exitstatus": int(exitstatus),
         "benchmarks_disabled": bool(getattr(bsession, "disabled", False)),
@@ -83,6 +89,38 @@ def pytest_sessionfinish(session, exitstatus):
     except OSError as exc:  # never fail a bench run over the artefact dump
         warnings.warn(
             f"could not write bench artefact {path}: {exc}",
+            RuntimeWarning,
+            stacklevel=1,
+        )
+        return
+
+    # one compact trajectory row per run: mean time + headline extra_info
+    # per bench, appended so the perf history survives across PRs
+    trajectory_row = {
+        "schema": RESULTS_SCHEMA_VERSION,
+        "generated_unix": payload["generated_unix"],
+        "pytest_exitstatus": payload["pytest_exitstatus"],
+        "benchmarks_disabled": payload["benchmarks_disabled"],
+        "git_sha": os.environ.get("GITHUB_SHA") or None,
+        "benchmarks": {
+            str(r["fullname"]): {
+                "group": r["group"],
+                "mean_s": r["mean_s"],
+                "extra_info": r["extra_info"],
+            }
+            for r in rows
+        },
+    }
+    trajectory_path = os.path.join(
+        str(session.config.rootdir), "BENCH_trajectory.jsonl"
+    )
+    try:
+        with open(trajectory_path, "a") as handle:
+            json.dump(trajectory_row, handle, sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        warnings.warn(
+            f"could not append trajectory row {trajectory_path}: {exc}",
             RuntimeWarning,
             stacklevel=1,
         )

@@ -540,6 +540,68 @@ def cmd_store(args) -> None:
     raise SystemExit(f"unknown store action {args.action!r}")
 
 
+def cmd_experiment(args) -> None:
+    """The experiment harness: ``repro experiment run | ls | report``."""
+    from repro.experiments.harness import load_summary
+    from repro.experiments.report import experiment_summary_md
+    from repro.experiments.zoo import ZOO, experiment
+
+    if args.action == "ls":
+        rows = []
+        for name in sorted(ZOO):
+            exp = ZOO[name]
+            rows.append(
+                {
+                    "experiment": name,
+                    "scenarios": len(exp.scenarios),
+                    "repeats": exp.nb_repeats,
+                    "description": exp.description,
+                }
+            )
+        _print_table("workload zoo", rows)
+        return
+    if args.action == "run":
+        if not args.name:
+            raise SystemExit("experiment run requires --name (see: experiment ls)")
+        try:
+            exp = experiment(args.name, nb_repeats=args.repeats or None)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        total = len(exp.scenarios) * exp.nb_repeats
+        print(
+            f"running experiment {exp.name!r}: {len(exp.scenarios)} "
+            f"scenario(s) x {exp.nb_repeats} repeat(s) = {total} job(s)",
+            file=sys.stderr,
+        )
+        result = exp.run(
+            args.out_dir,
+            workers=args.workers,
+            mode=args.mode,
+            store_dir=args.store_dir or None,
+        )
+        hits = sum(1 for row in result.rows if row["cache_hit"])
+        print(result.out_dir / "summary.md")
+        print(
+            f"{total} job(s) in {result.wall_s:.2f}s "
+            f"({hits} served from cache); results in {result.out_dir}",
+            file=sys.stderr,
+        )
+        return
+    if args.action == "report":
+        if not args.name:
+            raise SystemExit("experiment report requires --name")
+        try:
+            summary = load_summary(args.out_dir, args.name)
+        except FileNotFoundError:
+            raise SystemExit(
+                f"no summary for experiment {args.name!r} under "
+                f"{args.out_dir} — run it first"
+            )
+        print(experiment_summary_md(summary))
+        return
+    raise SystemExit(f"unknown experiment action {args.action!r}")
+
+
 def cmd_list(_args) -> None:
     for name in sorted(COMMANDS):
         print(name)
@@ -564,6 +626,7 @@ COMMANDS = {
     "submit": cmd_submit,
     "replay": cmd_replay,
     "store": cmd_store,
+    "experiment": cmd_experiment,
     "list": cmd_list,
 }
 
@@ -737,6 +800,22 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--all-spills", action="store_true",
                            help="gc: reclaim every spill checkpoint, not "
                                 "just those of dead processes")
+        elif name == "experiment":
+            p.add_argument("action", choices=["run", "ls", "report"])
+            p.add_argument("--name", default="",
+                           help="zoo experiment name (see: experiment ls)")
+            p.add_argument("--out-dir", default="experiments_out",
+                           help="per-experiment output root "
+                                "(<out-dir>/<name>/results.jsonl + summaries)")
+            p.add_argument("--repeats", type=int, default=0,
+                           help="override the experiment's nb_repeats "
+                                "(0 = keep its default)")
+            p.add_argument("--workers", type=int, default=2)
+            p.add_argument("--mode", choices=["thread", "process"],
+                           default="thread")
+            p.add_argument("--store-dir", default="",
+                           help="shared run store (default: a store inside "
+                                "the experiment's output directory)")
     return parser
 
 

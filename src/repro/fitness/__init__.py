@@ -26,6 +26,14 @@ from repro.fitness.functions import (
     MShubert2D,
     REGISTRY,
     by_name,
+    register,
+)
+from repro.fitness.sequential import (
+    FEMMuxComposite,
+    MOSeqBlend,
+    SeqCounter4,
+    SeqDetect101,
+    SequentialFitness,
 )
 from repro.fitness.lookup import FitnessLookupROM, LookupFEM
 from repro.fitness.combinational import (
@@ -47,6 +55,12 @@ __all__ = [
     "MShubert2D",
     "REGISTRY",
     "by_name",
+    "register",
+    "SequentialFitness",
+    "SeqCounter4",
+    "SeqDetect101",
+    "FEMMuxComposite",
+    "MOSeqBlend",
     "FitnessLookupROM",
     "LookupFEM",
     "CombinationalFEM",

@@ -1,0 +1,138 @@
+"""Larger combinational EHW targets for the 32-bit scaled core (Fig. 6).
+
+The 16-bit :class:`~repro.ehw.fabric.VirtualFabric` caps evolvable
+functions at 4 inputs; the paper's Sec. III-D dual-core composition
+doubles the chromosome to 32 bits without re-synthesis, and this module
+supplies the matching substrate: :class:`WideFabric`, an 8-cell, 6-input
+virtual reconfigurable block whose configuration is exactly one 32-bit
+chromosome (8 cells x one 4-bit nibble).  Targets worth that genotype:
+
+* ``mux6``  — the 6-input multiplexer ``out = d[s1s0]`` (2 select +
+  4 data lines), the classic EHW benchmark;
+* ``parity6`` — 6-input odd parity, the hardest 6-input function for
+  two-level logic and a staple of the EHW literature.
+
+Fitness is truth-table agreement over all 64 input combinations, each
+match worth :data:`ROW_SCORE` — integer-exact, so zoo goldens pin it
+bit-for-bit.  :data:`FITNESS32_REGISTRY` exposes the targets as plain
+``fitness32(chromosome) -> int`` callables for
+:class:`~repro.core.scaling.DualCoreGA32`, addressable from a
+:class:`~repro.service.jobs.GARequest` via ``substrate="dual32"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: Fitness per matching truth-table row: 64 rows x 1023 = 65,472, inside
+#: the 16-bit ``fit_value`` range Core1 stores.
+ROW_SCORE = 1023
+
+N_INPUTS = 6
+N_CELLS = 8
+N_ROWS = 1 << N_INPUTS
+
+#: Two-input cell functions, selected by the low 2 bits of each nibble
+#: (the same palette as the 16-bit fabric: AND / OR / XOR / NAND).
+_FUNCS = ["and", "or", "xor", "nand"]
+
+#: Input-pair choices per cell, selected by the high 2 bits.  Sources 0-5
+#: are the primary inputs; 6.. are earlier cells, giving up to four logic
+#: levels by cell 7 (the output cell).
+_PAIR_CHOICES: list[list[tuple[int, int]]] = [
+    [(0, 1), (2, 3), (4, 5), (0, 5)],          # cell 0
+    [(0, 2), (1, 3), (2, 4), (3, 5)],          # cell 1
+    [(0, 4), (1, 5), (0, 3), (1, 2)],          # cell 2
+    [(6, 7), (6, 8), (7, 8), (2, 6)],          # cell 3
+    [(6, 8), (7, 6), (8, 5), (3, 7)],          # cell 4
+    [(9, 10), (9, 6), (10, 7), (4, 9)],        # cell 5
+    [(9, 11), (10, 11), (11, 8), (5, 10)],     # cell 6
+    [(11, 12), (10, 12), (9, 12), (8, 12)],    # cell 7 (output)
+]
+
+
+def _cell_out(fsel: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.select(
+        [fsel == 0, fsel == 1, fsel == 2, fsel == 3],
+        [a & b, a | b, a ^ b, 1 - (a & b)],
+    )
+
+
+def truth_tables(configs: np.ndarray) -> np.ndarray:
+    """64-bit truth tables of many 32-bit configurations at once.
+
+    Bit ``i`` of a table is the fabric output for input combination ``i``
+    (input ``k`` = bit ``k`` of ``i``).
+    """
+    configs = np.asarray(configs).astype(np.int64)
+    n = configs.shape
+    tables = np.zeros(n, dtype=np.uint64)
+    for row in range(N_ROWS):
+        sources = [
+            np.full(n, (row >> k) & 1, dtype=np.int64) for k in range(N_INPUTS)
+        ]
+        for cell in range(N_CELLS):
+            nibble = (configs >> (4 * cell)) & 0xF
+            fsel = nibble & 0b11
+            psel = (nibble >> 2) & 0b11
+            a = np.zeros(n, dtype=np.int64)
+            b = np.zeros(n, dtype=np.int64)
+            for p, pair in enumerate(_PAIR_CHOICES[cell]):
+                mask = psel == p
+                a[mask] = sources[pair[0]][mask]
+                b[mask] = sources[pair[1]][mask]
+            sources.append(_cell_out(fsel, a, b))
+        tables |= sources[-1].astype(np.uint64) << np.uint64(row)
+    return tables
+
+
+def _target_table(fn: Callable[..., int]) -> int:
+    table = 0
+    for row in range(N_ROWS):
+        bits = tuple((row >> k) & 1 for k in range(N_INPUTS))
+        table |= (fn(*bits) & 1) << row
+    return table
+
+
+#: Target functions as 64-row truth tables.  mux6 input order:
+#: (s0, s1, d0, d1, d2, d3); parity6 is odd parity over all six lines.
+TARGET_TABLES: dict[str, int] = {
+    "mux6": _target_table(
+        lambda s0, s1, d0, d1, d2, d3: (d0, d1, d2, d3)[(s1 << 1) | s0]
+    ),
+    "parity6": _target_table(lambda *bits: sum(bits) & 1),
+}
+
+PERFECT_SCORE = N_ROWS * ROW_SCORE
+
+
+def _popcount64(words: np.ndarray) -> np.ndarray:
+    counts = np.zeros(words.shape, dtype=np.int64)
+    for k in range(N_ROWS):
+        counts += ((words >> np.uint64(k)) & np.uint64(1)).astype(np.int64)
+    return counts
+
+
+def evaluate32_array(target: str, configs: np.ndarray) -> np.ndarray:
+    """Vectorised fitness of 32-bit configurations against a target."""
+    tables = truth_tables(configs)
+    mismatches = _popcount64(tables ^ np.uint64(TARGET_TABLES[target]))
+    return (N_ROWS - mismatches) * ROW_SCORE
+
+
+def _make_fitness32(target: str) -> Callable[[int], int]:
+    def fitness32(chromosome: int) -> int:
+        value = evaluate32_array(target, np.asarray([chromosome & 0xFFFFFFFF]))
+        return int(value[0])
+
+    fitness32.__name__ = f"fabric32_{target}"
+    return fitness32
+
+
+#: 32-bit objectives by name, for ``GARequest(substrate="dual32")`` and
+#: :class:`~repro.core.scaling.DualCoreGA32` directly.
+FITNESS32_REGISTRY: dict[str, Callable[[int], int]] = {
+    f"fabric32_{target}": _make_fitness32(target) for target in TARGET_TABLES
+}

@@ -158,10 +158,27 @@ class MShubert2D(FitnessFunction):
         return 65535 - 174 * k
 
 
-#: All paper test functions by name.
+#: All registered fitness functions by name: the six paper test functions
+#: plus extension workloads (e.g. the sequential-logic targets) added via
+#: :func:`register`.
 REGISTRY: dict[str, type[FitnessFunction]] = {
     cls.name: cls for cls in (BF6, F2, F3, MBF6_2, MBF7_2, MShubert2D)
 }
+
+
+def register(cls: type[FitnessFunction]) -> type[FitnessFunction]:
+    """Add a no-arg-constructible fitness class to the shared registry.
+
+    Registered names become valid ``GARequest.fitness_name`` values and
+    participate in the shared-instance memoization of :func:`by_name`.
+    """
+    if not cls.name or cls.name == FitnessFunction.name:
+        raise ValueError(f"{cls.__name__} needs a distinct .name to register")
+    existing = REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"fitness name {cls.name!r} already registered")
+    REGISTRY[cls.name] = cls
+    return cls
 
 
 #: process-wide shared instances — registry functions are pure, so one
@@ -201,3 +218,17 @@ def fresh_instance(name: str) -> FitnessFunction:
         raise KeyError(
             f"unknown fitness function {name!r}; available: {sorted(REGISTRY)}"
         ) from None
+
+
+# Extension workloads self-register on import; importing here (after the
+# registry machinery exists) keeps `REGISTRY`/`by_name` the single lookup
+# surface for the service layer without a circular import.
+from repro.fitness import sequential as _sequential  # noqa: E402
+
+for _cls in (
+    _sequential.SeqCounter4,
+    _sequential.SeqDetect101,
+    _sequential.MOSeqBlend,
+):
+    register(_cls)
+del _sequential, _cls

@@ -1,0 +1,221 @@
+"""Sequential-logic circuit evolution — truth tables *over time*.
+
+Soleimani et al. (PAPERS.md) evolve synchronous sequential circuits
+(counters, sequence detectors) on a cycle-accurate evolvable substrate;
+this module brings that workload class to the GA core.  The genotype is
+exactly the core's 16-bit chromosome, interpreted as the complete
+next-state table of a 4-state, 1-input Moore machine:
+
+* state register: 2 bits (states 0-3), reset state 0;
+* table entry index: ``(state << 1) | input`` (8 entries);
+* entry value: the 2-bit next state, stored at bit offset ``2 * index`` —
+  8 entries x 2 bits fills the 16-bit chromosome with no slack;
+* Moore output: ``1`` iff the machine sits in state 3 (the accept state).
+
+Fitness is truth-table-over-time agreement: the candidate machine and a
+hand-written *target* machine consume the same fixed input stimulus from
+reset, and every cycle whose post-transition output matches the target's
+is worth :data:`MATCH_SCORE`.  Both targets below are themselves
+expressible in the encoding, so the global optimum is a perfect score and
+the target's own table is one of the optima (pinned in
+``tests/fitness/test_sequential.py``).
+
+All arithmetic is integer-exact — no floating point anywhere — which
+makes these functions safe to pin bit-for-bit in the experiment zoo's
+golden-run regression suite across platforms and numpy versions.
+
+:class:`FEMMuxComposite` is the software analogue of the Sec. III-B.5
+8-way FEM mux driven as a *multi-objective* evaluator: up to
+:data:`~repro.fitness.mux.MAX_SLOTS` component objectives time-multiplexed
+onto one candidate, blended by integer weights (and optionally gated by a
+constraint objective) into a single 16-bit fitness word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fitness.base import FitnessFunction
+from repro.fitness.mux import MAX_SLOTS
+
+#: Cycles of stimulus per evaluation (one comparison per cycle).
+N_CYCLES = 32
+
+#: Fitness per matching output cycle: 32 matches x 2047 = 65,504, inside
+#: the 16-bit ``fit_value`` range.
+MATCH_SCORE = 2047
+
+#: The fixed input stimulus, LSB first — a constant chosen to exercise
+#: every table entry of both targets (runs of 0s/1s plus alternations).
+STIMULUS_WORD = 0xB5A1_6D39
+
+#: Accept state of the fixed Moore output rule (``out = state == 3``).
+ACCEPT_STATE = 3
+
+
+def stimulus_bits(n_cycles: int = N_CYCLES, word: int = STIMULUS_WORD) -> list[int]:
+    """The input bit sequence driven into every candidate, LSB first."""
+    return [(word >> t) & 1 for t in range(n_cycles)]
+
+
+def encode_table(next_state: dict[tuple[int, int], int]) -> int:
+    """Pack a ``{(state, input): next_state}`` table into a chromosome."""
+    word = 0
+    for (state, inp), nxt in next_state.items():
+        if not (0 <= state <= 3 and inp in (0, 1) and 0 <= nxt <= 3):
+            raise ValueError(f"bad table entry ({state}, {inp}) -> {nxt}")
+        word |= (nxt & 3) << (2 * ((state << 1) | inp))
+    return word
+
+
+def next_state(chromosome: int, state: int, inp: int) -> int:
+    """One transition of the encoded machine."""
+    return (chromosome >> (2 * (((state & 3) << 1) | (inp & 1)))) & 3
+
+
+def output_trace(chromosome: int, stimulus: list[int] | None = None) -> list[int]:
+    """Post-transition Moore outputs of the machine over the stimulus."""
+    bits = stimulus if stimulus is not None else stimulus_bits()
+    state, outs = 0, []
+    for inp in bits:
+        state = next_state(chromosome, state, inp)
+        outs.append(1 if state == ACCEPT_STATE else 0)
+    return outs
+
+
+#: Mod-4 enable counter: count up while ``input`` (enable) is 1, hold
+#: while 0; the accept state fires once per four enabled cycles — a
+#: divide-by-four, the canonical Soleimani counter target.
+COUNTER4_TABLE = encode_table(
+    {
+        (s, e): (s + 1) % 4 if e else s
+        for s in range(4)
+        for e in (0, 1)
+    }
+)
+
+#: Overlapping "101" sequence detector (Moore): S0 start, S1 = seen "1",
+#: S2 = seen "10", S3 = seen "101" (accept, overlap back through S1/S2).
+DETECT101_TABLE = encode_table(
+    {
+        (0, 0): 0, (0, 1): 1,
+        (1, 0): 2, (1, 1): 1,
+        (2, 0): 0, (2, 1): 3,
+        (3, 0): 2, (3, 1): 1,
+    }
+)
+
+
+class SequentialFitness(FitnessFunction):
+    """Agreement with a target sequential machine over the stimulus."""
+
+    n_vars = 1
+    #: subclasses pin these
+    target_table: int = 0
+
+    def __init__(self) -> None:
+        self._stimulus = np.asarray(stimulus_bits(), dtype=np.int64)
+        self._target_outputs = np.asarray(
+            output_trace(self.target_table), dtype=np.int64
+        )
+
+    @property
+    def perfect_score(self) -> int:
+        return N_CYCLES * MATCH_SCORE
+
+    def evaluate_array(self, chromosomes: np.ndarray) -> np.ndarray:
+        c = np.asarray(chromosomes).astype(np.int64)
+        states = np.zeros(c.shape, dtype=np.int64)
+        matches = np.zeros(c.shape, dtype=np.int64)
+        for t, inp in enumerate(self._stimulus):
+            index = (states << 1) | inp
+            states = (c >> (2 * index)) & 3
+            out = (states == ACCEPT_STATE).astype(np.int64)
+            matches += out == self._target_outputs[t]
+        return matches * MATCH_SCORE
+
+
+class SeqCounter4(SequentialFitness):
+    """Evolve the mod-4 enable counter (divide-by-four output)."""
+
+    name = "seq_counter4"
+    target_table = COUNTER4_TABLE
+
+
+class SeqDetect101(SequentialFitness):
+    """Evolve the overlapping "101" serial sequence detector."""
+
+    name = "seq_detect101"
+    target_table = DETECT101_TABLE
+
+
+class FEMMuxComposite(FitnessFunction):
+    """Multi-objective blend through the 8-way FEM mux (Sec. III-B.5).
+
+    ``components`` are ``(FitnessFunction, integer weight)`` pairs — one
+    per occupied mux slot, at most :data:`~repro.fitness.mux.MAX_SLOTS`.
+    The blended fitness is ``sum(w_i * f_i(x)) >> shift``, with ``shift``
+    chosen by the subclass so the worst case stays inside the 16-bit
+    ``fit_value`` port.  An optional *constraint* slot gates the blend:
+    candidates whose constraint objective falls below ``constraint_floor``
+    keep only a quartered fitness (a soft penalty, so the search can still
+    climb toward feasibility).
+    """
+
+    n_vars = 1
+
+    def __init__(
+        self,
+        components: list[tuple[FitnessFunction, int]],
+        shift: int,
+        constraint: FitnessFunction | None = None,
+        constraint_floor: int = 0,
+    ):
+        if not 1 <= len(components) <= MAX_SLOTS:
+            raise ValueError(
+                f"composite needs 1..{MAX_SLOTS} mux slots, "
+                f"got {len(components)}"
+            )
+        if any(w < 1 for _, w in components):
+            raise ValueError("component weights must be >= 1")
+        self.components = list(components)
+        self.shift = shift
+        self.constraint = constraint
+        self.constraint_floor = constraint_floor
+
+    def evaluate_array(self, chromosomes: np.ndarray) -> np.ndarray:
+        c = np.asarray(chromosomes)
+        blended = np.zeros(c.shape, dtype=np.int64)
+        for fn, weight in self.components:
+            blended += weight * fn.evaluate_array(c).astype(np.int64)
+        blended >>= self.shift
+        if self.constraint is not None:
+            feasible = (
+                self.constraint.evaluate_array(c).astype(np.int64)
+                >= self.constraint_floor
+            )
+            blended = np.where(feasible, blended, blended >> 2)
+        return blended
+
+
+class MOSeqBlend(FEMMuxComposite):
+    """Zoo objective ``mo_seq_blend``: one machine judged on both targets.
+
+    Slot 0 (weight 3) is the "101" detector, slot 1 (weight 1) the mod-4
+    counter; the blend is shifted right by 2 so a perfect dual score is
+    65,504.  A constraint slot (the counter again) demands at least half
+    the counter score — machines that ignore the counter entirely are
+    penalized 4x.  The two targets conflict (no 16-bit table satisfies
+    both perfectly), so this is a genuine multi-objective trade-off.
+    """
+
+    name = "mo_seq_blend"
+
+    def __init__(self) -> None:
+        detector, counter = SeqDetect101(), SeqCounter4()
+        super().__init__(
+            components=[(detector, 3), (counter, 1)],
+            shift=2,
+            constraint=counter,
+            constraint_floor=counter.perfect_score // 2,
+        )

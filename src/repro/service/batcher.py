@@ -98,6 +98,8 @@ def compat_key(record: "JobRecord") -> tuple:
         return ("hardened", record.seq)
     if record.request.n_islands > 1:
         return ("island", record.seq)
+    if record.request.substrate != "behavioral":
+        return ("substrate", record.seq)
     return (
         "batch",
         record.request.params.population_size,
@@ -125,6 +127,7 @@ class JobRecord:
     best_fitness: int = -1
     protection_stats: dict = field(default_factory=dict)
     island_stats: dict = field(default_factory=dict)
+    substrate_stats: dict = field(default_factory=dict)
     #: consecutive failed executions of the current chunk (reset on every
     #: chunk that completes); bounded by ``request.retry.max_attempts``
     attempts: int = 0
@@ -169,6 +172,7 @@ class JobRecord:
             deadline_missed=completed_at > self.deadline_at,
             protection_stats=self.protection_stats,
             island_stats=self.island_stats,
+            substrate_stats=self.substrate_stats,
         )
 
 
@@ -189,6 +193,9 @@ class Slab:
         self.island = entries[0].request.n_islands > 1
         if self.island and len(entries) != 1:
             raise ValueError("island jobs run in single-job slabs")
+        self.substrate = entries[0].request.substrate
+        if self.substrate != "behavioral" and len(entries) != 1:
+            raise ValueError("non-behavioral substrate jobs run in single-job slabs")
         self.pop = entries[0].request.params.population_size
         self.engine_mode = entries[0].request.engine_mode
         #: chunks completed by this slab (drives the checkpoint cadence)
@@ -201,25 +208,30 @@ class Slab:
         return len(self.entries)
 
     @property
+    def solo(self) -> bool:
+        """True for slabs that own a single job start to finish."""
+        return self.hardened or self.island or self.substrate != "behavioral"
+
+    @property
     def capacity_left(self) -> int:
-        if self.hardened or self.island:
+        if self.solo:
             return 0
         return self.policy.max_batch - len(self.entries)
 
     def admit(self, records: list[JobRecord]) -> None:
         """Merge late arrivals at a chunk boundary."""
-        if (self.hardened or self.island) and records:
+        if self.solo and records:
             raise ValueError("solo slabs do not admit")
         self.entries.extend(records)
 
     def next_chunk_gens(self) -> int:
         """Chunk length: the admission interval, clamped to the shortest
-        remaining job so retirements land on chunk boundaries.  Hardened
-        and island slabs run to completion in one chunk (fault injection
-        and migration schedules are addressed against an uninterrupted
-        run)."""
+        remaining job so retirements land on chunk boundaries.  Hardened,
+        island, and non-behavioral-substrate slabs run to completion in
+        one chunk (fault injection, migration schedules, and substrate
+        engines are addressed against an uninterrupted run)."""
         shortest = min(r.remaining for r in self.entries)
-        if self.hardened or self.island:
+        if self.solo:
             return shortest
         return min(self.policy.admit_interval, shortest)
 
@@ -259,6 +271,7 @@ class Slab:
             "protection": protection,
             "island": island,
             "mode": self.engine_mode,
+            "substrate": self.substrate,
         }
 
     def apply_chunk(self, out: dict, chunk_gens: int) -> list[JobRecord]:
@@ -285,6 +298,7 @@ class Slab:
             record.best_fitness = entry_out["best_fitness"]
             record.protection_stats = entry_out["protection_stats"]
             record.island_stats = entry_out.get("island_stats", {})
+            record.substrate_stats = entry_out.get("substrate_stats", {})
             record.chunks += 1
             record.remaining -= chunk_gens
             record.attempts = 0  # the retry budget is per chunk

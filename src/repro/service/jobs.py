@@ -195,8 +195,39 @@ class GARequest:
     #: results are still written back.  Scheduling-only: excluded from
     #: the canonical job key.
     use_cache: bool = True
+    #: Which engine substrate executes the job.  ``"behavioral"`` (the
+    #: default) runs the behavioural/turbo engines and batches normally;
+    #: ``"cycle"`` runs the full cycle-accurate Fig. 4 testbench
+    #: (:class:`~repro.core.system.GASystem`); ``"dual32"`` runs the
+    #: Fig. 6 dual-core 32-bit composition
+    #: (:class:`~repro.core.scaling.DualCoreGA32`), whose
+    #: ``fitness_name`` must name a 32-bit objective from
+    #: ``repro.fitness.ehw_targets.FITNESS32_REGISTRY``.  Non-behavioral
+    #: substrates run exact-mode only, solo (no islands, no protection),
+    #: in dedicated single-job slabs.
+    substrate: str = "behavioral"
 
     def __post_init__(self) -> None:
+        if self.substrate not in ("behavioral", "cycle", "dual32"):
+            raise ValueError(
+                f"substrate must be 'behavioral', 'cycle' or 'dual32': "
+                f"{self.substrate!r}"
+            )
+        if self.substrate != "behavioral":
+            if self.engine_mode != "exact":
+                raise ValueError(
+                    f"substrate {self.substrate!r} jobs run the exact "
+                    f"engine only, got engine_mode={self.engine_mode!r}"
+                )
+            if self.n_islands > 1:
+                raise ValueError(
+                    f"substrate {self.substrate!r} jobs cannot be islands"
+                )
+            if self.protection is not None:
+                raise ValueError(
+                    f"substrate {self.substrate!r} jobs cannot request a "
+                    "protection preset"
+                )
         if self.engine_mode not in ("exact", "turbo"):
             raise ValueError(
                 f"engine_mode must be 'exact' or 'turbo': {self.engine_mode!r}"
@@ -214,7 +245,15 @@ class GARequest:
                 "island jobs cannot request a protection preset; the "
                 "resilience harness addresses solo engine runs"
             )
-        if self.fitness_name not in REGISTRY:
+        if self.substrate == "dual32":
+            from repro.fitness.ehw_targets import FITNESS32_REGISTRY
+
+            if self.fitness_name not in FITNESS32_REGISTRY:
+                raise ValueError(
+                    f"unknown 32-bit fitness {self.fitness_name!r}; "
+                    f"available: {sorted(FITNESS32_REGISTRY)}"
+                )
+        elif self.fitness_name not in REGISTRY:
             raise ValueError(
                 f"unknown fitness slot {self.fitness_name!r}; "
                 f"available: {sorted(REGISTRY)}"
@@ -257,6 +296,7 @@ class GARequest:
             "retry": self.retry.to_dict(),
             "deadline_mode": self.deadline_mode,
             "use_cache": self.use_cache,
+            "substrate": self.substrate,
         }
 
     @classmethod
@@ -277,6 +317,7 @@ class GARequest:
             retry=RetryPolicy.from_dict(data.get("retry", {})),
             deadline_mode=data.get("deadline_mode", "observe"),
             use_cache=bool(data.get("use_cache", True)),
+            substrate=data.get("substrate", "behavioral"),
         )
 
 
@@ -304,6 +345,9 @@ class JobResult:
     #: island_bests, topology); empty for ordinary jobs.  An island job's
     #: ``history`` rows are per *epoch*, not per generation.
     island_stats: dict = field(default_factory=dict)
+    #: substrate counters for non-behavioral jobs (``substrate``, plus
+    #: ``cycles`` for cycle-accurate runs); empty for ordinary jobs
+    substrate_stats: dict = field(default_factory=dict)
     #: cache provenance: ``True`` when this result was served from the
     #: content-addressed run store (or rode another job's in-flight
     #: computation) instead of dispatching to the worker pool
@@ -335,6 +379,7 @@ class JobResult:
             "deadline_missed": self.deadline_missed,
             "protection_stats": self.protection_stats,
             "island_stats": self.island_stats,
+            "substrate_stats": self.substrate_stats,
             "cache_hit": self.cache_hit,
             "store_key": self.store_key,
         }
@@ -362,6 +407,7 @@ class JobResult:
             deadline_missed=bool(data.get("deadline_missed", False)),
             protection_stats=dict(data.get("protection_stats", {})),
             island_stats=dict(data.get("island_stats", {})),
+            substrate_stats=dict(data.get("substrate_stats", {})),
             # pre-PR-9 frames carry no cache provenance: default cold
             cache_hit=bool(data.get("cache_hit", False)),
             store_key=data.get("store_key"),

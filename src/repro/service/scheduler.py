@@ -482,7 +482,7 @@ class Scheduler:
     def _group_ready(self, key: tuple, records: list[JobRecord], now: float) -> bool:
         if self._closing:
             return True
-        if key[0] in ("hardened", "island"):
+        if key[0] in ("hardened", "island", "substrate"):
             return True  # solo by construction; waiting buys nothing
         if len(records) >= self.policy.max_batch:
             return True
@@ -859,7 +859,7 @@ class Scheduler:
         """Continuous batching: pull compatible pending jobs into freed
         replica rows at the chunk boundary (lock held)."""
         capacity = slab.capacity_left
-        if capacity <= 0 or slab.hardened or slab.island:
+        if capacity <= 0 or slab.solo:
             return
         # key must mirror compat_key exactly — it silently stopped
         # matching when the engine mode joined the key, killing late

@@ -92,6 +92,11 @@ def run_slab_chunk(spec: dict) -> dict:
             return _run_hardened(spec, tracer)
         if spec.get("island") is not None:
             return _run_island(spec, tracer)
+        substrate = spec.get("substrate", "behavioral")
+        if substrate == "cycle":
+            return _run_cycle(spec)
+        if substrate == "dual32":
+            return _run_dual32(spec)
         return _run_batched(spec, tracer)
 
 
@@ -262,6 +267,79 @@ def _run_island(spec: dict, tracer=None) -> dict:
                     "island_bests": result.island_bests,
                 },
             }
+        ]
+    }
+
+
+def _result_entry(entry: dict, result, substrate_stats: dict) -> dict:
+    """Shared worker→scheduler payload for the solo substrate paths.
+
+    Like island jobs, substrate jobs run to completion in one chunk, so
+    no population/RNG state is carried back for resumption.
+    """
+    stats = (
+        [
+            (g.best_fitness, g.best_individual, g.fitness_sum)
+            for g in result.history
+        ]
+        if entry.get("record_stats", True)
+        else []
+    )
+    return {
+        "job_id": entry["job_id"],
+        "population": None,
+        "rng_state": None,
+        "evaluations": result.evaluations,
+        "stats": stats,
+        "best_individual": result.best_individual,
+        "best_fitness": result.best_fitness,
+        "protection_stats": {},
+        "substrate_stats": substrate_stats,
+    }
+
+
+def _run_cycle(spec: dict) -> dict:
+    """Solo, unchunked execution on the cycle-accurate Fig. 4 testbench.
+
+    The job runs the full HDL-modelled system (GA module + init +
+    application + lookup FEM); ``substrate_stats`` reports the GA-domain
+    clock cycles the run consumed — the number the paper's Table VI
+    hardware-runtime claims are made from.
+    """
+    from repro.core.system import GASystem
+
+    (entry,) = spec["entries"]
+    params = GAParameters(**entry["params"])
+    result = GASystem(params, by_name(entry["fitness"])).run()
+    return {
+        "entries": [
+            _result_entry(
+                entry,
+                result,
+                {"substrate": "cycle", "cycles": result.cycles},
+            )
+        ]
+    }
+
+
+def _run_dual32(spec: dict) -> dict:
+    """Solo, unchunked execution on the dual-core 32-bit composition.
+
+    ``best_individual`` (and the per-generation stats rows) carry 32-bit
+    chromosomes; the fitness name resolves through the 32-bit registry
+    (``repro.fitness.ehw_targets.FITNESS32_REGISTRY``), not the 16-bit
+    FEM registry.
+    """
+    from repro.core.scaling import DualCoreGA32
+    from repro.fitness.ehw_targets import FITNESS32_REGISTRY
+
+    (entry,) = spec["entries"]
+    params = GAParameters(**entry["params"])
+    fitness32 = FITNESS32_REGISTRY[entry["fitness"]]
+    result = DualCoreGA32(params, fitness32).run()
+    return {
+        "entries": [
+            _result_entry(entry, result, {"substrate": "dual32", "width": 32})
         ]
     }
 

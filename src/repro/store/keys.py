@@ -43,7 +43,9 @@ from repro.core.params import GAParameters
 #: Version of the canonical key schema.  Bump whenever the canonical
 #: rendering changes meaning — old store entries then miss rather than
 #: alias (``RunStore.verify`` flags them for ``repro store gc``).
-KEY_SCHEMA_VERSION = 1
+#: v2: the request gained a ``substrate`` field (behavioral / cycle /
+#: dual32 execution engines), which joins the surface by default.
+KEY_SCHEMA_VERSION = 2
 
 #: Request wire fields that only schedule the job (ordering, deadlines,
 #: retries, cache policy) and can never change the result bits.

@@ -1,0 +1,185 @@
+"""Property and integration tests for the experiment harness.
+
+The two harness contracts the ISSUE pins down:
+
+* derived per-repeat seeds are a pure function of the scenario itself —
+  reordering (or adding/removing) sibling scenarios never moves a seed;
+* ``nb_repeats = k`` expands every scenario to exactly ``k`` distinct
+  content-addressed store keys (seeds must not alias).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import GAParameters
+from repro.experiments.harness import (
+    Experiment,
+    RESULTS_SCHEMA_VERSION,
+    Scenario,
+    derive_seeds,
+    load_summary,
+)
+from repro.experiments.zoo import ZOO, experiment
+from repro.service.jobs import GARequest
+from repro.store.keys import job_key
+
+names_st = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-0123456789", min_size=1, max_size=24
+)
+
+
+class TestSeedDerivation:
+    @settings(max_examples=100, deadline=None)
+    @given(names_st, st.integers(1, 0xFFFF), st.integers(1, 16))
+    def test_seeds_are_valid_distinct_and_pin_repeat_zero(
+        self, name, base_seed, nb_repeats
+    ):
+        seeds = derive_seeds(name, base_seed, nb_repeats)
+        assert len(seeds) == nb_repeats
+        assert seeds[0] == base_seed
+        assert len(set(seeds)) == nb_repeats
+        assert all(1 <= seed <= 0xFFFF for seed in seeds)
+
+    @settings(max_examples=50, deadline=None)
+    @given(names_st, st.integers(1, 0xFFFF), st.integers(1, 8))
+    def test_derivation_is_deterministic(self, name, base_seed, nb_repeats):
+        assert derive_seeds(name, base_seed, nb_repeats) == derive_seeds(
+            name, base_seed, nb_repeats
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(names_st, st.integers(1, 0xFFFF), st.integers(2, 8))
+    def test_prefix_stability_under_more_repeats(
+        self, name, base_seed, nb_repeats
+    ):
+        # asking for more repeats only appends: earlier rows keep their seeds
+        shorter = derive_seeds(name, base_seed, nb_repeats - 1)
+        longer = derive_seeds(name, base_seed, nb_repeats)
+        assert longer[: len(shorter)] == shorter
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            derive_seeds("x", 0x2961, 0)
+        with pytest.raises(ValueError):
+            derive_seeds("x", 0, 3)
+        with pytest.raises(ValueError):
+            derive_seeds("x", 0x1_0000, 3)
+
+
+def _scenario(name: str, seed: int, fitness: str = "seq_counter4") -> Scenario:
+    return Scenario(
+        name=name,
+        request=GARequest(
+            params=GAParameters(8, 16, 10, 2, seed), fitness_name=fitness
+        ),
+    )
+
+
+scenario_pool_st = st.lists(
+    st.tuples(names_st, st.integers(1, 0xFFFF)),
+    min_size=2,
+    max_size=6,
+    unique_by=lambda pair: pair[0],
+)
+
+
+class TestExperimentSeedStability:
+    @settings(max_examples=40, deadline=None)
+    @given(scenario_pool_st, st.integers(1, 5), st.randoms())
+    def test_seeds_stable_under_scenario_reordering(
+        self, pool, nb_repeats, rnd
+    ):
+        scenarios = [_scenario(name, seed) for name, seed in pool]
+        shuffled = list(scenarios)
+        rnd.shuffle(shuffled)
+        original = Experiment(
+            name="orig", scenarios=tuple(scenarios), nb_repeats=nb_repeats
+        )
+        reordered = Experiment(
+            name="reordered", scenarios=tuple(shuffled), nb_repeats=nb_repeats
+        )
+
+        def seeds_by_scenario(exp):
+            seeds = {}
+            for scenario, repeat, request in exp.jobs():
+                seeds.setdefault(scenario.name, []).append(
+                    request.params.rng_seed
+                )
+            return seeds
+
+        assert seeds_by_scenario(original) == seeds_by_scenario(reordered)
+
+    @settings(max_examples=25, deadline=None)
+    @given(scenario_pool_st, st.integers(1, 5))
+    def test_k_repeats_make_k_distinct_store_keys_per_scenario(
+        self, pool, nb_repeats
+    ):
+        scenarios = tuple(_scenario(name, seed) for name, seed in pool)
+        exp = Experiment(name="keys", scenarios=scenarios, nb_repeats=nb_repeats)
+        keys: dict[str, set[str]] = {}
+        for scenario, _repeat, request in exp.jobs():
+            keys.setdefault(scenario.name, set()).add(job_key(request))
+        assert all(len(ks) == nb_repeats for ks in keys.values())
+
+
+class TestExperimentValidation:
+    def test_duplicate_scenario_names_rejected(self):
+        s = _scenario("dup", 0x2961)
+        with pytest.raises(ValueError, match="duplicate"):
+            Experiment(name="bad", scenarios=(s, s), nb_repeats=1)
+
+    def test_empty_experiment_rejected(self):
+        with pytest.raises(ValueError, match="no scenarios"):
+            Experiment(name="bad", scenarios=(), nb_repeats=1)
+
+    def test_zoo_lookup(self):
+        assert experiment("zoo-smoke").name == "zoo-smoke"
+        assert experiment("sequential", nb_repeats=5).nb_repeats == 5
+        with pytest.raises(KeyError):
+            experiment("no-such-experiment")
+
+    def test_zoo_is_well_formed(self):
+        for exp in ZOO.values():
+            assert exp.scenarios
+            for scenario in exp.scenarios:
+                assert 1 <= scenario.base_seed <= 0xFFFF
+
+
+class TestExperimentRun:
+    def test_run_writes_outputs_and_second_run_hits_cache(self, tmp_path):
+        exp = Experiment(
+            name="mini",
+            scenarios=(
+                _scenario("a", 0x2961),
+                _scenario("b", 0x061F, fitness="seq_detect101"),
+            ),
+            nb_repeats=2,
+        )
+        cold = exp.run(tmp_path)
+        assert len(cold.rows) == 4
+        assert not any(row["cache_hit"] for row in cold.rows)
+        out = tmp_path / "mini"
+        assert (out / "results.jsonl").exists()
+        assert (out / "summary.json").exists()
+        assert (out / "summary.md").exists()
+
+        rows = [
+            json.loads(line)
+            for line in (out / "results.jsonl").read_text().splitlines()
+        ]
+        assert all(row["schema"] == RESULTS_SCHEMA_VERSION for row in rows)
+        assert all(row["store_key"] for row in rows)
+
+        summary = load_summary(tmp_path, "mini")
+        assert set(summary["scenarios"]) == {"a", "b"}
+        assert summary["scenarios"]["a"]["repeats"] == 2
+
+        warm = exp.run(tmp_path)
+        assert all(row["cache_hit"] for row in warm.rows)
+        # bit-identical outcomes either way
+        cold_best = [(r["scenario"], r["repeat"], r["best_fitness"]) for r in cold.rows]
+        warm_best = [(r["scenario"], r["repeat"], r["best_fitness"]) for r in warm.rows]
+        assert cold_best == warm_best

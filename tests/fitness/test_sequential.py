@@ -1,0 +1,185 @@
+"""Tests for the sequential-logic workload class (``repro.fitness.sequential``).
+
+Covers: the genotype encoding round-trip, truth-table-over-time
+correctness against a reference simulator, determinism, the 16-bit
+``fit_value`` contract, the FEM-mux multi-objective composition, registry
+integration, and a cycle-accurate smoke run of a sequential target.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import GAParameters
+from repro.core.system import GASystem
+from repro.fitness.functions import REGISTRY, by_name
+from repro.fitness.sequential import (
+    ACCEPT_STATE,
+    COUNTER4_TABLE,
+    DETECT101_TABLE,
+    FEMMuxComposite,
+    MATCH_SCORE,
+    MOSeqBlend,
+    N_CYCLES,
+    SeqCounter4,
+    SeqDetect101,
+    encode_table,
+    next_state,
+    output_trace,
+    stimulus_bits,
+)
+
+chromosomes_st = st.integers(0, 0xFFFF)
+
+
+class TestEncoding:
+    def test_encode_table_round_trips_every_entry(self):
+        table = {
+            (s, e): (3 * s + e + 1) % 4 for s in range(4) for e in (0, 1)
+        }
+        word = encode_table(table)
+        for (state, inp), nxt in table.items():
+            assert next_state(word, state, inp) == nxt
+
+    def test_encode_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            encode_table({(4, 0): 0})
+        with pytest.raises(ValueError):
+            encode_table({(0, 0): 5})
+
+    def test_stimulus_is_fixed_and_full_length(self):
+        bits = stimulus_bits()
+        assert len(bits) == N_CYCLES
+        assert set(bits) <= {0, 1}
+        assert stimulus_bits() == bits  # pure
+
+    def test_counter_table_counts_when_enabled(self):
+        for s in range(4):
+            assert next_state(COUNTER4_TABLE, s, 1) == (s + 1) % 4
+            assert next_state(COUNTER4_TABLE, s, 0) == s
+
+    def test_detector_accepts_101(self):
+        # drive 1,0,1 from reset: must land in the accept state
+        state = 0
+        for bit in (1, 0, 1):
+            state = next_state(DETECT101_TABLE, state, bit)
+        assert state == ACCEPT_STATE
+        # overlapping: ...0,1 again re-accepts via S3 -> S2 -> S3
+        state = next_state(DETECT101_TABLE, state, 0)
+        state = next_state(DETECT101_TABLE, state, 1)
+        assert state == ACCEPT_STATE
+
+
+def _reference_fitness(chromosome: int, target_table: int) -> int:
+    """Scalar truth-table-over-time agreement, written the slow clear way."""
+    target = output_trace(target_table)
+    candidate = output_trace(chromosome)
+    return sum(1 for a, b in zip(candidate, target) if a == b) * MATCH_SCORE
+
+
+class TestSequentialFitness:
+    @settings(max_examples=60, deadline=None)
+    @given(chromosomes_st)
+    def test_matches_reference_simulator(self, chromosome):
+        fn = SeqCounter4()
+        assert fn(chromosome) == _reference_fitness(chromosome, COUNTER4_TABLE)
+        fn2 = SeqDetect101()
+        assert fn2(chromosome) == _reference_fitness(chromosome, DETECT101_TABLE)
+
+    def test_targets_score_perfect_on_themselves(self):
+        assert SeqCounter4()(COUNTER4_TABLE) == N_CYCLES * MATCH_SCORE
+        assert SeqDetect101()(DETECT101_TABLE) == N_CYCLES * MATCH_SCORE
+
+    def test_vectorised_agrees_with_scalar(self):
+        fn = SeqDetect101()
+        chroms = np.arange(0, 65536, 197, dtype=np.uint32)
+        vec = fn.evaluate_array(chroms)
+        assert [int(v) for v in vec[:50]] == [fn(int(c)) for c in chroms[:50]]
+
+    def test_determinism_and_16bit_range(self):
+        for name in ("seq_counter4", "seq_detect101", "mo_seq_blend"):
+            fn = by_name(name)
+            table = fn.table()
+            assert table.dtype == np.uint16
+            again = type(fn)().evaluate_array(np.arange(65536, dtype=np.uint32))
+            assert np.array_equal(table, again.astype(np.uint16))
+
+    def test_registered_in_fitness_registry(self):
+        for name in ("seq_counter4", "seq_detect101", "mo_seq_blend"):
+            assert name in REGISTRY
+
+
+class TestFEMMuxComposite:
+    def test_weighted_blend_formula(self):
+        counter, detector = SeqCounter4(), SeqDetect101()
+        composite = FEMMuxComposite(
+            components=[(detector, 3), (counter, 1)], shift=2
+        )
+        chroms = np.arange(0, 65536, 911, dtype=np.uint32)
+        expected = (
+            3 * detector.evaluate_array(chroms).astype(np.int64)
+            + counter.evaluate_array(chroms).astype(np.int64)
+        ) >> 2
+        assert np.array_equal(composite.evaluate_array(chroms), expected)
+
+    def test_constraint_gating_quarters_infeasible(self):
+        counter = SeqCounter4()
+        floor = counter.perfect_score // 2
+        gated = FEMMuxComposite(
+            components=[(SeqDetect101(), 3), (counter, 1)],
+            shift=2,
+            constraint=counter,
+            constraint_floor=floor,
+        )
+        ungated = FEMMuxComposite(
+            components=[(SeqDetect101(), 3), (counter, 1)], shift=2
+        )
+        chroms = np.arange(65536, dtype=np.uint32)
+        feasible = counter.evaluate_array(chroms) >= floor
+        g, u = gated.evaluate_array(chroms), ungated.evaluate_array(chroms)
+        assert np.array_equal(g[feasible], u[feasible])
+        assert np.array_equal(g[~feasible], u[~feasible] >> 2)
+        assert (~feasible).any() and feasible.any()
+
+    def test_slot_and_weight_validation(self):
+        counter = SeqCounter4()
+        with pytest.raises(ValueError, match="mux slots"):
+            FEMMuxComposite(components=[], shift=0)
+        with pytest.raises(ValueError, match="mux slots"):
+            FEMMuxComposite(components=[(counter, 1)] * 9, shift=4)
+        with pytest.raises(ValueError, match="weights"):
+            FEMMuxComposite(components=[(counter, 0)], shift=0)
+
+    def test_mo_seq_blend_is_a_genuine_tradeoff(self):
+        blend = MOSeqBlend()
+        table = blend.table()
+        best = int(table.argmax())
+        # no chromosome is perfect on both conflicting targets
+        counter, detector = SeqCounter4(), SeqDetect101()
+        assert not (
+            counter(best) == counter.perfect_score
+            and detector(best) == detector.perfect_score
+        )
+        assert int(table.max()) < (3 * detector.perfect_score + counter.perfect_score) >> 2
+
+
+class TestCycleAccurateSmoke:
+    def test_sequential_target_runs_on_the_fig4_testbench(self):
+        params = GAParameters(
+            n_generations=6,
+            population_size=16,
+            crossover_threshold=10,
+            mutation_threshold=2,
+            rng_seed=0x2961,
+        )
+        result = GASystem(params, by_name("seq_counter4")).run()
+        assert result.cycles and result.cycles > 0
+        assert 0 <= result.best_fitness <= N_CYCLES * MATCH_SCORE
+        assert len(result.history) == params.n_generations + 1
+        # bit-identical to the behavioural engine on the same request
+        from repro.core.behavioral import BehavioralGA
+
+        soft = BehavioralGA(params, by_name("seq_counter4")).run()
+        assert soft.best_fitness == result.best_fitness
+        assert soft.best_individual == result.best_individual

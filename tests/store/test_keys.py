@@ -167,6 +167,20 @@ def test_key_is_pinned_across_versions():
         params=GAParameters(64, 32, 10, 1, 0x061F), fitness_name="mBF6_2"
     )
     assert job_key(request) == (
-        "27a0b7f868db55182768996b12cdf7238edc8bc987a50a7b688290fe30e09749"
+        "9754badf48e5d01ae19a50aef3699bcebf2dc63d9a861ef86b2d64607e98be8e"
     )
     assert job_key(request) == job_key(GARequest.from_dict(request.to_dict()))
+
+
+def test_substrate_joins_the_key():
+    base = GARequest(
+        params=GAParameters(64, 32, 10, 1, 0x061F), fitness_name="seq_counter4"
+    )
+    cycle = replace(base, substrate="cycle")
+    assert job_key(cycle) != job_key(base)
+    dual = GARequest(
+        params=GAParameters(64, 32, 10, 1, 0x061F),
+        fitness_name="fabric32_mux6",
+        substrate="dual32",
+    )
+    assert len({job_key(base), job_key(cycle), job_key(dual)}) == 3

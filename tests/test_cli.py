@@ -10,6 +10,7 @@ class TestParser:
     REQUIRED = {
         "replay": ["0" * 64, "--store-dir", "runs"],
         "store": ["ls", "--store-dir", "runs"],
+        "experiment": ["ls"],
     }
 
     def test_all_commands_registered(self):
